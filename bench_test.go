@@ -1,0 +1,305 @@
+// Benchmark harness: one bench per paper artifact (Table I, Fig. 3, Fig. 4)
+// plus the ablation benches DESIGN.md calls out and micro-benchmarks of the
+// substrates. The artifact benches run reduced-size configurations so a
+// plain `go test -bench=.` stays tractable; the cmd/vfocus-experiments
+// binary regenerates the full-size artifacts.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/exp"
+	"repro/internal/llm"
+	"repro/internal/testbench"
+	"repro/internal/verilog/parser"
+)
+
+// benchTasks returns every stride-th task, spanning all families.
+func benchTasks(stride int) []eval.Task {
+	all := eval.Suite()
+	var out []eval.Task
+	for i := 0; i < len(all); i += stride {
+		out = append(out, all[i])
+	}
+	return out
+}
+
+// --- Paper artifacts -----------------------------------------------------------
+
+// BenchmarkTable1 regenerates a reduced Table I (one model, 1 run, n=20,
+// every 6th task) per iteration.
+func BenchmarkTable1(b *testing.B) {
+	cfg := exp.Table1Config{
+		Models:  []string{"deepseek-r1"},
+		Tasks:   benchTasks(6),
+		Samples: 20,
+		Runs:    1,
+		Seed:    1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunTable1(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates a reduced Fig. 3 panel set per iteration.
+func BenchmarkFig3(b *testing.B) {
+	cfg := exp.Fig3Config{
+		Models:  []string{"deepseek-r1", "o3-mini-medium"},
+		Tasks:   benchTasks(6),
+		Samples: 20,
+		Bins:    10,
+		Seed:    1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig3(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates a reduced Fig. 4 sweep per iteration.
+func BenchmarkFig4(b *testing.B) {
+	cfg := exp.Fig4Config{
+		Models:      []string{"deepseek-r1"},
+		Tasks:       benchTasks(12),
+		SampleSizes: []int{5, 20},
+		Runs:        1,
+		Seed:        1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig4(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md) --------------------------
+
+// ablationPassRate runs the pipeline over the task set and reports pass@1 as
+// a benchmark metric, so `go test -bench=Ablation` prints the design-space
+// numbers next to the timings.
+func ablationPassRate(b *testing.B, tasks []eval.Task, mutate func(*core.Config)) {
+	b.Helper()
+	profile, err := llm.ProfileByName("qwq-32b") // weakest model: largest effects
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := exp.NewOracle(tasks, 8)
+	b.ReportAllocs()
+	var lastRate float64
+	for i := 0; i < b.N; i++ {
+		client, cerr := llm.NewSimClient(profile, 17, tasks)
+		if cerr != nil {
+			b.Fatal(cerr)
+		}
+		cfg := core.DefaultConfig(core.VariantVFocus, profile.Name)
+		cfg.Samples = 20
+		cfg.RetryBaseDelay = 0
+		mutate(&cfg)
+		pipe := core.New(client, cfg)
+		pass := 0
+		for _, task := range tasks {
+			res, rerr := pipe.Run(context.Background(), task)
+			if rerr != nil {
+				b.Fatal(rerr)
+			}
+			ok, verr := oracle.Verify(task.ID, res.Final)
+			if verr != nil {
+				b.Fatal(verr)
+			}
+			if ok {
+				pass++
+			}
+		}
+		lastRate = float64(pass) / float64(len(tasks))
+	}
+	b.ReportMetric(100*lastRate, "pass@1_%")
+}
+
+// BenchmarkAblationDensity sweeps the density-filter bounds, including
+// disabling it (Lmin=0, Lmax=1).
+func BenchmarkAblationDensity(b *testing.B) {
+	tasks := benchTasks(8)
+	for _, tc := range []struct {
+		name       string
+		lmin, lmax float64
+	}{
+		{"off", 0, 1},
+		{"paper_10_75", 0.10, 0.75},
+		{"tight_25_60", 0.25, 0.60},
+		{"maxonly_0_75", 0, 0.75},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			ablationPassRate(b, tasks, func(cfg *core.Config) {
+				cfg.LminPct = tc.lmin
+				cfg.LmaxPct = tc.lmax
+			})
+		})
+	}
+}
+
+// BenchmarkAblationEarlyExit sweeps the dominant-cluster early-exit
+// threshold.
+func BenchmarkAblationEarlyExit(b *testing.B) {
+	tasks := benchTasks(8)
+	for _, frac := range []float64{0.5, 0.9, 1.01} {
+		b.Run(fmt.Sprintf("frac_%v", frac), func(b *testing.B) {
+			ablationPassRate(b, tasks, func(cfg *core.Config) {
+				cfg.EarlyExitFrac = frac
+			})
+		})
+	}
+}
+
+// BenchmarkAblationTBImperfection sweeps ranking-testbench quality: denser
+// testbenches cluster better but model a stronger generator than the paper
+// assumes.
+func BenchmarkAblationTBImperfection(b *testing.B) {
+	tasks := benchTasks(8)
+	for _, imp := range []float64{0, 0.3, 0.6} {
+		b.Run(fmt.Sprintf("drop_%v", imp), func(b *testing.B) {
+			ablationPassRate(b, tasks, func(cfg *core.Config) {
+				cfg.TBImperfection = imp
+			})
+		})
+	}
+}
+
+// BenchmarkAblationRetry sweeps the syntax-retry limit (1 = no retry).
+func BenchmarkAblationRetry(b *testing.B) {
+	tasks := benchTasks(8)
+	for _, retries := range []int{1, 5, 10} {
+		b.Run(fmt.Sprintf("max_%d", retries), func(b *testing.B) {
+			ablationPassRate(b, tasks, func(cfg *core.Config) {
+				cfg.MaxRetries = retries
+			})
+		})
+	}
+}
+
+// BenchmarkAblationTopClusters sweeps how many top clusters refinement
+// touches.
+func BenchmarkAblationTopClusters(b *testing.B) {
+	tasks := benchTasks(8)
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("top_%d", k), func(b *testing.B) {
+			ablationPassRate(b, tasks, func(cfg *core.Config) {
+				cfg.TopClusters = k
+			})
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ----------------------------------------------------
+
+// BenchmarkParser measures parsing of a representative sequential golden.
+func BenchmarkParser(b *testing.B) {
+	src := benchTasks(1)[120].Golden
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorComb measures an exhaustive combinational trace run.
+func BenchmarkSimulatorComb(b *testing.B) {
+	task := benchTasks(1)[44] // a k-map / mid-suite combinational task
+	src, err := parser.Parse(task.Golden)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := testbench.NewGenerator(3).Verification(task.Ifc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := testbench.Run(src, eval.TopModule, st)
+		if tr.Err != nil {
+			b.Fatal(tr.Err)
+		}
+	}
+}
+
+// BenchmarkSimulatorSeq measures a clocked multi-case trace run.
+func BenchmarkSimulatorSeq(b *testing.B) {
+	task := benchTasks(1)[120]
+	src, err := parser.Parse(task.Golden)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := testbench.NewGenerator(3).Verification(task.Ifc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := testbench.Run(src, eval.TopModule, st)
+		if tr.Err != nil {
+			b.Fatal(tr.Err)
+		}
+	}
+}
+
+// BenchmarkPipelineVFocus measures one full VFocus run on one task.
+func BenchmarkPipelineVFocus(b *testing.B) {
+	task := benchTasks(1)[100]
+	profile, err := llm.ProfileByName("deepseek-r1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := llm.NewSimClient(profile, 5, []eval.Task{task})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig(core.VariantVFocus, profile.Name)
+	cfg.Samples = 20
+	cfg.RetryBaseDelay = 0
+	pipe := core.New(client, cfg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.Run(context.Background(), task); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerate measures one simulated-LLM completion (mutation +
+// printing dominated).
+func BenchmarkGenerate(b *testing.B) {
+	task := benchTasks(1)[90]
+	profile, err := llm.ProfileByName("qwq-32b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := llm.NewSimClient(profile, 5, []eval.Task{task})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, gerr := client.Generate(context.Background(), llm.GenerateRequest{
+			TaskID:      task.ID,
+			SampleIndex: i,
+		})
+		if gerr != nil && gerr != context.Canceled {
+			// Transient errors are part of the simulated behavior.
+			continue
+		}
+	}
+}
+
+// BenchmarkSuiteGeneration measures building the full 156-task benchmark.
+func BenchmarkSuiteGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := len(eval.Suite()); got != eval.SuiteSize {
+			b.Fatalf("suite size %d", got)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command vfocus-experiments regenerates every table and figure of the
+// paper's evaluation section:
+//
+//	vfocus-experiments -exp table1            # Table I
+//	vfocus-experiments -exp fig3              # Fig. 3 (a-d)
+//	vfocus-experiments -exp fig4              # Fig. 4
+//	vfocus-experiments -exp all -quick        # everything, reduced sizes
+//
+// Full-size runs use the paper's parameters (n=50; 5 runs for Table I, 10
+// for Fig. 4) and can take tens of minutes on a laptop; -quick cuts runs and
+// sample counts for a fast smoke pass.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "vfocus-experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vfocus-experiments", flag.ContinueOnError)
+	var (
+		expName = fs.String("exp", "all", "experiment: table1|fig3|fig4|all")
+		quick   = fs.Bool("quick", false, "reduced sizes for a fast smoke run")
+		seed    = fs.Int64("seed", 1, "random seed")
+		models  = fs.String("models", "", "comma-separated model list (default: paper's)")
+		runs    = fs.Int("runs", 0, "override run count (0 = paper defaults)")
+		samples = fs.Int("samples", 0, "override sample count n (0 = paper defaults)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var modelList []string
+	if *models != "" {
+		modelList = strings.Split(*models, ",")
+	}
+	tasks := eval.Suite()
+	ctx := context.Background()
+
+	wantTable1 := *expName == "table1" || *expName == "all"
+	wantFig3 := *expName == "fig3" || *expName == "all"
+	wantFig4 := *expName == "fig4" || *expName == "all"
+	if !wantTable1 && !wantFig3 && !wantFig4 {
+		return fmt.Errorf("unknown experiment %q (want table1|fig3|fig4|all)", *expName)
+	}
+
+	if wantTable1 {
+		cfg := exp.Table1Config{
+			Models:  modelList,
+			Tasks:   tasks,
+			Samples: pick(*samples, 50, 20, *quick),
+			Runs:    pick(*runs, 5, 1, *quick),
+			Seed:    *seed,
+		}
+		start := time.Now()
+		res, err := exp.RunTable1(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(table1 completed in %s)\n\n", time.Since(start).Round(time.Second))
+	}
+
+	if wantFig3 {
+		cfg := exp.Fig3Config{
+			Models:  modelList,
+			Tasks:   tasks,
+			Samples: pick(*samples, 50, 20, *quick),
+			Bins:    10,
+			Seed:    *seed,
+		}
+		start := time.Now()
+		res, err := exp.RunFig3(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(fig3 completed in %s)\n\n", time.Since(start).Round(time.Second))
+	}
+
+	if wantFig4 {
+		sizes := []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
+		if *quick {
+			sizes = []int{5, 15, 30, 50}
+		}
+		cfg := exp.Fig4Config{
+			Models:      modelList,
+			Tasks:       tasks,
+			SampleSizes: sizes,
+			Runs:        pick(*runs, 10, 2, *quick),
+			Seed:        *seed,
+		}
+		start := time.Now()
+		res, err := exp.RunFig4(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(fig4 completed in %s)\n", time.Since(start).Round(time.Second))
+	}
+	return nil
+}
+
+// pick resolves an override/default/quick triple.
+func pick(override, full, quick int, isQuick bool) int {
+	if override > 0 {
+		return override
+	}
+	if isQuick {
+		return quick
+	}
+	return full
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "VFocus: Better
+// Verilog Generation from Large Language Model via Focused Reasoning"
+// (SOCC 2025): the three-stage VFocus pipeline, the VRank and random-pick
+// baselines, and every substrate the paper depends on — a Verilog front-end
+// and four-state event-driven simulator, a 156-task VerilogEval-Human-like
+// benchmark, automatic printing testbenches, and a simulated reasoning LLM.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The root package
+// hosts only the benchmark harness (bench_test.go); the implementation
+// lives under internal/.
+package repro

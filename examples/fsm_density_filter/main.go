@@ -1,0 +1,123 @@
+// FSM density filtering: visualize the paper's "reasoning sweet spot" on
+// the hardest task family.
+//
+// This example samples candidates for FSM tasks, prints the relationship
+// between normalized reasoning length and functional correctness, and then
+// contrasts VRank with Pre+VRank (which adds validity retry and
+// Density-guided Filtering).
+//
+//	go run ./examples/fsm_density_filter
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/exp"
+	"repro/internal/llm"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "fsm_density_filter: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	suite := eval.Suite()
+	var fsms []eval.Task
+	for _, t := range suite {
+		if t.Family == "fsm" || t.Family == "seqrec" {
+			fsms = append(fsms, t)
+		}
+	}
+	fmt.Printf("%d FSM/sequence-recognizer tasks (the paper's hardest families)\n\n", len(fsms))
+
+	profile, err := llm.ProfileByName("deepseek-r1")
+	if err != nil {
+		return err
+	}
+	client, err := llm.NewSimClient(profile, 21, fsms)
+	if err != nil {
+		return err
+	}
+	oracle := exp.NewOracle(fsms, 5)
+	ctx := context.Background()
+
+	// Part 1: the length-correctness relationship that motivates filtering.
+	var norm []float64
+	var passed []bool
+	for _, task := range fsms {
+		type sample struct {
+			tokens int
+			pass   bool
+		}
+		var ss []sample
+		minT, maxT := 1<<31, 0
+		for i := 0; i < 40; i++ {
+			resp, gerr := client.Generate(ctx, llm.GenerateRequest{TaskID: task.ID, Spec: task.Spec, SampleIndex: i})
+			if gerr != nil || resp.ReasoningTokens <= 0 {
+				continue
+			}
+			ok, verr := oracle.Verify(task.ID, resp.Code)
+			if verr != nil {
+				return verr
+			}
+			ss = append(ss, sample{tokens: resp.ReasoningTokens, pass: ok})
+			if resp.ReasoningTokens < minT {
+				minT = resp.ReasoningTokens
+			}
+			if resp.ReasoningTokens > maxT {
+				maxT = resp.ReasoningTokens
+			}
+		}
+		for _, s := range ss {
+			n := 0.5
+			if maxT > minT {
+				n = float64(s.tokens-minT) / float64(maxT-minT)
+			}
+			norm = append(norm, n)
+			passed = append(passed, s.pass)
+		}
+	}
+	fmt.Println("Pass rate by normalized reasoning length (deepseek-r1, FSM families):")
+	for _, b := range metrics.BinPassRates(norm, passed, 5) {
+		bar := ""
+		for i := 0; i < int(b.PassRate*40); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  [%.1f,%.1f)  n=%-4d %5.1f%%  %s\n", b.Lo, b.Hi, b.Count, 100*b.PassRate, bar)
+	}
+
+	// Part 2: what the filter buys end to end.
+	fmt.Println("\nVRank vs Pre+VRank on the same tasks:")
+	vr, pre := 0, 0
+	for _, task := range fsms {
+		for variant, counter := range map[core.Variant]*int{
+			core.VariantVRank:    &vr,
+			core.VariantPreVRank: &pre,
+		} {
+			cfg := core.DefaultConfig(variant, profile.Name)
+			cfg.Samples = 40
+			res, rerr := core.New(client, cfg).Run(ctx, task)
+			if rerr != nil {
+				return rerr
+			}
+			ok, verr := oracle.Verify(task.ID, res.Final)
+			if verr != nil {
+				return verr
+			}
+			if ok {
+				*counter++
+			}
+		}
+	}
+	fmt.Printf("  VRank:     %d/%d\n", vr, len(fsms))
+	fmt.Printf("  Pre+VRank: %d/%d  (validity retry + Density-guided Filtering)\n", pre, len(fsms))
+	return nil
+}

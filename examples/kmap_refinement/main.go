@@ -1,0 +1,91 @@
+// K-map inter-cluster refinement: the paper's "simple description" path.
+//
+// K-map tasks are exactly the case where VFocus lets the model *judge the
+// expected output* on the test case where the top clusters disagree, instead
+// of blindly trusting the majority. This example runs every k-map task under
+// VRank and VFocus and shows where output judging changes the outcome.
+//
+//	go run ./examples/kmap_refinement
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/exp"
+	"repro/internal/llm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "kmap_refinement: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	suite := eval.Suite()
+	var kmaps []eval.Task
+	for _, t := range suite {
+		if t.Family == "kmap" {
+			kmaps = append(kmaps, t)
+		}
+	}
+	fmt.Printf("%d k-map tasks (all SimpleDesc: eligible for inter-cluster output judging)\n\n", len(kmaps))
+
+	profile, err := llm.ProfileByName("qwq-32b") // the weakest model benefits most
+	if err != nil {
+		return err
+	}
+	client, err := llm.NewSimClient(profile, 7, kmaps)
+	if err != nil {
+		return err
+	}
+	oracle := exp.NewOracle(kmaps, 14)
+	ctx := context.Background()
+
+	runVariant := func(task eval.Task, v core.Variant) (*core.Result, bool, error) {
+		cfg := core.DefaultConfig(v, profile.Name)
+		cfg.Samples = 40
+		pipe := core.New(client, cfg)
+		res, err := pipe.Run(ctx, task)
+		if err != nil {
+			return nil, false, err
+		}
+		ok, err := oracle.Verify(task.ID, res.Final)
+		return res, ok, err
+	}
+
+	vrankPass, vfocusPass, judged := 0, 0, 0
+	fmt.Printf("%-14s %-8s %-8s %-7s %s\n", "task", "VRank", "VFocus", "judged", "spec (minterms)")
+	for _, task := range kmaps {
+		_, vrOK, err := runVariant(task, core.VariantVRank)
+		if err != nil {
+			return err
+		}
+		vfRes, vfOK, err := runVariant(task, core.VariantVFocus)
+		if err != nil {
+			return err
+		}
+		if vrOK {
+			vrankPass++
+		}
+		if vfOK {
+			vfocusPass++
+		}
+		if vfRes.JudgeVoted {
+			judged++
+		}
+		spec := task.Spec
+		if len(spec) > 52 {
+			spec = spec[:52] + "..."
+		}
+		fmt.Printf("%-14s %-8v %-8v %-7v %s\n", task.ID, vrOK, vfOK, vfRes.JudgeVoted, spec)
+	}
+	fmt.Printf("\nVRank: %d/%d correct; VFocus: %d/%d correct; output judging fired on %d tasks\n",
+		vrankPass, len(kmaps), vfocusPass, len(kmaps), judged)
+	return nil
+}

@@ -1,0 +1,86 @@
+// Quickstart: run the full VFocus pipeline on a single benchmark task and
+// inspect what each stage did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/exp"
+	"repro/internal/llm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Pick a task from the 156-task VerilogEval-Human-like suite.
+	tasks := eval.Suite()
+	var task eval.Task
+	for _, t := range tasks {
+		if t.ID == "seq_cnt_01_decade" {
+			task = t
+			break
+		}
+	}
+	fmt.Printf("Task %s (%s/%s):\n  %s\n\n", task.ID, task.Category, task.Family, task.Spec)
+
+	// 2. Build a model client. The simulated backend reproduces each
+	// model's empirical correctness-vs-reasoning-length behavior; a real
+	// HTTP client would implement the same llm.Client interface.
+	profile, err := llm.ProfileByName("deepseek-r1")
+	if err != nil {
+		return err
+	}
+	client, err := llm.NewSimClient(profile, 42, tasks)
+	if err != nil {
+		return err
+	}
+
+	// 3. Run the three-stage VFocus pipeline.
+	cfg := core.DefaultConfig(core.VariantVFocus, profile.Name)
+	cfg.Samples = 30
+	pipe := core.New(client, cfg)
+	res, err := pipe.Run(context.Background(), task)
+	if err != nil {
+		return err
+	}
+
+	valid, filtered := 0, 0
+	for _, c := range res.Candidates {
+		if c.Valid {
+			valid++
+		}
+		if c.Filtered {
+			filtered++
+		}
+	}
+	fmt.Printf("Pre-ranking: %d/%d candidates valid, %d dropped by Density-guided Filtering\n",
+		valid, len(res.Candidates), filtered)
+	fmt.Printf("Ranking: %d behavioral clusters; top cluster holds %d candidates\n",
+		len(res.Clusters), res.Clusters[0].Score)
+	fmt.Printf("Post-ranking: earlyExit=%v refinedUsed=%v (refine calls: %d, judge calls: %d)\n\n",
+		res.EarlyExit, res.RefinedUsed, res.Stats.RefineCalls, res.Stats.JudgeCalls)
+
+	fmt.Println("Selected implementation:")
+	fmt.Println(res.Final)
+
+	// 4. Verify the pick against the reference testbench (the golden
+	// oracle the paper uses only for final scoring).
+	oracle := exp.NewOracle(tasks, 7)
+	ok, err := oracle.Verify(task.ID, res.Final)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Verification against reference testbench: %v\n", ok)
+	return nil
+}

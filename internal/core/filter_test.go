@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/llm"
+)
+
+// TestDensityFilterBacksOffOnTinyPools: with a 6-sample budget the filter
+// must not prune the pool below the ranking minimum — pre-ranking should
+// contribute only through validity retry at that scale.
+func TestDensityFilterBacksOffOnTinyPools(t *testing.T) {
+	task := pickTask(t, "seq_cnt_03_updown")
+	pipe := newPipeline(t, VariantPreVRank, "qwq-32b", []eval.Task{task}, 6)
+	res, err := pipe.Run(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := 0
+	valid := 0
+	for _, c := range res.Candidates {
+		if c.Valid {
+			valid++
+		}
+		if c.Filtered {
+			filtered++
+		}
+	}
+	kept := valid - filtered
+	if kept < valid && kept < minFilteredPool {
+		t.Errorf("filter left %d of %d valid candidates (< floor %d) without backing off",
+			kept, valid, minFilteredPool)
+	}
+}
+
+// TestDensityFilterActiveOnLargePools: at n=50 the filter must actually
+// remove something for a model with both bounds enabled.
+func TestDensityFilterActiveOnLargePools(t *testing.T) {
+	task := pickTask(t, "seq_fsm_05")
+	pipe := newPipeline(t, VariantPreVRank, "qwq-32b", []eval.Task{task}, 50)
+	res, err := pipe.Run(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := 0
+	for _, c := range res.Candidates {
+		if c.Filtered {
+			filtered++
+		}
+	}
+	if filtered == 0 {
+		t.Error("filter removed nothing from a 50-sample pool")
+	}
+}
+
+// TestVFocusNotWorseThanVRankSmallN guards the Fig. 4 small-n regression:
+// over a task subset at n=6, Pre+VRank must not trail VRank by more than
+// noise.
+func TestVFocusNotWorseThanVRankSmallN(t *testing.T) {
+	all := eval.Suite()
+	var tasks []eval.Task
+	for i := 0; i < len(all); i += 7 {
+		tasks = append(tasks, all[i])
+	}
+	profile, err := llm.ProfileByName("deepseek-r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := llm.NewSimClient(profile, 23, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(v Variant) map[string]string {
+		out := make(map[string]string, len(tasks))
+		cfg := DefaultConfig(v, profile.Name)
+		cfg.Samples = 6
+		cfg.RetryBaseDelay = 0
+		pipe := New(client, cfg)
+		for _, task := range tasks {
+			res, rerr := pipe.Run(context.Background(), task)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			out[task.ID] = res.Final
+		}
+		return out
+	}
+	vrank := run(VariantVRank)
+	pre := run(VariantPreVRank)
+	// With the filter backed off, the two variants may differ only through
+	// validity retry; count how many picks changed.
+	diffs := 0
+	for id := range vrank {
+		if vrank[id] != pre[id] {
+			diffs++
+		}
+	}
+	if diffs > len(tasks)/2 {
+		t.Errorf("small-n Pre+VRank diverges from VRank on %d/%d tasks; filter guard not effective",
+			diffs, len(tasks))
+	}
+}

@@ -1,0 +1,465 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/testbench"
+)
+
+// rngFor derives a deterministic RNG for selection decisions.
+func (p *Pipeline) rngFor(taskID, role string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", p.cfg.SelectSeed, taskID, role)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// pickBaseline selects a uniformly random candidate (the paper's random-pick
+// baseline; pass@k aggregates over the whole pool, selection here is for the
+// CLI's benefit).
+func (p *Pipeline) pickBaseline(res *Result) {
+	rng := p.rngFor(res.Task.ID, "baseline")
+	idx := rng.Intn(len(res.Candidates))
+	res.Final = res.Candidates[idx].Code
+	res.FinalIndex = idx
+}
+
+// minFilteredPool is the smallest candidate pool Density-guided Filtering
+// is allowed to leave behind. Percentile bounds estimated from a handful of
+// samples are noise, and clustering a 3-candidate pool is worse than
+// clustering an unfiltered small pool — so for tiny sample budgets the
+// filter steps aside and pre-ranking contributes through the validity
+// retry alone.
+const minFilteredPool = 8
+
+// densityFilter implements Density-guided Filtering: compute each valid
+// candidate's min-max normalized reasoning length over the task's sample
+// pool and drop candidates outside (LminPct, LmaxPct). Candidates without a
+// reasoning trace are dropped whenever a lower bound exists. Two guards
+// keep the filter from destroying the pool: it never removes every
+// candidate, and it backs off entirely when it would leave fewer than
+// minFilteredPool candidates for ranking.
+func (p *Pipeline) densityFilter(res *Result) {
+	var lens []int
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		if c.Valid && c.ReasoningTokens > 0 {
+			lens = append(lens, c.ReasoningTokens)
+		}
+	}
+	if len(lens) < 4 {
+		return // not enough signal to estimate the sweet spot
+	}
+	minL, maxL := lens[0], lens[0]
+	for _, l := range lens {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	span := maxL - minL
+	if span == 0 {
+		return
+	}
+	kept := 0
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		if !c.Valid {
+			continue
+		}
+		if c.ReasoningTokens <= 0 {
+			if p.cfg.LminPct > 0 {
+				c.Filtered = true
+			}
+			continue
+		}
+		c.NormLen = float64(c.ReasoningTokens-minL) / float64(span)
+		if c.NormLen <= p.cfg.LminPct || c.NormLen >= p.cfg.LmaxPct {
+			c.Filtered = true
+		} else {
+			kept++
+		}
+	}
+	if kept == 0 || (kept < minFilteredPool && kept < len(lens)) {
+		for i := range res.Candidates {
+			res.Candidates[i].Filtered = false
+		}
+	}
+}
+
+// rank simulates every usable candidate under the generated printing
+// testbench and clusters by strict full-trace agreement, scoring clusters by
+// size (the paper's Eq. 2-3).
+func (p *Pipeline) rank(res *Result) error {
+	gen := testbench.NewGenerator(p.cfg.TBSeed + int64(res.Task.Index))
+	gen.Imperfection = p.cfg.TBImperfection
+	st := gen.Ranking(res.Task.Ifc)
+	res.rankingStimulus = st
+
+	byFP := make(map[uint64]*Cluster)
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		if !c.Valid || c.Filtered {
+			continue
+		}
+		c.Trace = testbench.Run(c.Source, eval.TopModule, st)
+		res.Stats.SimRuns++
+		if c.Trace.Err != nil {
+			continue // runtime failures agree with nobody
+		}
+		fp := c.Trace.Fingerprint()
+		cl, ok := byFP[fp]
+		if !ok {
+			cl = &Cluster{Fingerprint: fp}
+			byFP[fp] = cl
+		}
+		cl.Members = append(cl.Members, i)
+	}
+	res.Clusters = res.Clusters[:0]
+	for _, cl := range byFP {
+		cl.Score = len(cl.Members)
+		res.Clusters = append(res.Clusters, *cl)
+	}
+	sort.Slice(res.Clusters, func(a, b int) bool {
+		if res.Clusters[a].Score != res.Clusters[b].Score {
+			return res.Clusters[a].Score > res.Clusters[b].Score
+		}
+		return res.Clusters[a].Fingerprint < res.Clusters[b].Fingerprint
+	})
+	return nil
+}
+
+// refine implements post-ranking refinement: intra-cluster reconciliation on
+// the top clusters, and inter-cluster divergence resolution (output judging
+// on simple-description tasks, focused refinement otherwise). Early exit
+// skips inter-cluster work when the top cluster dominates.
+func (p *Pipeline) refine(ctx context.Context, res *Result) error {
+	ranked := 0
+	for _, cl := range res.Clusters {
+		ranked += cl.Score
+	}
+	if ranked == 0 {
+		return nil
+	}
+	top := res.Clusters[0]
+	dominant := float64(top.Score) >= p.cfg.EarlyExitFrac*float64(ranked)
+	res.EarlyExit = dominant
+
+	k := p.cfg.TopClusters
+	if k > len(res.Clusters) {
+		k = len(res.Clusters)
+	}
+	if dominant {
+		k = 1 // early exit: intra-cluster only, on the dominant cluster
+	}
+
+	// Intra-cluster: reconcile two samples of each top cluster.
+	for ci := 0; ci < k; ci++ {
+		if err := p.refineIntra(ctx, res, ci); err != nil {
+			return err
+		}
+	}
+
+	// Inter-cluster: resolve the top-1 vs top-2 divergence.
+	if !dominant && len(res.Clusters) >= 2 {
+		if err := p.refineInter(ctx, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refineIntra asks the model to reconcile two implementations from one
+// cluster. The refined candidate is accepted into the pool only if it stays
+// behaviorally close to its source cluster (it is meant to fix what the
+// imperfect testbench under-covers, not to change covered behavior).
+func (p *Pipeline) refineIntra(ctx context.Context, res *Result, ci int) error {
+	cl := &res.Clusters[ci]
+	rng := p.rngFor(res.Task.ID, fmt.Sprintf("intra-%d", ci))
+	a := cl.Members[rng.Intn(len(cl.Members))]
+	b := cl.Members[rng.Intn(len(cl.Members))]
+	if len(cl.Members) > 1 {
+		for b == a {
+			b = cl.Members[rng.Intn(len(cl.Members))]
+		}
+	}
+	resp, err := p.refineWithTransientRetry(ctx, llm.RefineRequest{
+		TaskID:      res.Task.ID,
+		Spec:        res.Task.Spec,
+		CandidateA:  res.Candidates[a].Code,
+		CandidateB:  res.Candidates[b].Code,
+		SampleIndex: ci,
+	})
+	if err != nil {
+		if errors.Is(err, ErrLLM) {
+			return nil // refinement is best-effort; keep ranked result
+		}
+		return err
+	}
+	res.Stats.RefineCalls++
+	p.admitRefined(res, ci, resp.Code)
+	return nil
+}
+
+// refineInter resolves the divergence between the top two clusters. For
+// simple-description tasks with small outputs the model judges the expected
+// output on the first disagreeing test case and its vote can overturn the
+// majority; otherwise it falls back to focused cross-cluster refinement.
+func (p *Pipeline) refineInter(ctx context.Context, res *Result) error {
+	c0, c1 := &res.Clusters[0], &res.Clusters[1]
+	t0 := res.Candidates[c0.Members[0]].Trace
+	t1 := res.Candidates[c1.Members[0]].Trace
+	caseIdx := -1
+	for i := range t0.Cases {
+		if !testbench.CaseAgrees(t0, t1, i) {
+			caseIdx = i
+			break
+		}
+	}
+	if caseIdx < 0 {
+		return nil // identical traces should have been one cluster
+	}
+
+	outBits := 0
+	for _, o := range res.Task.Ifc.Outputs {
+		outBits += o.Width
+	}
+	if res.Task.SimpleDesc && outBits <= 8 {
+		st := res.rankingStimulus
+		resp, err := p.judgeWithTransientRetry(ctx, llm.JudgeRequest{
+			TaskID: res.Task.ID,
+			Spec:   res.Task.Spec,
+			Case:   st.Cases[caseIdx],
+		})
+		if err != nil {
+			if errors.Is(err, ErrLLM) {
+				return nil
+			}
+			return err
+		}
+		res.Stats.JudgeCalls++
+		res.JudgeVoted = true
+		pred := resp.Predicted.Fingerprint()
+		match0 := t0.Cases[caseIdx].Fingerprint() == pred
+		match1 := t1.Cases[caseIdx].Fingerprint() == pred
+		// A judge vote for the runner-up overturns the majority when the
+		// clusters are close; a vote for the leader reinforces it.
+		if match1 && !match0 && float64(c1.Score) >= 0.5*float64(c0.Score) {
+			res.Clusters[0], res.Clusters[1] = res.Clusters[1], res.Clusters[0]
+		}
+		return nil
+	}
+
+	// Fallback: focused refinement across the two clusters.
+	hint := divergenceHint(res.Task, t0, t1, caseIdx)
+	rng := p.rngFor(res.Task.ID, "inter")
+	a := c0.Members[rng.Intn(len(c0.Members))]
+	b := c1.Members[rng.Intn(len(c1.Members))]
+	resp, err := p.refineWithTransientRetry(ctx, llm.RefineRequest{
+		TaskID:      res.Task.ID,
+		Spec:        res.Task.Spec,
+		CandidateA:  res.Candidates[a].Code,
+		CandidateB:  res.Candidates[b].Code,
+		FocusHint:   hint,
+		SampleIndex: 100,
+	})
+	if err != nil {
+		if errors.Is(err, ErrLLM) {
+			return nil
+		}
+		return err
+	}
+	res.Stats.RefineCalls++
+	p.admitRefinedInter(res, resp.Code)
+	return nil
+}
+
+// divergenceHint renders the concrete disagreement for the focused prompt.
+func divergenceHint(task eval.Task, t0, t1 *testbench.Trace, caseIdx int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "On test case %d the top candidate groups disagree.\n", caseIdx)
+	if caseIdx < len(t0.Cases) && caseIdx < len(t1.Cases) {
+		fmt.Fprintf(&b, "Group A prints:\n")
+		writeCase(&b, task, &t0.Cases[caseIdx])
+		fmt.Fprintf(&b, "Group B prints:\n")
+		writeCase(&b, task, &t1.Cases[caseIdx])
+	}
+	b.WriteString("Reason carefully about which behavior the specification requires.")
+	return b.String()
+}
+
+func writeCase(b *strings.Builder, task eval.Task, ct *testbench.CaseTrace) {
+	for si, s := range ct.Steps {
+		fmt.Fprintf(b, "  step %d:", si)
+		for oi, o := range s.Outputs {
+			name := "?"
+			if oi < len(task.Ifc.Outputs) {
+				name = task.Ifc.Outputs[oi].Name
+			}
+			fmt.Fprintf(b, " %s=%s", name, o)
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// admitRefined validates and simulates a refined candidate for cluster ci.
+// Intra-cluster refinement exists to repair behavior the imperfect ranking
+// testbench does NOT cover, so a trustworthy refined candidate must agree
+// with its source cluster on every covered test case: any covered-case
+// divergence means the model wandered off and the candidate is rejected.
+func (p *Pipeline) admitRefined(res *Result, ci int, code string) {
+	src, ok := validate(code)
+	if !ok {
+		return
+	}
+	st := res.rankingStimulus
+	tr := testbench.Run(src, eval.TopModule, st)
+	res.Stats.SimRuns++
+	if tr.Err != nil {
+		return
+	}
+	ref := res.Candidates[res.Clusters[ci].Members[0]].Trace
+	for i := range st.Cases {
+		if !testbench.CaseAgrees(tr, ref, i) {
+			return // covered-case divergence: distrust the rewrite
+		}
+	}
+	idx := len(res.Candidates)
+	res.Candidates = append(res.Candidates, Candidate{
+		Index:   idx,
+		Code:    code,
+		Source:  src,
+		Valid:   true,
+		NormLen: -1,
+		Trace:   tr,
+		Refined: true,
+	})
+	res.Clusters[ci].RefinedIdx = append(res.Clusters[ci].RefinedIdx, idx)
+}
+
+// admitRefinedInter handles the cross-cluster refined candidate: it joins
+// whichever top cluster it agrees with and boosts that cluster's score by
+// one (it is one more independent, focused opinion).
+func (p *Pipeline) admitRefinedInter(res *Result, code string) {
+	src, ok := validate(code)
+	if !ok {
+		return
+	}
+	st := res.rankingStimulus
+	tr := testbench.Run(src, eval.TopModule, st)
+	res.Stats.SimRuns++
+	if tr.Err != nil {
+		return
+	}
+	idx := len(res.Candidates)
+	added := false
+	k := p.cfg.TopClusters
+	if k > len(res.Clusters) {
+		k = len(res.Clusters)
+	}
+	for ci := 0; ci < k; ci++ {
+		ref := res.Candidates[res.Clusters[ci].Members[0]].Trace
+		if testbench.Agrees(tr, ref) {
+			res.Clusters[ci].Score++
+			res.Clusters[ci].RefinedIdx = append(res.Clusters[ci].RefinedIdx, idx)
+			added = true
+			break
+		}
+	}
+	if !added {
+		return // agrees with neither top cluster: discard
+	}
+	res.Candidates = append(res.Candidates, Candidate{
+		Index:   idx,
+		Code:    code,
+		Source:  src,
+		Valid:   true,
+		NormLen: -1,
+		Trace:   tr,
+		Refined: true,
+	})
+	// Re-sort in case the boost changed the order.
+	sort.SliceStable(res.Clusters, func(a, b int) bool {
+		return res.Clusters[a].Score > res.Clusters[b].Score
+	})
+}
+
+// pickFinal selects the output: the top cluster's refined candidate when one
+// was admitted, otherwise a random member of the top cluster, otherwise any
+// valid candidate, otherwise the raw first sample.
+func (p *Pipeline) pickFinal(res *Result) {
+	if len(res.Clusters) > 0 {
+		top := res.Clusters[0]
+		if len(top.RefinedIdx) > 0 {
+			idx := top.RefinedIdx[len(top.RefinedIdx)-1]
+			res.Final = res.Candidates[idx].Code
+			res.FinalIndex = idx
+			res.RefinedUsed = true
+			return
+		}
+		rng := p.rngFor(res.Task.ID, "pick")
+		idx := top.Members[rng.Intn(len(top.Members))]
+		res.Final = res.Candidates[idx].Code
+		res.FinalIndex = idx
+		return
+	}
+	for i := range res.Candidates {
+		if res.Candidates[i].Valid {
+			res.Final = res.Candidates[i].Code
+			res.FinalIndex = i
+			return
+		}
+	}
+	if len(res.Candidates) > 0 {
+		res.Final = res.Candidates[0].Code
+		res.FinalIndex = 0
+	}
+}
+
+// refineWithTransientRetry mirrors generateWithTransientRetry for Refine.
+func (p *Pipeline) refineWithTransientRetry(ctx context.Context, req llm.RefineRequest) (llm.Response, error) {
+	const transientRetries = 4
+	var lastErr error
+	for t := 0; t < transientRetries; t++ {
+		resp, err := p.client.Refine(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !errors.Is(err, llm.ErrTransient) {
+			return llm.Response{}, fmt.Errorf("%w: %v", ErrLLM, err)
+		}
+		req.SampleIndex += 1000 // draw fresh randomness on retry
+		p.sleep(p.cfg.RetryBaseDelay * time.Duration(t+1))
+	}
+	return llm.Response{}, fmt.Errorf("%w: %v", ErrLLM, lastErr)
+}
+
+// judgeWithTransientRetry mirrors generateWithTransientRetry for JudgeOutput.
+func (p *Pipeline) judgeWithTransientRetry(ctx context.Context, req llm.JudgeRequest) (llm.JudgeResponse, error) {
+	const transientRetries = 4
+	var lastErr error
+	for t := 0; t < transientRetries; t++ {
+		resp, err := p.client.JudgeOutput(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !errors.Is(err, llm.ErrTransient) {
+			return llm.JudgeResponse{}, fmt.Errorf("%w: %v", ErrLLM, err)
+		}
+		req.SampleIndex += 1000
+		p.sleep(p.cfg.RetryBaseDelay * time.Duration(t+1))
+	}
+	return llm.JudgeResponse{}, fmt.Errorf("%w: %v", ErrLLM, lastErr)
+}

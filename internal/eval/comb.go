@@ -1,0 +1,1040 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/testbench"
+)
+
+// combTasks assembles the 81 combinational tasks.
+func combTasks() []Task {
+	var ts []Task
+	ts = append(ts, gateTasks()...)       // 8
+	ts = append(ts, boolExprTasks()...)   // 8
+	ts = append(ts, muxTasks()...)        // 6
+	ts = append(ts, decoderTasks()...)    // 6
+	ts = append(ts, kmapTasks()...)       // 12
+	ts = append(ts, truthTableTasks()...) // 4
+	ts = append(ts, vectorTasks()...)     // 8
+	ts = append(ts, adderTasks()...)      // 8
+	ts = append(ts, compareTasks()...)    // 6
+	ts = append(ts, popcountTasks()...)   // 5
+	ts = append(ts, shiftTasks()...)      // 4
+	ts = append(ts, aluTasks()...)        // 2
+	ts = append(ts, grayTasks()...)       // 4
+	if len(ts) != 81 {
+		panic(fmt.Sprintf("combinational suite has %d tasks, want 81", len(ts)))
+	}
+	return ts
+}
+
+func ifcComb(ins []testbench.PortSpec, outs []testbench.PortSpec) testbench.Interface {
+	return testbench.Interface{Inputs: ins, Outputs: outs}
+}
+
+// --- gates (8) -----------------------------------------------------------------
+
+func gateTasks() []Task {
+	type gate struct {
+		name string
+		expr string
+		desc string
+	}
+	gates := []gate{
+		{"and2", "a & b", "the logical AND of its two inputs"},
+		{"or2", "a | b", "the logical OR of its two inputs"},
+		{"xor2", "a ^ b", "the exclusive OR of its two inputs"},
+		{"nand2", "~(a & b)", "the logical NAND of its two inputs"},
+		{"nor2", "~(a | b)", "the logical NOR of its two inputs"},
+		{"xnor2", "~(a ^ b)", "the exclusive NOR of its two inputs"},
+		{"not1", "~a", "the logical complement of its input"},
+		{"aoi21", "~((a & b) | c)", "an AND-OR-INVERT: NOT((a AND b) OR c)"},
+	}
+	var ts []Task
+	for i, g := range gates {
+		var ins []testbench.PortSpec
+		ports := "input a,\n    input b,\n    input c,"
+		switch g.name {
+		case "not1":
+			ports = "input a,"
+			ins = []testbench.PortSpec{in1("a")}
+		case "aoi21":
+			ins = []testbench.PortSpec{in1("a"), in1("b"), in1("c")}
+		default:
+			ports = "input a,\n    input b,"
+			ins = []testbench.PortSpec{in1("a"), in1("b")}
+		}
+		golden := fmt.Sprintf(`module top_module (
+    %s
+    output y
+);
+    assign y = %s;
+endmodule
+`, ports, g.expr)
+		spec := fmt.Sprintf("Build a combinational circuit whose output y is %s.", g.desc)
+		id := fmt.Sprintf("cmb_gate_%02d_%s", i, g.name)
+		ts = append(ts, newTask(id, Combinational, "gates", spec, golden,
+			ifcComb(ins, []testbench.PortSpec{in1("y")}), 0.05, true))
+	}
+	return ts
+}
+
+// --- boolean expressions (8) ------------------------------------------------------
+
+// randBoolExpr builds a random boolean expression over the given variables.
+func randBoolExpr(rng *rand.Rand, vars []string, depth int) string {
+	if depth <= 0 || rng.Float64() < 0.3 {
+		v := vars[rng.Intn(len(vars))]
+		if rng.Float64() < 0.4 {
+			return "~" + v
+		}
+		return v
+	}
+	ops := []string{"&", "|", "^"}
+	op := ops[rng.Intn(len(ops))]
+	left := randBoolExpr(rng, vars, depth-1)
+	right := randBoolExpr(rng, vars, depth-1)
+	return fmt.Sprintf("(%s %s %s)", left, op, right)
+}
+
+func boolExprTasks() []Task {
+	vars := []string{"a", "b", "c", "d"}
+	var ts []Task
+	for i := 0; i < 8; i++ {
+		rng := familyRand("boolexpr", i)
+		expr := randBoolExpr(rng, vars, 3)
+		golden := fmt.Sprintf(`module top_module (
+    input a,
+    input b,
+    input c,
+    input d,
+    output y
+);
+    assign y = %s;
+endmodule
+`, expr)
+		spec := fmt.Sprintf("Implement the boolean function y = %s over the four inputs a, b, c and d, where ~ is NOT, & is AND, | is OR and ^ is XOR.", expr)
+		id := fmt.Sprintf("cmb_boolexpr_%02d", i)
+		ts = append(ts, newTask(id, Combinational, "boolexpr", spec, golden,
+			ifcComb([]testbench.PortSpec{in1("a"), in1("b"), in1("c"), in1("d")},
+				[]testbench.PortSpec{in1("y")}), 0.12, true))
+	}
+	return ts
+}
+
+// --- muxes (6) ---------------------------------------------------------------------
+
+func muxTasks() []Task {
+	var ts []Task
+
+	add := func(id, spec, golden string, ins, outs []testbench.PortSpec) {
+		ts = append(ts, newTask(id, Combinational, "mux", spec, golden, ifcComb(ins, outs), 0.10, false))
+	}
+
+	add("cmb_mux_00_mux2x1",
+		"Build a 2-to-1 multiplexer for 1-bit inputs: when sel is 0 the output y equals a, when sel is 1 it equals b.",
+		`module top_module (
+    input a,
+    input b,
+    input sel,
+    output y
+);
+    assign y = sel ? b : a;
+endmodule
+`,
+		[]testbench.PortSpec{in1("a"), in1("b"), in1("sel")}, []testbench.PortSpec{in1("y")})
+
+	add("cmb_mux_01_mux2x8",
+		"Build a 2-to-1 multiplexer for 8-bit buses: when sel is 0 the output y equals a, when sel is 1 it equals b.",
+		`module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    input sel,
+    output [7:0] y
+);
+    assign y = sel ? b : a;
+endmodule
+`,
+		[]testbench.PortSpec{inw("a", 8), inw("b", 8), in1("sel")}, []testbench.PortSpec{inw("y", 8)})
+
+	add("cmb_mux_02_mux4x4",
+		"Build a 4-to-1 multiplexer with four 4-bit data inputs a, b, c, d and a 2-bit select: sel==0 picks a, sel==1 picks b, sel==2 picks c, sel==3 picks d.",
+		`module top_module (
+    input [3:0] a,
+    input [3:0] b,
+    input [3:0] c,
+    input [3:0] d,
+    input [1:0] sel,
+    output reg [3:0] y
+);
+    always @(*) begin
+        case (sel)
+            2'd0: y = a;
+            2'd1: y = b;
+            2'd2: y = c;
+            default: y = d;
+        endcase
+    end
+endmodule
+`,
+		[]testbench.PortSpec{inw("a", 4), inw("b", 4), inw("c", 4), inw("d", 4), inw("sel", 2)},
+		[]testbench.PortSpec{inw("y", 4)})
+
+	add("cmb_mux_03_mux8x4",
+		"Build an 8-to-1 multiplexer: the 3-bit select chooses one 4-bit slice of the 32-bit packed input bus in, where sel==0 selects in[3:0], sel==1 selects in[7:4], and so on.",
+		`module top_module (
+    input [31:0] in,
+    input [2:0] sel,
+    output [3:0] y
+);
+    assign y = in >> {sel, 2'b00};
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 32), inw("sel", 3)}, []testbench.PortSpec{inw("y", 4)})
+
+	add("cmb_mux_04_mux4x16",
+		"Build a 4-to-1 multiplexer with four 16-bit data inputs a, b, c, d selected by a 2-bit select input in order a, b, c, d.",
+		`module top_module (
+    input [15:0] a,
+    input [15:0] b,
+    input [15:0] c,
+    input [15:0] d,
+    input [1:0] sel,
+    output [15:0] y
+);
+    assign y = (sel == 2'd0) ? a :
+               (sel == 2'd1) ? b :
+               (sel == 2'd2) ? c : d;
+endmodule
+`,
+		[]testbench.PortSpec{inw("a", 16), inw("b", 16), inw("c", 16), inw("d", 16), inw("sel", 2)},
+		[]testbench.PortSpec{inw("y", 16)})
+
+	add("cmb_mux_05_mux16x1",
+		"Build a 16-to-1 multiplexer of single bits: output y is bit number sel of the 16-bit input bus in.",
+		`module top_module (
+    input [15:0] in,
+    input [3:0] sel,
+    output y
+);
+    assign y = in[sel];
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 16), inw("sel", 4)}, []testbench.PortSpec{in1("y")})
+
+	return ts
+}
+
+// --- decoders / encoders (6) ----------------------------------------------------------
+
+func decoderTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Combinational, "decoder", spec, golden, ifcComb(ins, outs), diff, false))
+	}
+
+	add("cmb_dec_00_dec24",
+		"Build a 2-to-4 one-hot decoder: output bit number in of y is 1 and all other bits are 0.",
+		`module top_module (
+    input [1:0] in,
+    output [3:0] y
+);
+    assign y = 4'b0001 << in;
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 2)}, []testbench.PortSpec{inw("y", 4)}, 0.12)
+
+	add("cmb_dec_01_dec38",
+		"Build a 3-to-8 one-hot decoder: output bit number in of y is 1 and all other bits are 0.",
+		`module top_module (
+    input [2:0] in,
+    output [7:0] y
+);
+    assign y = 8'b00000001 << in;
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 3)}, []testbench.PortSpec{inw("y", 8)}, 0.12)
+
+	add("cmb_dec_02_dec24en",
+		"Build a 2-to-4 decoder with an active-high enable: when en is 1 the output is the one-hot decode of in, when en is 0 the output is all zeros.",
+		`module top_module (
+    input [1:0] in,
+    input en,
+    output [3:0] y
+);
+    assign y = en ? (4'b0001 << in) : 4'b0000;
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 2), in1("en")}, []testbench.PortSpec{inw("y", 4)}, 0.15)
+
+	add("cmb_dec_03_prienc4",
+		"Build a 4-bit priority encoder: pos is the index of the highest-numbered 1 bit of in, and valid is 1 when any bit of in is set. When in is zero, pos must be 0.",
+		`module top_module (
+    input [3:0] in,
+    output reg [1:0] pos,
+    output valid
+);
+    assign valid = |in;
+    always @(*) begin
+        casez (in)
+            4'b1zzz: pos = 2'd3;
+            4'b01zz: pos = 2'd2;
+            4'b001z: pos = 2'd1;
+            4'b0001: pos = 2'd0;
+            default: pos = 2'd0;
+        endcase
+    end
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 4)}, []testbench.PortSpec{inw("pos", 2), in1("valid")}, 0.22)
+
+	add("cmb_dec_04_prienc8",
+		"Build an 8-bit priority encoder: pos is the index of the lowest-numbered 1 bit of in, and valid is 1 when any bit of in is set. When in is zero, pos must be 0.",
+		`module top_module (
+    input [7:0] in,
+    output reg [2:0] pos,
+    output valid
+);
+    integer i;
+    assign valid = |in;
+    always @(*) begin
+        pos = 3'd0;
+        for (i = 0; i < 8; i = i + 1)
+            if (in[7 - i])
+                pos = 3'd7 - i[2:0];
+    end
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 8)}, []testbench.PortSpec{inw("pos", 3), in1("valid")}, 0.25)
+
+	add("cmb_dec_05_onehot2bin",
+		"Build a one-hot to binary converter: the 8-bit input is guaranteed one-hot; output the 3-bit index of the set bit (and 0 for an all-zero input).",
+		`module top_module (
+    input [7:0] in,
+    output reg [2:0] y
+);
+    integer i;
+    always @(*) begin
+        y = 3'd0;
+        for (i = 0; i < 8; i = i + 1)
+            if (in[i])
+                y = i[2:0];
+    end
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 8)}, []testbench.PortSpec{inw("y", 3)}, 0.18)
+
+	return ts
+}
+
+// --- k-maps (12) -------------------------------------------------------------------------
+
+// kmapTask builds a random truth-table task over nvars variables presented as
+// a Karnaugh-map specification (minterm list). These are the paper's
+// "simple description" tasks.
+func kmapTasks() []Task {
+	var ts []Task
+	for i := 0; i < 12; i++ {
+		rng := familyRand("kmap", i)
+		nvars := 3
+		if i >= 6 {
+			nvars = 4
+		}
+		size := 1 << uint(nvars)
+		var minterms []int
+		for m := 0; m < size; m++ {
+			if rng.Float64() < 0.45 {
+				minterms = append(minterms, m)
+			}
+		}
+		if len(minterms) == 0 {
+			minterms = append(minterms, rng.Intn(size))
+		}
+		if len(minterms) == size {
+			minterms = minterms[:size-1]
+		}
+		names := []string{"a", "b", "c", "d"}[:nvars]
+
+		// Golden: sum of products over the minterms.
+		var products []string
+		for _, m := range minterms {
+			var lits []string
+			for v := 0; v < nvars; v++ {
+				// Variable 0 (a) is the MSB of the minterm index.
+				bit := (m >> uint(nvars-1-v)) & 1
+				if bit == 1 {
+					lits = append(lits, names[v])
+				} else {
+					lits = append(lits, "~"+names[v])
+				}
+			}
+			products = append(products, "("+strings.Join(lits, " & ")+")")
+		}
+		expr := strings.Join(products, " | ")
+
+		var portDecls []string
+		var ins []testbench.PortSpec
+		for _, n := range names {
+			portDecls = append(portDecls, fmt.Sprintf("    input %s,", n))
+			ins = append(ins, in1(n))
+		}
+		golden := fmt.Sprintf(`module top_module (
+%s
+    output f
+);
+    assign f = %s;
+endmodule
+`, strings.Join(portDecls, "\n"), expr)
+
+		var mstr []string
+		for _, m := range minterms {
+			mstr = append(mstr, fmt.Sprintf("%d", m))
+		}
+		spec := fmt.Sprintf(
+			"Implement the %d-variable Karnaugh map over inputs (%s), where %s is the most significant bit of the minterm index: the output f is 1 exactly for minterms {%s} and 0 otherwise.",
+			nvars, strings.Join(names, ", "), names[0], strings.Join(mstr, ", "))
+		id := fmt.Sprintf("cmb_kmap_%02d", i)
+		ts = append(ts, newTask(id, Combinational, "kmap", spec, golden,
+			ifcComb(ins, []testbench.PortSpec{in1("f")}), 0.28, true))
+	}
+	return ts
+}
+
+// --- explicit truth tables (4) --------------------------------------------------------------
+
+func truthTableTasks() []Task {
+	var ts []Task
+	for i := 0; i < 4; i++ {
+		rng := familyRand("truthtable", i)
+		var rows uint8
+		for rows == 0 || rows == 0xFF {
+			rows = uint8(rng.Intn(256))
+		}
+		// Golden: case statement over the 3 inputs.
+		var items []string
+		for m := 0; m < 8; m++ {
+			bit := (rows >> uint(m)) & 1
+			items = append(items, fmt.Sprintf("            3'd%d: f = 1'b%d;", m, bit))
+		}
+		golden := fmt.Sprintf(`module top_module (
+    input [2:0] x,
+    output reg f
+);
+    always @(*) begin
+        case (x)
+%s
+            default: f = 1'b0;
+        endcase
+    end
+endmodule
+`, strings.Join(items, "\n"))
+		var ones []string
+		for m := 0; m < 8; m++ {
+			if (rows>>uint(m))&1 == 1 {
+				ones = append(ones, fmt.Sprintf("%d", m))
+			}
+		}
+		spec := fmt.Sprintf(
+			"Implement the truth table over the 3-bit input x: the output f is 1 exactly when the value of x is one of {%s}, and 0 otherwise.",
+			strings.Join(ones, ", "))
+		id := fmt.Sprintf("cmb_truthtable_%02d", i)
+		ts = append(ts, newTask(id, Combinational, "truthtable", spec, golden,
+			ifcComb([]testbench.PortSpec{inw("x", 3)}, []testbench.PortSpec{in1("f")}), 0.20, true))
+	}
+	return ts
+}
+
+// --- vector manipulation (8) -----------------------------------------------------------------
+
+func vectorTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Combinational, "vector", spec, golden, ifcComb(ins, outs), diff, false))
+	}
+
+	add("cmb_vec_00_reverse8",
+		"Reverse the bit order of an 8-bit input: out[0] must equal in[7], out[1] must equal in[6], and so on.",
+		`module top_module (
+    input [7:0] in,
+    output [7:0] out
+);
+    assign out = {in[0], in[1], in[2], in[3], in[4], in[5], in[6], in[7]};
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 8)}, []testbench.PortSpec{inw("out", 8)}, 0.15)
+
+	add("cmb_vec_01_swapbytes16",
+		"Swap the two bytes of a 16-bit word: the output's upper byte is the input's lower byte and vice versa.",
+		`module top_module (
+    input [15:0] in,
+    output [15:0] out
+);
+    assign out = {in[7:0], in[15:8]};
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 16)}, []testbench.PortSpec{inw("out", 16)}, 0.10)
+
+	add("cmb_vec_02_swapnibbles8",
+		"Swap the two nibbles of an 8-bit byte: output bits [7:4] are input bits [3:0] and output bits [3:0] are input bits [7:4].",
+		`module top_module (
+    input [7:0] in,
+    output [7:0] out
+);
+    assign out = {in[3:0], in[7:4]};
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 8)}, []testbench.PortSpec{inw("out", 8)}, 0.10)
+
+	add("cmb_vec_03_signext8to16",
+		"Sign-extend an 8-bit two's-complement number to 16 bits by replicating its sign bit.",
+		`module top_module (
+    input [7:0] in,
+    output [15:0] out
+);
+    assign out = {{8{in[7]}}, in};
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 8)}, []testbench.PortSpec{inw("out", 16)}, 0.15)
+
+	add("cmb_vec_04_zeroext4to12",
+		"Zero-extend a 4-bit input to a 12-bit output by padding the upper bits with zeros.",
+		`module top_module (
+    input [3:0] in,
+    output [11:0] out
+);
+    assign out = {8'b00000000, in};
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 4)}, []testbench.PortSpec{inw("out", 12)}, 0.08)
+
+	add("cmb_vec_05_split24",
+		"Split a 24-bit word into three bytes: hi is bits [23:16], mid is bits [15:8], lo is bits [7:0].",
+		`module top_module (
+    input [23:0] in,
+    output [7:0] hi,
+    output [7:0] mid,
+    output [7:0] lo
+);
+    assign hi = in[23:16];
+    assign mid = in[15:8];
+    assign lo = in[7:0];
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 24)},
+		[]testbench.PortSpec{inw("hi", 8), inw("mid", 8), inw("lo", 8)}, 0.10)
+
+	add("cmb_vec_06_interleave",
+		"Interleave two 4-bit inputs into an 8-bit output: out = {a[3], b[3], a[2], b[2], a[1], b[1], a[0], b[0]}.",
+		`module top_module (
+    input [3:0] a,
+    input [3:0] b,
+    output [7:0] out
+);
+    assign out = {a[3], b[3], a[2], b[2], a[1], b[1], a[0], b[0]};
+endmodule
+`,
+		[]testbench.PortSpec{inw("a", 4), inw("b", 4)}, []testbench.PortSpec{inw("out", 8)}, 0.18)
+
+	add("cmb_vec_07_rotl8by3",
+		"Rotate an 8-bit input left by exactly 3 positions (bits shifted out on the left re-enter on the right).",
+		`module top_module (
+    input [7:0] in,
+    output [7:0] out
+);
+    assign out = {in[4:0], in[7:5]};
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 8)}, []testbench.PortSpec{inw("out", 8)}, 0.20)
+
+	return ts
+}
+
+// --- adders (8) --------------------------------------------------------------------------------
+
+func adderTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Combinational, "adder", spec, golden, ifcComb(ins, outs), diff, false))
+	}
+
+	add("cmb_add_00_half",
+		"Build a half adder: sum is the XOR of the two 1-bit inputs and cout is their AND.",
+		`module top_module (
+    input a,
+    input b,
+    output sum,
+    output cout
+);
+    assign sum = a ^ b;
+    assign cout = a & b;
+endmodule
+`,
+		[]testbench.PortSpec{in1("a"), in1("b")}, []testbench.PortSpec{in1("sum"), in1("cout")}, 0.08)
+
+	add("cmb_add_01_full",
+		"Build a full adder of three 1-bit inputs a, b and cin, producing sum and cout.",
+		`module top_module (
+    input a,
+    input b,
+    input cin,
+    output sum,
+    output cout
+);
+    assign sum = a ^ b ^ cin;
+    assign cout = (a & b) | (a & cin) | (b & cin);
+endmodule
+`,
+		[]testbench.PortSpec{in1("a"), in1("b"), in1("cin")},
+		[]testbench.PortSpec{in1("sum"), in1("cout")}, 0.10)
+
+	add("cmb_add_02_add4carry",
+		"Add two 4-bit unsigned numbers plus a carry-in; produce the 4-bit sum and the carry-out.",
+		`module top_module (
+    input [3:0] a,
+    input [3:0] b,
+    input cin,
+    output [3:0] sum,
+    output cout
+);
+    assign {cout, sum} = a + b + cin;
+endmodule
+`,
+		[]testbench.PortSpec{inw("a", 4), inw("b", 4), in1("cin")},
+		[]testbench.PortSpec{inw("sum", 4), in1("cout")}, 0.18)
+
+	add("cmb_add_03_add8",
+		"Add two 8-bit unsigned numbers; the 9-bit output carries the full result including the carry bit.",
+		`module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    output [8:0] sum
+);
+    assign sum = a + b;
+endmodule
+`,
+		[]testbench.PortSpec{inw("a", 8), inw("b", 8)}, []testbench.PortSpec{inw("sum", 9)}, 0.12)
+
+	add("cmb_add_04_addsub8",
+		"Build an 8-bit adder/subtractor: when mode is 0 the output is a + b, when mode is 1 it is a - b (two's complement).",
+		`module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    input mode,
+    output [7:0] out
+);
+    assign out = mode ? (a - b) : (a + b);
+endmodule
+`,
+		[]testbench.PortSpec{inw("a", 8), inw("b", 8), in1("mode")},
+		[]testbench.PortSpec{inw("out", 8)}, 0.20)
+
+	add("cmb_add_05_ovf8",
+		"Add two 8-bit two's-complement numbers and raise the overflow flag when the signed result does not fit in 8 bits (both operands share a sign that differs from the result's sign).",
+		`module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    output [7:0] s,
+    output overflow
+);
+    assign s = a + b;
+    assign overflow = (a[7] & b[7] & ~s[7]) | (~a[7] & ~b[7] & s[7]);
+endmodule
+`,
+		[]testbench.PortSpec{inw("a", 8), inw("b", 8)},
+		[]testbench.PortSpec{inw("s", 8), in1("overflow")}, 0.28)
+
+	add("cmb_add_06_add16",
+		"Add two 16-bit unsigned numbers with carry-in; produce the 16-bit sum and carry-out.",
+		`module top_module (
+    input [15:0] a,
+    input [15:0] b,
+    input cin,
+    output [15:0] sum,
+    output cout
+);
+    assign {cout, sum} = a + b + cin;
+endmodule
+`,
+		[]testbench.PortSpec{inw("a", 16), inw("b", 16), in1("cin")},
+		[]testbench.PortSpec{inw("sum", 16), in1("cout")}, 0.18)
+
+	add("cmb_add_07_inc_dec",
+		"Build an incrementer/decrementer: when up is 1 the 8-bit output is in + 1, otherwise it is in - 1 (wrapping).",
+		`module top_module (
+    input [7:0] in,
+    input up,
+    output [7:0] out
+);
+    assign out = up ? (in + 8'd1) : (in - 8'd1);
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 8), in1("up")}, []testbench.PortSpec{inw("out", 8)}, 0.12)
+
+	return ts
+}
+
+// --- comparators (6) ------------------------------------------------------------------------------
+
+func compareTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Combinational, "compare", spec, golden, ifcComb(ins, outs), diff, false))
+	}
+
+	add("cmb_cmp_00_eq4",
+		"Compare two 4-bit inputs: eq is 1 when they are equal.",
+		`module top_module (
+    input [3:0] a,
+    input [3:0] b,
+    output eq
+);
+    assign eq = (a == b);
+endmodule
+`,
+		[]testbench.PortSpec{inw("a", 4), inw("b", 4)}, []testbench.PortSpec{in1("eq")}, 0.08)
+
+	add("cmb_cmp_01_min2x8",
+		"Output the smaller of two 8-bit unsigned inputs.",
+		`module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    output [7:0] min
+);
+    assign min = (a < b) ? a : b;
+endmodule
+`,
+		[]testbench.PortSpec{inw("a", 8), inw("b", 8)}, []testbench.PortSpec{inw("min", 8)}, 0.12)
+
+	add("cmb_cmp_02_max2x8",
+		"Output the larger of two 8-bit unsigned inputs.",
+		`module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    output [7:0] max
+);
+    assign max = (a > b) ? a : b;
+endmodule
+`,
+		[]testbench.PortSpec{inw("a", 8), inw("b", 8)}, []testbench.PortSpec{inw("max", 8)}, 0.12)
+
+	add("cmb_cmp_03_min4x8",
+		"Output the minimum of four 8-bit unsigned inputs.",
+		`module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    input [7:0] c,
+    input [7:0] d,
+    output [7:0] min
+);
+    wire [7:0] m1, m2;
+    assign m1 = (a < b) ? a : b;
+    assign m2 = (c < d) ? c : d;
+    assign min = (m1 < m2) ? m1 : m2;
+endmodule
+`,
+		[]testbench.PortSpec{inw("a", 8), inw("b", 8), inw("c", 8), inw("d", 8)},
+		[]testbench.PortSpec{inw("min", 8)}, 0.22)
+
+	add("cmb_cmp_04_absdiff8",
+		"Output the absolute difference |a - b| of two 8-bit unsigned inputs.",
+		`module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    output [7:0] diff
+);
+    assign diff = (a > b) ? (a - b) : (b - a);
+endmodule
+`,
+		[]testbench.PortSpec{inw("a", 8), inw("b", 8)}, []testbench.PortSpec{inw("diff", 8)}, 0.18)
+
+	add("cmb_cmp_05_flags8",
+		"Compare two 8-bit unsigned inputs and produce three flags: lt (a<b), eq (a==b) and gt (a>b).",
+		`module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    output lt,
+    output eq,
+    output gt
+);
+    assign lt = (a < b);
+    assign eq = (a == b);
+    assign gt = (a > b);
+endmodule
+`,
+		[]testbench.PortSpec{inw("a", 8), inw("b", 8)},
+		[]testbench.PortSpec{in1("lt"), in1("eq"), in1("gt")}, 0.12)
+
+	return ts
+}
+
+// --- popcount / parity (5) -----------------------------------------------------------------------------
+
+func popcountTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Combinational, "popcount", spec, golden, ifcComb(ins, outs), diff, false))
+	}
+
+	add("cmb_pop_00_popcount8",
+		"Count the number of 1 bits in an 8-bit input.",
+		`module top_module (
+    input [7:0] in,
+    output reg [3:0] count
+);
+    integer i;
+    always @(*) begin
+        count = 4'd0;
+        for (i = 0; i < 8; i = i + 1)
+            if (in[i])
+                count = count + 4'd1;
+    end
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 8)}, []testbench.PortSpec{inw("count", 4)}, 0.20)
+
+	add("cmb_pop_01_popcount16",
+		"Count the number of 1 bits in a 16-bit input.",
+		`module top_module (
+    input [15:0] in,
+    output reg [4:0] count
+);
+    integer i;
+    always @(*) begin
+        count = 5'd0;
+        for (i = 0; i < 16; i = i + 1)
+            if (in[i])
+                count = count + 5'd1;
+    end
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 16)}, []testbench.PortSpec{inw("count", 5)}, 0.20)
+
+	add("cmb_pop_02_evenparity8",
+		"Compute the even-parity bit of an 8-bit input: parity is 1 when the number of 1 bits is odd, so that the 9 bits together carry even parity.",
+		`module top_module (
+    input [7:0] in,
+    output parity
+);
+    assign parity = ^in;
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 8)}, []testbench.PortSpec{in1("parity")}, 0.15)
+
+	add("cmb_pop_03_oddparity16",
+		"Compute the odd-parity bit of a 16-bit input: parity is 1 when the number of 1 bits is even.",
+		`module top_module (
+    input [15:0] in,
+    output parity
+);
+    assign parity = ~(^in);
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 16)}, []testbench.PortSpec{in1("parity")}, 0.18)
+
+	add("cmb_pop_04_clz8",
+		"Count the leading zeros of an 8-bit input (the number of consecutive 0 bits starting at bit 7); the result is 8 when the input is zero.",
+		`module top_module (
+    input [7:0] in,
+    output reg [3:0] count
+);
+    integer i;
+    always @(*) begin
+        count = 4'd8;
+        for (i = 0; i < 8; i = i + 1)
+            if (in[i])
+                count = 4'd7 - i[3:0];
+    end
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 8)}, []testbench.PortSpec{inw("count", 4)}, 0.30)
+
+	return ts
+}
+
+// --- shifters (4) -------------------------------------------------------------------------------------
+
+func shiftTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Combinational, "shift", spec, golden, ifcComb(ins, outs), diff, false))
+	}
+
+	add("cmb_shift_00_sll8",
+		"Build a logical left barrel shifter: shift the 8-bit input left by the 3-bit amount, filling with zeros.",
+		`module top_module (
+    input [7:0] in,
+    input [2:0] amt,
+    output [7:0] out
+);
+    assign out = in << amt;
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 8), inw("amt", 3)}, []testbench.PortSpec{inw("out", 8)}, 0.15)
+
+	add("cmb_shift_01_srl8",
+		"Build a logical right barrel shifter: shift the 8-bit input right by the 3-bit amount, filling with zeros.",
+		`module top_module (
+    input [7:0] in,
+    input [2:0] amt,
+    output [7:0] out
+);
+    assign out = in >> amt;
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 8), inw("amt", 3)}, []testbench.PortSpec{inw("out", 8)}, 0.15)
+
+	add("cmb_shift_02_rotl8",
+		"Build an 8-bit left rotator: bits shifted out of the top re-enter at the bottom; the rotate amount is a 3-bit input.",
+		`module top_module (
+    input [7:0] in,
+    input [2:0] amt,
+    output [7:0] out
+);
+    wire [15:0] doubled;
+    assign doubled = {in, in} << amt;
+    assign out = doubled[15:8];
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 8), inw("amt", 3)}, []testbench.PortSpec{inw("out", 8)}, 0.30)
+
+	add("cmb_shift_03_sra8",
+		"Build an 8-bit arithmetic right shifter: shift right by the 3-bit amount, replicating the sign bit into vacated positions.",
+		`module top_module (
+    input [7:0] in,
+    input [2:0] amt,
+    output reg [7:0] out
+);
+    integer i;
+    always @(*) begin
+        out = in;
+        for (i = 0; i < 8; i = i + 1)
+            if (i < amt)
+                out = {out[7], out[7:1]};
+    end
+endmodule
+`,
+		[]testbench.PortSpec{inw("in", 8), inw("amt", 3)}, []testbench.PortSpec{inw("out", 8)}, 0.32)
+
+	return ts
+}
+
+// --- ALUs (2) -------------------------------------------------------------------------------------------
+
+func aluTasks() []Task {
+	var ts []Task
+
+	ts = append(ts, newTask("cmb_alu_00_alu4op", Combinational, "alu",
+		"Build an 8-bit ALU with a 2-bit opcode: op 0 adds, op 1 subtracts, op 2 is bitwise AND, op 3 is bitwise OR. Also raise the zero flag when the result is zero.",
+		`module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    input [1:0] op,
+    output reg [7:0] y,
+    output zero
+);
+    always @(*) begin
+        case (op)
+            2'd0: y = a + b;
+            2'd1: y = a - b;
+            2'd2: y = a & b;
+            default: y = a | b;
+        endcase
+    end
+    assign zero = (y == 8'd0);
+endmodule
+`,
+		ifcComb([]testbench.PortSpec{inw("a", 8), inw("b", 8), inw("op", 2)},
+			[]testbench.PortSpec{inw("y", 8), in1("zero")}), 0.30, false))
+
+	ts = append(ts, newTask("cmb_alu_01_alu8op", Combinational, "alu",
+		"Build a 4-bit ALU with a 3-bit opcode: 0 add, 1 subtract, 2 AND, 3 OR, 4 XOR, 5 NOT a, 6 shift a left by one, 7 shift a right by one.",
+		`module top_module (
+    input [3:0] a,
+    input [3:0] b,
+    input [2:0] op,
+    output reg [3:0] y
+);
+    always @(*) begin
+        case (op)
+            3'd0: y = a + b;
+            3'd1: y = a - b;
+            3'd2: y = a & b;
+            3'd3: y = a | b;
+            3'd4: y = a ^ b;
+            3'd5: y = ~a;
+            3'd6: y = a << 1;
+            default: y = a >> 1;
+        endcase
+    end
+endmodule
+`,
+		ifcComb([]testbench.PortSpec{inw("a", 4), inw("b", 4), inw("op", 3)},
+			[]testbench.PortSpec{inw("y", 4)}), 0.35, false))
+
+	return ts
+}
+
+// --- Gray code (4) -----------------------------------------------------------------------------------------
+
+func grayTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Combinational, "gray", spec, golden, ifcComb(ins, outs), diff, false))
+	}
+
+	add("cmb_gray_00_bin2gray4",
+		"Convert a 4-bit binary number to Gray code: g = b XOR (b >> 1).",
+		`module top_module (
+    input [3:0] b,
+    output [3:0] g
+);
+    assign g = b ^ (b >> 1);
+endmodule
+`,
+		[]testbench.PortSpec{inw("b", 4)}, []testbench.PortSpec{inw("g", 4)}, 0.18)
+
+	add("cmb_gray_01_gray2bin4",
+		"Convert a 4-bit Gray code to binary: each binary bit is the XOR of all Gray bits at or above its position.",
+		`module top_module (
+    input [3:0] g,
+    output [3:0] b
+);
+    assign b[3] = g[3];
+    assign b[2] = g[3] ^ g[2];
+    assign b[1] = g[3] ^ g[2] ^ g[1];
+    assign b[0] = g[3] ^ g[2] ^ g[1] ^ g[0];
+endmodule
+`,
+		[]testbench.PortSpec{inw("g", 4)}, []testbench.PortSpec{inw("b", 4)}, 0.25)
+
+	add("cmb_gray_02_bin2gray8",
+		"Convert an 8-bit binary number to Gray code: g = b XOR (b >> 1).",
+		`module top_module (
+    input [7:0] b,
+    output [7:0] g
+);
+    assign g = b ^ (b >> 1);
+endmodule
+`,
+		[]testbench.PortSpec{inw("b", 8)}, []testbench.PortSpec{inw("g", 8)}, 0.18)
+
+	add("cmb_gray_03_gray2bin8",
+		"Convert an 8-bit Gray code to binary: each binary bit is the XOR of all Gray bits at or above its position.",
+		`module top_module (
+    input [7:0] g,
+    output reg [7:0] b
+);
+    integer i;
+    always @(*) begin
+        b[7] = g[7];
+        for (i = 1; i < 8; i = i + 1)
+            b[7 - i] = b[8 - i] ^ g[7 - i];
+    end
+endmodule
+`,
+		[]testbench.PortSpec{inw("g", 8)}, []testbench.PortSpec{inw("b", 8)}, 0.28)
+
+	return ts
+}

@@ -1,0 +1,1423 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/testbench"
+)
+
+// seqTasks assembles the 75 sequential tasks.
+func seqTasks() []Task {
+	var ts []Task
+	ts = append(ts, dffTasks()...)      // 8
+	ts = append(ts, registerTasks()...) // 4
+	ts = append(ts, counterTasks()...)  // 10
+	ts = append(ts, shiftRegTasks()...) // 8
+	ts = append(ts, edgeTasks()...)     // 4
+	ts = append(ts, seqRecTasks()...)   // 8
+	ts = append(ts, fsmTasks()...)      // 12
+	ts = append(ts, timerTasks()...)    // 6
+	ts = append(ts, serialTasks()...)   // 4
+	ts = append(ts, arbTasks()...)      // 4
+	ts = append(ts, accumTasks()...)    // 4
+	ts = append(ts, miscSeqTasks()...)  // 3
+	if len(ts) != 75 {
+		panic(fmt.Sprintf("sequential suite has %d tasks, want 75", len(ts)))
+	}
+	return ts
+}
+
+// ifcSeq builds a sequential interface with clk and optional reset.
+func ifcSeq(reset string, ins []testbench.PortSpec, outs []testbench.PortSpec) testbench.Interface {
+	all := []testbench.PortSpec{in1("clk")}
+	if reset != "" {
+		all = append(all, in1(reset))
+	}
+	all = append(all, ins...)
+	return testbench.Interface{Inputs: all, Outputs: outs, Clock: "clk", Reset: reset}
+}
+
+// --- D flip-flops (8) ------------------------------------------------------------
+
+func dffTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden, reset string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Sequential, "dff", spec, golden, ifcSeq(reset, ins, outs), diff, false))
+	}
+
+	add("seq_dff_00_basic",
+		"Build a single D flip-flop: q takes the value of d at every rising edge of clk.",
+		`module top_module (
+    input clk,
+    input d,
+    output reg q
+);
+    always @(posedge clk)
+        q <= d;
+endmodule
+`, "", []testbench.PortSpec{in1("d")}, []testbench.PortSpec{in1("q")}, 0.10)
+
+	add("seq_dff_01_dff8",
+		"Build an 8-bit register: q takes the value of d at every rising edge of clk.",
+		`module top_module (
+    input clk,
+    input [7:0] d,
+    output reg [7:0] q
+);
+    always @(posedge clk)
+        q <= d;
+endmodule
+`, "", []testbench.PortSpec{inw("d", 8)}, []testbench.PortSpec{inw("q", 8)}, 0.10)
+
+	add("seq_dff_02_sync_reset",
+		"Build an 8-bit register with an active-high synchronous reset that clears q to zero.",
+		`module top_module (
+    input clk,
+    input reset,
+    input [7:0] d,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 8'd0;
+        else
+            q <= d;
+    end
+endmodule
+`, "reset", []testbench.PortSpec{inw("d", 8)}, []testbench.PortSpec{inw("q", 8)}, 0.18)
+
+	add("seq_dff_03_reset_to_val",
+		"Build an 8-bit register with synchronous reset; on reset q must be set to 0x34 rather than zero.",
+		`module top_module (
+    input clk,
+    input reset,
+    input [7:0] d,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 8'h34;
+        else
+            q <= d;
+    end
+endmodule
+`, "reset", []testbench.PortSpec{inw("d", 8)}, []testbench.PortSpec{inw("q", 8)}, 0.22)
+
+	add("seq_dff_04_enable",
+		"Build an 8-bit register with a clock-enable: q only loads d on rising clock edges where en is 1, otherwise it holds its value.",
+		`module top_module (
+    input clk,
+    input en,
+    input [7:0] d,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (en)
+            q <= d;
+    end
+endmodule
+`, "", []testbench.PortSpec{in1("en"), inw("d", 8)}, []testbench.PortSpec{inw("q", 8)}, 0.20)
+
+	add("seq_dff_05_en_reset",
+		"Build an 8-bit register with synchronous reset and clock-enable; reset has priority over enable.",
+		`module top_module (
+    input clk,
+    input reset,
+    input en,
+    input [7:0] d,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 8'd0;
+        else if (en)
+            q <= d;
+    end
+endmodule
+`, "reset", []testbench.PortSpec{in1("en"), inw("d", 8)}, []testbench.PortSpec{inw("q", 8)}, 0.25)
+
+	add("seq_dff_06_qbar",
+		"Build a D flip-flop clocked on the rising edge, with both true and complemented outputs q and qn.",
+		`module top_module (
+    input clk,
+    input d,
+    output reg q,
+    output qn
+);
+    always @(posedge clk)
+        q <= d;
+    assign qn = ~q;
+endmodule
+`, "", []testbench.PortSpec{in1("d")}, []testbench.PortSpec{in1("q"), in1("qn")}, 0.15)
+
+	add("seq_dff_07_mux_dff",
+		"Build a multiplexed flip-flop: on each rising clock edge q loads a when sel is 1 and b when sel is 0.",
+		`module top_module (
+    input clk,
+    input sel,
+    input [3:0] a,
+    input [3:0] b,
+    output reg [3:0] q
+);
+    always @(posedge clk)
+        q <= sel ? a : b;
+endmodule
+`, "", []testbench.PortSpec{in1("sel"), inw("a", 4), inw("b", 4)}, []testbench.PortSpec{inw("q", 4)}, 0.18)
+
+	return ts
+}
+
+// --- registers (4) ------------------------------------------------------------------
+
+func registerTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden, reset string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Sequential, "register", spec, golden, ifcSeq(reset, ins, outs), diff, false))
+	}
+
+	add("seq_reg_00_byteen",
+		"Build a 16-bit register with two byte-enables: be[1] allows loading of the upper byte of d, be[0] of the lower byte; unloaded bytes hold.",
+		`module top_module (
+    input clk,
+    input [1:0] be,
+    input [15:0] d,
+    output reg [15:0] q
+);
+    always @(posedge clk) begin
+        if (be[1])
+            q[15:8] <= d[15:8];
+        if (be[0])
+            q[7:0] <= d[7:0];
+    end
+endmodule
+`, "", []testbench.PortSpec{inw("be", 2), inw("d", 16)}, []testbench.PortSpec{inw("q", 16)}, 0.28)
+
+	add("seq_reg_01_pipeline2",
+		"Build a two-stage pipeline register: out is in delayed by exactly two clock cycles.",
+		`module top_module (
+    input clk,
+    input [7:0] in,
+    output reg [7:0] out
+);
+    reg [7:0] stage1;
+    always @(posedge clk) begin
+        stage1 <= in;
+        out <= stage1;
+    end
+endmodule
+`, "", []testbench.PortSpec{inw("in", 8)}, []testbench.PortSpec{inw("out", 8)}, 0.22)
+
+	add("seq_reg_02_load_hold",
+		"Build a 4-bit register with load: when load is 1 the register takes d; otherwise it holds. The register resets synchronously to zero.",
+		`module top_module (
+    input clk,
+    input reset,
+    input load,
+    input [3:0] d,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 4'd0;
+        else if (load)
+            q <= d;
+    end
+endmodule
+`, "reset", []testbench.PortSpec{in1("load"), inw("d", 4)}, []testbench.PortSpec{inw("q", 4)}, 0.22)
+
+	add("seq_reg_03_swap_halves",
+		"Build an 8-bit register that, on every rising clock edge when swap is 1, loads d with its nibbles swapped, and loads d unchanged when swap is 0.",
+		`module top_module (
+    input clk,
+    input swap,
+    input [7:0] d,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (swap)
+            q <= {d[3:0], d[7:4]};
+        else
+            q <= d;
+    end
+endmodule
+`, "", []testbench.PortSpec{in1("swap"), inw("d", 8)}, []testbench.PortSpec{inw("q", 8)}, 0.22)
+
+	return ts
+}
+
+// --- counters (10) -----------------------------------------------------------------------
+
+func counterTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden, reset string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Sequential, "counter", spec, golden, ifcSeq(reset, ins, outs), diff, false))
+	}
+
+	add("seq_cnt_00_bin4",
+		"Build a 4-bit binary counter that increments every clock cycle and wraps from 15 to 0, with synchronous active-high reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 4'd0;
+        else
+            q <= q + 4'd1;
+    end
+endmodule
+`, "reset", nil, []testbench.PortSpec{inw("q", 4)}, 0.25)
+
+	add("seq_cnt_01_decade",
+		"Build a decade counter that counts 0 through 9 inclusive and wraps back to 0, with synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 4'd0;
+        else if (q == 4'd9)
+            q <= 4'd0;
+        else
+            q <= q + 4'd1;
+    end
+endmodule
+`, "reset", nil, []testbench.PortSpec{inw("q", 4)}, 0.30)
+
+	add("seq_cnt_02_down4",
+		"Build a 4-bit down counter that decrements every cycle and wraps from 0 to 15, with synchronous reset to 15.",
+		`module top_module (
+    input clk,
+    input reset,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 4'd15;
+        else
+            q <= q - 4'd1;
+    end
+endmodule
+`, "reset", nil, []testbench.PortSpec{inw("q", 4)}, 0.28)
+
+	add("seq_cnt_03_updown",
+		"Build a 4-bit up/down counter: when up is 1 it increments, otherwise it decrements; synchronous reset to 0.",
+		`module top_module (
+    input clk,
+    input reset,
+    input up,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 4'd0;
+        else if (up)
+            q <= q + 4'd1;
+        else
+            q <= q - 4'd1;
+    end
+endmodule
+`, "reset", []testbench.PortSpec{in1("up")}, []testbench.PortSpec{inw("q", 4)}, 0.32)
+
+	add("seq_cnt_04_enable",
+		"Build an 8-bit counter with enable: it increments only on cycles where en is 1; synchronous reset to 0.",
+		`module top_module (
+    input clk,
+    input reset,
+    input en,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 8'd0;
+        else if (en)
+            q <= q + 8'd1;
+    end
+endmodule
+`, "reset", []testbench.PortSpec{in1("en")}, []testbench.PortSpec{inw("q", 8)}, 0.28)
+
+	add("seq_cnt_05_mod12",
+		"Build a modulo-12 counter that counts 0 through 11 and wraps, with synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 4'd0;
+        else if (q == 4'd11)
+            q <= 4'd0;
+        else
+            q <= q + 4'd1;
+    end
+endmodule
+`, "reset", nil, []testbench.PortSpec{inw("q", 4)}, 0.30)
+
+	add("seq_cnt_06_load",
+		"Build an 8-bit counter with parallel load: when load is 1 it takes d, otherwise it increments; synchronous reset to 0 with highest priority.",
+		`module top_module (
+    input clk,
+    input reset,
+    input load,
+    input [7:0] d,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 8'd0;
+        else if (load)
+            q <= d;
+        else
+            q <= q + 8'd1;
+    end
+endmodule
+`, "reset", []testbench.PortSpec{in1("load"), inw("d", 8)}, []testbench.PortSpec{inw("q", 8)}, 0.32)
+
+	add("seq_cnt_07_bcd2",
+		"Build a two-digit BCD counter: ones and tens each count 0-9; the tens digit increments when the ones digit wraps; synchronous reset clears both.",
+		`module top_module (
+    input clk,
+    input reset,
+    output reg [3:0] ones,
+    output reg [3:0] tens
+);
+    always @(posedge clk) begin
+        if (reset) begin
+            ones <= 4'd0;
+            tens <= 4'd0;
+        end else if (ones == 4'd9) begin
+            ones <= 4'd0;
+            if (tens == 4'd9)
+                tens <= 4'd0;
+            else
+                tens <= tens + 4'd1;
+        end else
+            ones <= ones + 4'd1;
+    end
+endmodule
+`, "reset", nil, []testbench.PortSpec{inw("ones", 4), inw("tens", 4)}, 0.40)
+
+	add("seq_cnt_08_gray4",
+		"Build a 4-bit Gray-code counter: the output follows the Gray code sequence (binary count XOR its right shift); synchronous reset to 0.",
+		`module top_module (
+    input clk,
+    input reset,
+    output [3:0] q
+);
+    reg [3:0] bin;
+    always @(posedge clk) begin
+        if (reset)
+            bin <= 4'd0;
+        else
+            bin <= bin + 4'd1;
+    end
+    assign q = bin ^ (bin >> 1);
+endmodule
+`, "reset", nil, []testbench.PortSpec{inw("q", 4)}, 0.38)
+
+	add("seq_cnt_09_ring4",
+		"Build a 4-bit ring counter: exactly one bit is hot and it rotates one position per cycle; synchronous reset sets the pattern to 0001.",
+		`module top_module (
+    input clk,
+    input reset,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 4'b0001;
+        else
+            q <= {q[2:0], q[3]};
+    end
+endmodule
+`, "reset", nil, []testbench.PortSpec{inw("q", 4)}, 0.30)
+
+	return ts
+}
+
+// --- shift registers (8) ----------------------------------------------------------------------
+
+func shiftRegTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden, reset string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Sequential, "shiftreg", spec, golden, ifcSeq(reset, ins, outs), diff, false))
+	}
+
+	add("seq_shr_00_siso4",
+		"Build a 4-bit serial-in serial-out shift register: each cycle the register shifts left by one, taking sin into the LSB; sout is the MSB.",
+		`module top_module (
+    input clk,
+    input sin,
+    output sout
+);
+    reg [3:0] sr;
+    always @(posedge clk)
+        sr <= {sr[2:0], sin};
+    assign sout = sr[3];
+endmodule
+`, "", []testbench.PortSpec{in1("sin")}, []testbench.PortSpec{in1("sout")}, 0.30)
+
+	add("seq_shr_01_sipo8",
+		"Build an 8-bit serial-in parallel-out shift register shifting toward the MSB with synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    input sin,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 8'd0;
+        else
+            q <= {q[6:0], sin};
+    end
+endmodule
+`, "reset", []testbench.PortSpec{in1("sin")}, []testbench.PortSpec{inw("q", 8)}, 0.30)
+
+	add("seq_shr_02_piso8",
+		"Build an 8-bit parallel-in serial-out shift register: when load is 1 the register loads d; otherwise it shifts toward the MSB inserting zeros; sout is the MSB.",
+		`module top_module (
+    input clk,
+    input load,
+    input [7:0] d,
+    output sout
+);
+    reg [7:0] sr;
+    always @(posedge clk) begin
+        if (load)
+            sr <= d;
+        else
+            sr <= {sr[6:0], 1'b0};
+    end
+    assign sout = sr[7];
+endmodule
+`, "", []testbench.PortSpec{in1("load"), inw("d", 8)}, []testbench.PortSpec{in1("sout")}, 0.35)
+
+	add("seq_shr_03_bidir8",
+		"Build an 8-bit bidirectional shift register: dir 0 shifts left (toward MSB) inserting sin at the LSB, dir 1 shifts right inserting sin at the MSB; synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    input dir,
+    input sin,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 8'd0;
+        else if (dir)
+            q <= {sin, q[7:1]};
+        else
+            q <= {q[6:0], sin};
+    end
+endmodule
+`, "reset", []testbench.PortSpec{in1("dir"), in1("sin")}, []testbench.PortSpec{inw("q", 8)}, 0.38)
+
+	add("seq_shr_04_lfsr5",
+		"Build a 5-bit maximal-length Galois LFSR with taps at positions 5 and 3: on each cycle shift right, feeding back q[0] into bit 4 and XORing it into bit 2; synchronous reset loads 5'h1.",
+		`module top_module (
+    input clk,
+    input reset,
+    output reg [4:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 5'h1;
+        else begin
+            q[4] <= q[0];
+            q[3] <= q[4];
+            q[2] <= q[3] ^ q[0];
+            q[1] <= q[2];
+            q[0] <= q[1];
+        end
+    end
+endmodule
+`, "reset", nil, []testbench.PortSpec{inw("q", 5)}, 0.45)
+
+	add("seq_shr_05_lfsr8",
+		"Build an 8-bit Fibonacci LFSR: shift left one position per cycle, inserting the XOR of bits 7, 5, 4 and 3 at the LSB; synchronous reset loads 8'h1.",
+		`module top_module (
+    input clk,
+    input reset,
+    output reg [7:0] q
+);
+    wire fb;
+    assign fb = q[7] ^ q[5] ^ q[4] ^ q[3];
+    always @(posedge clk) begin
+        if (reset)
+            q <= 8'h1;
+        else
+            q <= {q[6:0], fb};
+    end
+endmodule
+`, "reset", nil, []testbench.PortSpec{inw("q", 8)}, 0.45)
+
+	add("seq_shr_06_history3",
+		"Record the last three values of a 1-bit input, sampling on every rising clock edge: q[0] is the most recent sample, q[2] the oldest.",
+		`module top_module (
+    input clk,
+    input in,
+    output reg [2:0] q
+);
+    always @(posedge clk)
+        q <= {q[1:0], in};
+endmodule
+`, "", []testbench.PortSpec{in1("in")}, []testbench.PortSpec{inw("q", 3)}, 0.25)
+
+	add("seq_shr_07_rotator8",
+		"Build an 8-bit rotator with load: when load is 1 the register takes d; when en is 1 it rotates right by one (bit 0 moves to bit 7); otherwise it holds.",
+		`module top_module (
+    input clk,
+    input load,
+    input en,
+    input [7:0] d,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (load)
+            q <= d;
+        else if (en)
+            q <= {q[0], q[7:1]};
+    end
+endmodule
+`, "", []testbench.PortSpec{in1("load"), in1("en"), inw("d", 8)}, []testbench.PortSpec{inw("q", 8)}, 0.38)
+
+	return ts
+}
+
+// --- edge detectors (4) ----------------------------------------------------------------------------
+
+func edgeTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden, reset string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Sequential, "edge", spec, golden, ifcSeq(reset, ins, outs), diff, false))
+	}
+
+	add("seq_edge_00_rise8",
+		"For each bit of an 8-bit input, set the corresponding output bit for one cycle in the cycle after a 0-to-1 transition of that input bit.",
+		`module top_module (
+    input clk,
+    input [7:0] in,
+    output reg [7:0] pedge
+);
+    reg [7:0] prev;
+    always @(posedge clk) begin
+        prev <= in;
+        pedge <= in & ~prev;
+    end
+endmodule
+`, "", []testbench.PortSpec{inw("in", 8)}, []testbench.PortSpec{inw("pedge", 8)}, 0.35)
+
+	add("seq_edge_01_fall8",
+		"For each bit of an 8-bit input, set the corresponding output bit for one cycle in the cycle after a 1-to-0 transition of that input bit.",
+		`module top_module (
+    input clk,
+    input [7:0] in,
+    output reg [7:0] nedge
+);
+    reg [7:0] prev;
+    always @(posedge clk) begin
+        prev <= in;
+        nedge <= ~in & prev;
+    end
+endmodule
+`, "", []testbench.PortSpec{inw("in", 8)}, []testbench.PortSpec{inw("nedge", 8)}, 0.35)
+
+	add("seq_edge_02_any8",
+		"For each bit of an 8-bit input, set the corresponding output bit for one cycle after any transition of that input bit.",
+		`module top_module (
+    input clk,
+    input [7:0] in,
+    output reg [7:0] anyedge
+);
+    reg [7:0] prev;
+    always @(posedge clk) begin
+        prev <= in;
+        anyedge <= in ^ prev;
+    end
+endmodule
+`, "", []testbench.PortSpec{inw("in", 8)}, []testbench.PortSpec{inw("anyedge", 8)}, 0.35)
+
+	add("seq_edge_03_capture8",
+		"For each bit of an 8-bit input, set and hold the corresponding output bit after a 1-to-0 transition, until a synchronous reset clears it.",
+		`module top_module (
+    input clk,
+    input reset,
+    input [7:0] in,
+    output reg [7:0] out
+);
+    reg [7:0] prev;
+    always @(posedge clk) begin
+        prev <= in;
+        if (reset)
+            out <= 8'd0;
+        else
+            out <= out | (~in & prev);
+    end
+endmodule
+`, "reset", []testbench.PortSpec{inw("in", 8)}, []testbench.PortSpec{inw("out", 8)}, 0.42)
+
+	return ts
+}
+
+// --- sequence recognizers (8) ----------------------------------------------------------------------------
+
+func seqRecTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden string, diff float64) {
+		ts = append(ts, newTask(id, Sequential, "seqrec", spec, golden,
+			ifcSeq("reset", []testbench.PortSpec{in1("in")}, []testbench.PortSpec{in1("found")}), diff, false))
+	}
+
+	add("seq_rec_00_101_overlap",
+		"Detect the pattern 101 on a serial input (overlapping occurrences count): found is 1 in the cycle after the final bit of the pattern arrives. Synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    input in,
+    output found
+);
+    reg [1:0] state;
+    always @(posedge clk) begin
+        if (reset)
+            state <= 2'd0;
+        else begin
+            case (state)
+                2'd0: state <= in ? 2'd1 : 2'd0;
+                2'd1: state <= in ? 2'd1 : 2'd2;
+                2'd2: state <= in ? 2'd3 : 2'd0;
+                default: state <= in ? 2'd1 : 2'd2;
+            endcase
+        end
+    end
+    assign found = (state == 2'd3);
+endmodule
+`, 0.55)
+
+	add("seq_rec_01_110",
+		"Detect the pattern 110 on a serial input (overlapping occurrences count): found is 1 in the cycle after the final bit arrives. Synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    input in,
+    output found
+);
+    reg [1:0] state;
+    always @(posedge clk) begin
+        if (reset)
+            state <= 2'd0;
+        else begin
+            case (state)
+                2'd0: state <= in ? 2'd1 : 2'd0;
+                2'd1: state <= in ? 2'd2 : 2'd0;
+                2'd2: state <= in ? 2'd2 : 2'd3;
+                default: state <= in ? 2'd1 : 2'd0;
+            endcase
+        end
+    end
+    assign found = (state == 2'd3);
+endmodule
+`, 0.55)
+
+	add("seq_rec_02_0110",
+		"Detect the pattern 0110 on a serial input (overlapping occurrences count): found is 1 in the cycle after the final bit arrives. Synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    input in,
+    output found
+);
+    reg [2:0] state;
+    always @(posedge clk) begin
+        if (reset)
+            state <= 3'd0;
+        else begin
+            case (state)
+                3'd0: state <= in ? 3'd0 : 3'd1;
+                3'd1: state <= in ? 3'd2 : 3'd1;
+                3'd2: state <= in ? 3'd3 : 3'd1;
+                3'd3: state <= in ? 3'd0 : 3'd4;
+                default: state <= in ? 3'd2 : 3'd1;
+            endcase
+        end
+    end
+    assign found = (state == 3'd4);
+endmodule
+`, 0.62)
+
+	add("seq_rec_03_three_ones",
+		"Assert found whenever the serial input has been 1 for three or more consecutive cycles (level output while the run continues). Synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    input in,
+    output found
+);
+    reg [1:0] run;
+    always @(posedge clk) begin
+        if (reset)
+            run <= 2'd0;
+        else if (in) begin
+            if (run != 2'd3)
+                run <= run + 2'd1;
+        end else
+            run <= 2'd0;
+    end
+    assign found = (run == 2'd3);
+endmodule
+`, 0.50)
+
+	add("seq_rec_04_alt",
+		"Assert found for one cycle whenever the serial input alternated over the last three samples (010 or 101). Synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    input in,
+    output found
+);
+    reg [2:0] hist;
+    always @(posedge clk) begin
+        if (reset)
+            hist <= 3'b000;
+        else
+            hist <= {hist[1:0], in};
+    end
+    assign found = (hist == 3'b010) | (hist == 3'b101);
+endmodule
+`, 0.52)
+
+	add("seq_rec_05_same4",
+		"Assert found when the last four samples of the serial input were identical (all 0 or all 1). Synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    input in,
+    output found
+);
+    reg [3:0] hist;
+    always @(posedge clk) begin
+        if (reset)
+            hist <= 4'b0101;
+        else
+            hist <= {hist[2:0], in};
+    end
+    assign found = (hist == 4'b0000) | (hist == 4'b1111);
+endmodule
+`, 0.52)
+
+	add("seq_rec_06_start_bit",
+		"Detect a serial start condition: found pulses one cycle after the input goes from idle-high to low. Synchronous reset; treat the pre-reset input as high.",
+		`module top_module (
+    input clk,
+    input reset,
+    input in,
+    output found
+);
+    reg prev;
+    reg pulse;
+    always @(posedge clk) begin
+        if (reset) begin
+            prev <= 1'b1;
+            pulse <= 1'b0;
+        end else begin
+            prev <= in;
+            pulse <= prev & ~in;
+        end
+    end
+    assign found = pulse;
+endmodule
+`, 0.55)
+
+	add("seq_rec_07_even_ones",
+		"Assert found whenever the number of 1 bits seen on the serial input since reset is even (found is 1 immediately after reset).",
+		`module top_module (
+    input clk,
+    input reset,
+    input in,
+    output found
+);
+    reg par;
+    always @(posedge clk) begin
+        if (reset)
+            par <= 1'b0;
+        else
+            par <= par ^ in;
+    end
+    assign found = ~par;
+endmodule
+`, 0.48)
+
+	return ts
+}
+
+// --- generated Moore FSMs (12) ---------------------------------------------------------------------------------
+
+// fsmTasks builds parameterized Moore FSMs with deterministic pseudo-random
+// transition tables (the hardest family, mirroring VerilogEval's FSM tasks).
+func fsmTasks() []Task {
+	var ts []Task
+	for i := 0; i < 12; i++ {
+		rng := familyRand("fsm", i)
+		nstates := 4 + rng.Intn(3) // 4..6
+		bits := 3
+		if nstates <= 4 {
+			bits = 2
+		}
+		// next[s][in] for in=0,1 ; out[s] is the Moore output.
+		next := make([][2]int, nstates)
+		outBits := make([]int, nstates)
+		for s := 0; s < nstates; s++ {
+			next[s][0] = rng.Intn(nstates)
+			next[s][1] = rng.Intn(nstates)
+			outBits[s] = rng.Intn(2)
+		}
+		// Ensure state 0 is reachable as reset and output has both values.
+		outBits[0] = 0
+		outBits[nstates-1] = 1
+
+		var caseArms []string
+		var specRows []string
+		for s := 0; s < nstates; s++ {
+			caseArms = append(caseArms, fmt.Sprintf(
+				"                %d'd%d: state <= in ? %d'd%d : %d'd%d;",
+				bits, s, bits, next[s][1], bits, next[s][0]))
+			specRows = append(specRows, fmt.Sprintf(
+				"from S%d: go to S%d on in=0 and S%d on in=1; output %d",
+				s, next[s][0], next[s][1], outBits[s]))
+		}
+		var outTerms []string
+		for s := 0; s < nstates; s++ {
+			if outBits[s] == 1 {
+				outTerms = append(outTerms, fmt.Sprintf("(state == %d'd%d)", bits, s))
+			}
+		}
+		outExpr := strings.Join(outTerms, " | ")
+
+		golden := fmt.Sprintf(`module top_module (
+    input clk,
+    input reset,
+    input in,
+    output out
+);
+    reg [%d:0] state;
+    always @(posedge clk) begin
+        if (reset)
+            state <= %d'd0;
+        else begin
+            case (state)
+%s
+                default: state <= %d'd0;
+            endcase
+        end
+    end
+    assign out = %s;
+endmodule
+`, bits-1, bits, strings.Join(caseArms, "\n"), bits, outExpr)
+
+		spec := fmt.Sprintf(
+			"Implement a Moore finite-state machine with %d states S0..S%d, a 1-bit input and a 1-bit output. Synchronous reset to S0. Transitions: %s.",
+			nstates, nstates-1, strings.Join(specRows, "; "))
+		id := fmt.Sprintf("seq_fsm_%02d", i)
+		ts = append(ts, newTask(id, Sequential, "fsm", spec, golden,
+			ifcSeq("reset", []testbench.PortSpec{in1("in")}, []testbench.PortSpec{in1("out")}), 0.60, false))
+	}
+	return ts
+}
+
+// --- timers (6) -----------------------------------------------------------------------------------------------------
+
+func timerTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden, reset string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Sequential, "timer", spec, golden, ifcSeq(reset, ins, outs), diff, false))
+	}
+
+	add("seq_tmr_00_div4",
+		"Divide the clock by 4: the output toggles every two input clock cycles, producing a square wave of one quarter the clock frequency. Synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    output out
+);
+    reg [1:0] cnt;
+    always @(posedge clk) begin
+        if (reset)
+            cnt <= 2'd0;
+        else
+            cnt <= cnt + 2'd1;
+    end
+    assign out = cnt[1];
+endmodule
+`, "reset", nil, []testbench.PortSpec{in1("out")}, 0.40)
+
+	add("seq_tmr_01_div6",
+		"Divide the clock by 6: the output is high for three input cycles, then low for three, repeating. Synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    output out
+);
+    reg [2:0] cnt;
+    always @(posedge clk) begin
+        if (reset)
+            cnt <= 3'd0;
+        else if (cnt == 3'd5)
+            cnt <= 3'd0;
+        else
+            cnt <= cnt + 3'd1;
+    end
+    assign out = (cnt >= 3'd3);
+endmodule
+`, "reset", nil, []testbench.PortSpec{in1("out")}, 0.48)
+
+	add("seq_tmr_02_oneshot4",
+		"Build a one-shot timer: when start is seen the output goes high for exactly 4 cycles, then returns low until the next start; starts during a run restart the count. Synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    input start,
+    output busy
+);
+    reg [2:0] remain;
+    always @(posedge clk) begin
+        if (reset)
+            remain <= 3'd0;
+        else if (start)
+            remain <= 3'd4;
+        else if (remain != 3'd0)
+            remain <= remain - 3'd1;
+    end
+    assign busy = (remain != 3'd0);
+endmodule
+`, "reset", []testbench.PortSpec{in1("start")}, []testbench.PortSpec{in1("busy")}, 0.55)
+
+	add("seq_tmr_03_stretch3",
+		"Stretch every 1-cycle input pulse to exactly 3 cycles on the output (retriggerable). Synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    input pulse,
+    output out
+);
+    reg [1:0] remain;
+    always @(posedge clk) begin
+        if (reset)
+            remain <= 2'd0;
+        else if (pulse)
+            remain <= 2'd3;
+        else if (remain != 2'd0)
+            remain <= remain - 2'd1;
+    end
+    assign out = (remain != 2'd0);
+endmodule
+`, "reset", []testbench.PortSpec{in1("pulse")}, []testbench.PortSpec{in1("out")}, 0.52)
+
+	add("seq_tmr_04_watchdog",
+		"Build a watchdog: a 4-bit counter increments every cycle and is cleared when kick is 1; the alarm output is asserted when the counter reaches 12 and stays asserted until a kick. Synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    input kick,
+    output alarm
+);
+    reg [3:0] cnt;
+    always @(posedge clk) begin
+        if (reset)
+            cnt <= 4'd0;
+        else if (kick)
+            cnt <= 4'd0;
+        else if (cnt != 4'd12)
+            cnt <= cnt + 4'd1;
+    end
+    assign alarm = (cnt == 4'd12);
+endmodule
+`, "reset", []testbench.PortSpec{in1("kick")}, []testbench.PortSpec{in1("alarm")}, 0.50)
+
+	add("seq_tmr_05_delay4",
+		"Delay a 1-bit input by exactly 4 clock cycles.",
+		`module top_module (
+    input clk,
+    input in,
+    output out
+);
+    reg [3:0] line;
+    always @(posedge clk)
+        line <= {line[2:0], in};
+    assign out = line[3];
+endmodule
+`, "", []testbench.PortSpec{in1("in")}, []testbench.PortSpec{in1("out")}, 0.35)
+
+	return ts
+}
+
+// --- serial arithmetic (4) ----------------------------------------------------------------------------------------------
+
+func serialTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden, reset string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Sequential, "serial", spec, golden, ifcSeq(reset, ins, outs), diff, false))
+	}
+
+	add("seq_ser_00_twos_complement",
+		"Build a bit-serial two's complementer (LSB first): copy input bits through until after the first 1 is seen, then output the complement of each input bit. Synchronous reset starts a new number.",
+		`module top_module (
+    input clk,
+    input reset,
+    input in,
+    output out
+);
+    reg seen1;
+    always @(posedge clk) begin
+        if (reset)
+            seen1 <= 1'b0;
+        else if (in)
+            seen1 <= 1'b1;
+    end
+    assign out = seen1 ? ~in : in;
+endmodule
+`, "reset", []testbench.PortSpec{in1("in")}, []testbench.PortSpec{in1("out")}, 0.58)
+
+	add("seq_ser_01_serial_adder",
+		"Build a bit-serial adder (LSB first): each cycle output the sum bit of a, b and the stored carry, then update the carry. Synchronous reset clears the carry.",
+		`module top_module (
+    input clk,
+    input reset,
+    input a,
+    input b,
+    output sum
+);
+    reg carry;
+    always @(posedge clk) begin
+        if (reset)
+            carry <= 1'b0;
+        else
+            carry <= (a & b) | (a & carry) | (b & carry);
+    end
+    assign sum = a ^ b ^ carry;
+endmodule
+`, "reset", []testbench.PortSpec{in1("a"), in1("b")}, []testbench.PortSpec{in1("sum")}, 0.55)
+
+	add("seq_ser_02_parity_acc",
+		"Accumulate the running parity of a serial input since reset: out is the XOR of all bits seen so far, updated each cycle.",
+		`module top_module (
+    input clk,
+    input reset,
+    input in,
+    output reg out
+);
+    always @(posedge clk) begin
+        if (reset)
+            out <= 1'b0;
+        else
+            out <= out ^ in;
+    end
+endmodule
+`, "reset", []testbench.PortSpec{in1("in")}, []testbench.PortSpec{in1("out")}, 0.42)
+
+	add("seq_ser_03_majority3",
+		"Each cycle output the majority vote of the current serial input bit and the previous two bits.",
+		`module top_module (
+    input clk,
+    input in,
+    output out
+);
+    reg [1:0] hist;
+    always @(posedge clk)
+        hist <= {hist[0], in};
+    assign out = (in & hist[0]) | (in & hist[1]) | (hist[0] & hist[1]);
+endmodule
+`, "", []testbench.PortSpec{in1("in")}, []testbench.PortSpec{in1("out")}, 0.55)
+
+	return ts
+}
+
+// --- arbiters (4) ------------------------------------------------------------------------------------------------------------
+
+func arbTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden, reset string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Sequential, "arb", spec, golden, ifcSeq(reset, ins, outs), diff, false))
+	}
+
+	add("seq_arb_00_fixed4",
+		"Build a registered fixed-priority arbiter for four request lines (bit 0 has highest priority): each cycle the one-hot grant register takes the highest-priority active request, or zero. Synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    input [3:0] req,
+    output reg [3:0] grant
+);
+    always @(posedge clk) begin
+        if (reset)
+            grant <= 4'd0;
+        else if (req[0])
+            grant <= 4'b0001;
+        else if (req[1])
+            grant <= 4'b0010;
+        else if (req[2])
+            grant <= 4'b0100;
+        else if (req[3])
+            grant <= 4'b1000;
+        else
+            grant <= 4'd0;
+    end
+endmodule
+`, "reset", []testbench.PortSpec{inw("req", 4)}, []testbench.PortSpec{inw("grant", 4)}, 0.48)
+
+	add("seq_arb_01_rr2",
+		"Build a round-robin arbiter for two requesters: when both request, the grant alternates relative to the last winner; a lone requester always wins. Grants are registered. Synchronous reset gives requester 0 priority first.",
+		`module top_module (
+    input clk,
+    input reset,
+    input [1:0] req,
+    output reg [1:0] grant
+);
+    reg last;
+    always @(posedge clk) begin
+        if (reset) begin
+            grant <= 2'd0;
+            last <= 1'b1;
+        end else begin
+            if (req == 2'b11) begin
+                if (last) begin
+                    grant <= 2'b01;
+                    last <= 1'b0;
+                end else begin
+                    grant <= 2'b10;
+                    last <= 1'b1;
+                end
+            end else if (req == 2'b01) begin
+                grant <= 2'b01;
+                last <= 1'b0;
+            end else if (req == 2'b10) begin
+                grant <= 2'b10;
+                last <= 1'b1;
+            end else
+                grant <= 2'b00;
+        end
+    end
+endmodule
+`, "reset", []testbench.PortSpec{inw("req", 2)}, []testbench.PortSpec{inw("grant", 2)}, 0.60)
+
+	add("seq_arb_02_req_latch",
+		"Latch incoming requests: each bit of the 4-bit output is set when the corresponding request bit is seen and cleared only when the corresponding ack bit is 1 (ack has priority). Synchronous reset clears all.",
+		`module top_module (
+    input clk,
+    input reset,
+    input [3:0] req,
+    input [3:0] ack,
+    output reg [3:0] pending
+);
+    always @(posedge clk) begin
+        if (reset)
+            pending <= 4'd0;
+        else
+            pending <= (pending | req) & ~ack;
+    end
+endmodule
+`, "reset", []testbench.PortSpec{inw("req", 4), inw("ack", 4)}, []testbench.PortSpec{inw("pending", 4)}, 0.50)
+
+	add("seq_arb_03_grant_hold",
+		"Build an arbiter that grants the lowest-numbered active request of four and holds the grant as long as that request stays asserted; when it drops, re-arbitrate. Grants are registered. Synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    input [3:0] req,
+    output reg [3:0] grant
+);
+    always @(posedge clk) begin
+        if (reset)
+            grant <= 4'd0;
+        else if ((grant & req) != 4'd0)
+            grant <= grant;
+        else if (req[0])
+            grant <= 4'b0001;
+        else if (req[1])
+            grant <= 4'b0010;
+        else if (req[2])
+            grant <= 4'b0100;
+        else if (req[3])
+            grant <= 4'b1000;
+        else
+            grant <= 4'd0;
+    end
+endmodule
+`, "reset", []testbench.PortSpec{inw("req", 4)}, []testbench.PortSpec{inw("grant", 4)}, 0.58)
+
+	return ts
+}
+
+// --- accumulators (4) -----------------------------------------------------------------------------------------------------------
+
+func accumTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden, reset string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Sequential, "accum", spec, golden, ifcSeq(reset, ins, outs), diff, false))
+	}
+
+	add("seq_acc_00_sat4",
+		"Build a 4-bit saturating counter: inc increments and dec decrements, but the count sticks at 15 and 0 instead of wrapping; simultaneous inc and dec hold. Synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    input inc,
+    input dec,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 4'd0;
+        else if (inc & ~dec) begin
+            if (q != 4'd15)
+                q <= q + 4'd1;
+        end else if (dec & ~inc) begin
+            if (q != 4'd0)
+                q <= q - 4'd1;
+        end
+    end
+endmodule
+`, "reset", []testbench.PortSpec{in1("inc"), in1("dec")}, []testbench.PortSpec{inw("q", 4)}, 0.45)
+
+	add("seq_acc_01_sum8",
+		"Accumulate an 8-bit input into an 8-bit register every cycle (wrapping); clear synchronously when clr is 1 (clr has priority). Synchronous reset also clears.",
+		`module top_module (
+    input clk,
+    input reset,
+    input clr,
+    input [7:0] in,
+    output reg [7:0] sum
+);
+    always @(posedge clk) begin
+        if (reset | clr)
+            sum <= 8'd0;
+        else
+            sum <= sum + in;
+    end
+endmodule
+`, "reset", []testbench.PortSpec{in1("clr"), inw("in", 8)}, []testbench.PortSpec{inw("sum", 8)}, 0.40)
+
+	add("seq_acc_02_max8",
+		"Track the maximum 8-bit input value seen since the last synchronous reset.",
+		`module top_module (
+    input clk,
+    input reset,
+    input [7:0] in,
+    output reg [7:0] max
+);
+    always @(posedge clk) begin
+        if (reset)
+            max <= 8'd0;
+        else if (in > max)
+            max <= in;
+    end
+endmodule
+`, "reset", []testbench.PortSpec{inw("in", 8)}, []testbench.PortSpec{inw("max", 8)}, 0.40)
+
+	add("seq_acc_03_toggle",
+		"Build a toggle flip-flop: the output inverts on every rising clock edge where t is 1, and holds otherwise. Synchronous reset to 0.",
+		`module top_module (
+    input clk,
+    input reset,
+    input t,
+    output reg q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 1'b0;
+        else if (t)
+            q <= ~q;
+    end
+endmodule
+`, "reset", []testbench.PortSpec{in1("t")}, []testbench.PortSpec{in1("q")}, 0.30)
+
+	return ts
+}
+
+// --- miscellaneous control (3) --------------------------------------------------------------------------------------------------------
+
+func miscSeqTasks() []Task {
+	var ts []Task
+	add := func(id, spec, golden, reset string, ins, outs []testbench.PortSpec, diff float64) {
+		ts = append(ts, newTask(id, Sequential, "miscseq", spec, golden, ifcSeq(reset, ins, outs), diff, false))
+	}
+
+	add("seq_misc_00_walker",
+		"Build a two-state walker (like the Lemmings game): it walks left until bump_right... walks right until bump_left. Output walk_left is 1 in the left-walking state. On simultaneous bumps it reverses. Synchronous reset to walking left.",
+		`module top_module (
+    input clk,
+    input reset,
+    input bump_left,
+    input bump_right,
+    output walk_left
+);
+    reg dir;
+    always @(posedge clk) begin
+        if (reset)
+            dir <= 1'b0;
+        else if (dir == 1'b0) begin
+            if (bump_left)
+                dir <= 1'b1;
+        end else begin
+            if (bump_right)
+                dir <= 1'b0;
+        end
+    end
+    assign walk_left = (dir == 1'b0);
+endmodule
+`, "reset", []testbench.PortSpec{in1("bump_left"), in1("bump_right")},
+		[]testbench.PortSpec{in1("walk_left")}, 0.55)
+
+	add("seq_misc_01_traffic",
+		"Build a traffic-light controller cycling green for 4 cycles, yellow for 2, red for 4, repeating; one-hot outputs. Synchronous reset starts at green.",
+		`module top_module (
+    input clk,
+    input reset,
+    output green,
+    output yellow,
+    output red
+);
+    reg [3:0] cnt;
+    always @(posedge clk) begin
+        if (reset)
+            cnt <= 4'd0;
+        else if (cnt == 4'd9)
+            cnt <= 4'd0;
+        else
+            cnt <= cnt + 4'd1;
+    end
+    assign green = (cnt < 4'd4);
+    assign yellow = (cnt >= 4'd4) & (cnt < 4'd6);
+    assign red = (cnt >= 4'd6);
+endmodule
+`, "reset", nil, []testbench.PortSpec{in1("green"), in1("yellow"), in1("red")}, 0.58)
+
+	add("seq_misc_02_debounce",
+		"Debounce a 1-bit input: the output only changes after the input has held the new value for 3 consecutive cycles. Synchronous reset clears the output and history.",
+		`module top_module (
+    input clk,
+    input reset,
+    input in,
+    output reg out
+);
+    reg [1:0] cnt;
+    always @(posedge clk) begin
+        if (reset) begin
+            out <= 1'b0;
+            cnt <= 2'd0;
+        end else if (in == out)
+            cnt <= 2'd0;
+        else if (cnt == 2'd2) begin
+            out <= in;
+            cnt <= 2'd0;
+        end else
+            cnt <= cnt + 2'd1;
+    end
+endmodule
+`, "reset", []testbench.PortSpec{in1("in")}, []testbench.PortSpec{in1("out")}, 0.60)
+
+	return ts
+}

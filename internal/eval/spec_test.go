@@ -1,0 +1,165 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/verilog/ast"
+	"repro/internal/verilog/parser"
+)
+
+// TestFamilyCoverage pins the family mix: these families must exist with at
+// least the expected population so the benchmark keeps the task diversity
+// VerilogEval-Human has.
+func TestFamilyCoverage(t *testing.T) {
+	tasks := Suite()
+	counts := make(map[string]int)
+	for _, task := range tasks {
+		counts[task.Family]++
+	}
+	want := map[string]int{
+		"gates": 8, "boolexpr": 8, "mux": 6, "decoder": 6, "kmap": 12,
+		"truthtable": 4, "vector": 8, "adder": 8, "compare": 6,
+		"popcount": 5, "shift": 4, "alu": 2, "gray": 4,
+		"dff": 8, "register": 4, "counter": 10, "shiftreg": 8, "edge": 4,
+		"seqrec": 8, "fsm": 12, "timer": 6, "serial": 4, "arb": 4,
+		"accum": 4, "miscseq": 3,
+	}
+	for fam, n := range want {
+		if counts[fam] != n {
+			t.Errorf("family %s has %d tasks, want %d", fam, counts[fam], n)
+		}
+	}
+	if got := len(Families(tasks)); got != len(want) {
+		t.Errorf("found %d families, want %d", got, len(want))
+	}
+}
+
+// TestSimpleDescOnlyOnJudgeableTasks: the SimpleDesc flag drives
+// inter-cluster output judging and must mark the k-map/waveform-like
+// families.
+func TestSimpleDescOnlyOnJudgeableTasks(t *testing.T) {
+	for _, task := range Suite() {
+		switch task.Family {
+		case "kmap", "truthtable", "gates", "boolexpr":
+			if !task.SimpleDesc {
+				t.Errorf("%s (%s) should be SimpleDesc", task.ID, task.Family)
+			}
+		case "fsm", "seqrec", "counter":
+			if task.SimpleDesc {
+				t.Errorf("%s (%s) must not be SimpleDesc", task.ID, task.Family)
+			}
+		}
+	}
+}
+
+// TestSpecsAreSubstantial: a spec must be self-contained enough to describe
+// behavior — minimum length, and sequential specs must speak in temporal
+// or stateful terms.
+func TestSpecsAreSubstantial(t *testing.T) {
+	temporal := []string{"clock", "cycle", "edge", "register", "reset", "serial", "rotat", "shift", "delay", "state"}
+	for _, task := range Suite() {
+		if len(task.Spec) < 40 {
+			t.Errorf("%s: spec too thin: %q", task.ID, task.Spec)
+		}
+		if task.Category != Sequential {
+			continue
+		}
+		lower := strings.ToLower(task.Spec)
+		found := false
+		for _, kw := range temporal {
+			if strings.Contains(lower, kw) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: sequential spec lacks temporal language: %q", task.ID, task.Spec)
+		}
+	}
+}
+
+// TestSequentialGoldensUseClock: every sequential golden must contain a
+// clocked always block; combinational goldens must not.
+func TestClockUsageMatchesCategory(t *testing.T) {
+	for _, task := range Suite() {
+		src, err := parser.Parse(task.Golden)
+		if err != nil {
+			t.Fatalf("%s: %v", task.ID, err)
+		}
+		m := src.FindModule(TopModule)
+		clocked := false
+		for _, it := range m.Items {
+			alw, ok := it.(*ast.Always)
+			if !ok {
+				continue
+			}
+			for _, ev := range alw.Events {
+				if ev.Edge != ast.EdgeNone {
+					clocked = true
+				}
+			}
+		}
+		if task.Category == Sequential && !clocked {
+			t.Errorf("%s: sequential golden has no clocked always block", task.ID)
+		}
+		if task.Category == Combinational && clocked {
+			t.Errorf("%s: combinational golden has a clocked always block", task.ID)
+		}
+	}
+}
+
+// TestDifficultyOrdering: sequential families must be harder on average than
+// combinational ones — that is what drives the paper's CMB/SEQ split.
+func TestDifficultyOrdering(t *testing.T) {
+	tasks := Suite()
+	avg := func(cat Category) float64 {
+		sum, n := 0.0, 0
+		for _, task := range tasks {
+			if task.Category == cat {
+				sum += task.Difficulty
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	cmb, seq := avg(Combinational), avg(Sequential)
+	if seq <= cmb {
+		t.Errorf("SEQ difficulty %.3f should exceed CMB %.3f", seq, cmb)
+	}
+	if seq-cmb < 0.1 {
+		t.Errorf("SEQ-CMB difficulty gap %.3f too small to reproduce the paper's split", seq-cmb)
+	}
+}
+
+// TestResetPolarity: every task that declares a reset uses an input port by
+// that name.
+func TestResetPortsExist(t *testing.T) {
+	for _, task := range Suite() {
+		if task.Ifc.Reset == "" {
+			continue
+		}
+		found := false
+		for _, in := range task.Ifc.Inputs {
+			if in.Name == task.Ifc.Reset {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: reset %q not among inputs", task.ID, task.Ifc.Reset)
+		}
+	}
+}
+
+// TestKmapSpecListsMinterms: kmap specs must enumerate their minterms so the
+// output-judging path has real content to "reason" about.
+func TestKmapSpecListsMinterms(t *testing.T) {
+	for _, task := range Suite() {
+		if task.Family != "kmap" {
+			continue
+		}
+		if !strings.Contains(task.Spec, "minterms {") {
+			t.Errorf("%s: spec does not enumerate minterms: %q", task.ID, task.Spec)
+		}
+	}
+}

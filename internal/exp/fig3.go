@@ -1,0 +1,252 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/metrics"
+	"repro/internal/verilog/parser"
+	"repro/internal/verilog/sem"
+)
+
+// Fig3Config parameterizes the Fig. 3 reproduction: functional correctness
+// versus per-problem normalized reasoning length.
+type Fig3Config struct {
+	// Models to analyze (paper: deepseek-r1, o3-mini-high, qwq-32b,
+	// o3-mini-medium).
+	Models []string
+	// Tasks is the benchmark (defaults to the full suite).
+	Tasks []eval.Task
+	// Samples per task (paper: 50, i.e. 7800 samples per model).
+	Samples int
+	// Bins is the number of normalized-length buckets.
+	Bins int
+	// Seed drives all randomness.
+	Seed int64
+	// Workers bounds parallelism.
+	Workers int
+}
+
+// Fig3Series is one model's panel.
+type Fig3Series struct {
+	Model string
+	// Bins are pass rates per normalized-length bucket; Count shows the
+	// sample density (the circles in the paper's plot).
+	Bins []metrics.Bin
+	// Fit is the quadratic trend line.
+	Fit metrics.QuadFit
+	// Total and Dropped count samples (dropped = syntactically incomplete
+	// after retries, or missing reasoning trace — excluded per the paper).
+	Total   int
+	Dropped int
+}
+
+// Fig3Result is the full reproduction of Fig. 3.
+type Fig3Result struct {
+	Config Fig3Config
+	Series []Fig3Series
+}
+
+// RunFig3 reproduces Fig. 3: for every model it samples candidates for every
+// task, verifies each against the golden testbench, normalizes reasoning
+// lengths per task to [0,1], and reports binned pass rates plus a quadratic
+// trend fit.
+func RunFig3(ctx context.Context, cfg Fig3Config) (*Fig3Result, error) {
+	if len(cfg.Tasks) == 0 {
+		cfg.Tasks = eval.Suite()
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 50
+	}
+	if cfg.Bins <= 0 {
+		cfg.Bins = 10
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(cfg.Models) == 0 {
+		cfg.Models = []string{"deepseek-r1", "o3-mini-high", "qwq-32b", "o3-mini-medium"}
+	}
+	oracle := NewOracle(cfg.Tasks, cfg.Seed+7)
+	res := &Fig3Result{Config: cfg}
+	for _, model := range cfg.Models {
+		series, err := runFig3Model(ctx, cfg, oracle, model)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", model, err)
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// taskFig3 is the per-task sample summary.
+type taskFig3 struct {
+	norm    []float64
+	passed  []bool
+	total   int
+	dropped int
+	err     error
+}
+
+func runFig3Model(ctx context.Context, cfg Fig3Config, oracle *Oracle, model string) (Fig3Series, error) {
+	profile, err := llm.ProfileByName(model)
+	if err != nil {
+		return Fig3Series{}, err
+	}
+	results := make([]taskFig3, len(cfg.Tasks))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range jobs {
+				results[ti] = fig3Task(ctx, cfg, oracle, profile, cfg.Tasks[ti])
+			}
+		}()
+	}
+	for ti := range cfg.Tasks {
+		jobs <- ti
+	}
+	close(jobs)
+	wg.Wait()
+
+	series := Fig3Series{Model: model}
+	var allNorm []float64
+	var allPassed []bool
+	for _, r := range results {
+		if r.err != nil {
+			return series, r.err
+		}
+		allNorm = append(allNorm, r.norm...)
+		allPassed = append(allPassed, r.passed...)
+		series.Total += r.total
+		series.Dropped += r.dropped
+	}
+	series.Bins = metrics.BinPassRates(allNorm, allPassed, cfg.Bins)
+	var xs, ys []float64
+	for _, b := range series.Bins {
+		if b.Count == 0 {
+			continue
+		}
+		xs = append(xs, b.Center())
+		ys = append(ys, b.PassRate)
+	}
+	if len(xs) >= 3 {
+		fit, ferr := metrics.FitQuadratic(xs, ys)
+		if ferr == nil {
+			series.Fit = fit
+		}
+	}
+	return series, nil
+}
+
+// fig3Task samples one task, verifies every sample, and normalizes lengths.
+func fig3Task(ctx context.Context, cfg Fig3Config, oracle *Oracle, profile llm.Profile, task eval.Task) taskFig3 {
+	var out taskFig3
+	client, err := llm.NewSimClient(profile, cfg.Seed, []eval.Task{task})
+	if err != nil {
+		out.err = err
+		return out
+	}
+	type sample struct {
+		tokens int
+		passed bool
+	}
+	var samples []sample
+	for i := 0; i < cfg.Samples; i++ {
+		out.total++
+		resp, gerr := client.Generate(ctx, llm.GenerateRequest{
+			TaskID:      task.ID,
+			Spec:        task.Spec,
+			SampleIndex: i,
+		})
+		if gerr != nil {
+			// Transient failures count as dropped samples here; the
+			// pre-ranking experiments handle retries.
+			out.dropped++
+			continue
+		}
+		if resp.ReasoningTokens <= 0 {
+			out.dropped++ // missing reasoning trace: removed from the graph
+			continue
+		}
+		if _, ok := validateForFig3(resp.Code); !ok {
+			out.dropped++ // syntactically incomplete: removed from the graph
+			continue
+		}
+		pass, verr := oracle.Verify(task.ID, resp.Code)
+		if verr != nil {
+			out.err = verr
+			return out
+		}
+		samples = append(samples, sample{tokens: resp.ReasoningTokens, passed: pass})
+	}
+	if len(samples) < 2 {
+		return out
+	}
+	minT, maxT := samples[0].tokens, samples[0].tokens
+	for _, s := range samples {
+		if s.tokens < minT {
+			minT = s.tokens
+		}
+		if s.tokens > maxT {
+			maxT = s.tokens
+		}
+	}
+	span := maxT - minT
+	for _, s := range samples {
+		n := 0.5
+		if span > 0 {
+			n = float64(s.tokens-minT) / float64(span)
+		}
+		out.norm = append(out.norm, n)
+		out.passed = append(out.passed, s.passed)
+	}
+	return out
+}
+
+// validateForFig3 mirrors the pipeline's validity gate: candidates must
+// parse, define top_module, and pass semantic checks.
+func validateForFig3(code string) (struct{}, bool) {
+	src, err := parser.Parse(code)
+	if err != nil || src.FindModule(eval.TopModule) == nil {
+		return struct{}{}, false
+	}
+	if res := sem.Check(src); res.HasErrors() {
+		return struct{}{}, false
+	}
+	return struct{}{}, true
+}
+
+// Render formats the result as aligned bin tables, one panel per model.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 3: Output pass rate vs normalized reasoning length\n")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "\n(%s)  samples=%d dropped=%d   trend: %.3f %+.3f·x %+.3f·x²\n",
+			s.Model, s.Total, s.Dropped, s.Fit.A, s.Fit.B, s.Fit.C)
+		fmt.Fprintf(&b, "  %-12s %-10s %-10s %s\n", "norm-length", "samples", "pass-rate", "trend")
+		for _, bin := range s.Bins {
+			fmt.Fprintf(&b, "  [%.1f,%.1f)    %-10d %-10.3f %.3f\n",
+				bin.Lo, bin.Hi, bin.Count, bin.PassRate, s.Fit.Eval(bin.Center()))
+		}
+	}
+	return b.String()
+}
+
+// SortedModels returns series order by model name (stable rendering).
+func (r *Fig3Result) SortedModels() []string {
+	names := make([]string, len(r.Series))
+	for i, s := range r.Series {
+		names[i] = s.Model
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,225 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/metrics"
+)
+
+// Fig4Config parameterizes the Fig. 4 reproduction: pass@1 versus the number
+// of sampled candidates.
+type Fig4Config struct {
+	// Models to evaluate (paper: deepseek-r1, o3-mini-high, qwq-32b).
+	Models []string
+	// Tasks is the benchmark (defaults to the full suite).
+	Tasks []eval.Task
+	// SampleSizes are the n values (paper: 5,10,...,50).
+	SampleSizes []int
+	// Runs averages each point (paper: 10).
+	Runs int
+	// Seed drives all randomness.
+	Seed int64
+	// Workers bounds parallelism.
+	Workers int
+}
+
+// Fig4Point is one (model, n) measurement: mean ± std over runs for the
+// three series. Per the paper, the VFocus series excludes post-ranking
+// refinement (its repeated cost is prohibitive), i.e. it is pre-ranking +
+// ranking.
+type Fig4Point struct {
+	N        int
+	Baseline metrics.Summary
+	VRank    metrics.Summary
+	VFocus   metrics.Summary
+}
+
+// Fig4Series is one model's curve set.
+type Fig4Series struct {
+	Model  string
+	Points []Fig4Point
+}
+
+// Fig4Result is the full reproduction of Fig. 4.
+type Fig4Result struct {
+	Config Fig4Config
+	Series []Fig4Series
+}
+
+// RunFig4 reproduces Fig. 4: pass@1 of Baseline, VRank and VFocus
+// (pre-ranking + ranking) as the candidate count grows from 5 to 50,
+// averaged over cfg.Runs repetitions with standard deviations.
+func RunFig4(ctx context.Context, cfg Fig4Config) (*Fig4Result, error) {
+	if len(cfg.Tasks) == 0 {
+		cfg.Tasks = eval.Suite()
+	}
+	if len(cfg.SampleSizes) == 0 {
+		cfg.SampleSizes = []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 10
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(cfg.Models) == 0 {
+		cfg.Models = []string{"deepseek-r1", "o3-mini-high", "qwq-32b"}
+	}
+	oracle := NewOracle(cfg.Tasks, cfg.Seed+7)
+	res := &Fig4Result{Config: cfg}
+	for _, model := range cfg.Models {
+		series, err := runFig4Model(ctx, cfg, oracle, model)
+		if err != nil {
+			return nil, fmt.Errorf("model %s: %w", model, err)
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// fig4Cell is one (task, run, n) outcome.
+type fig4Cell struct {
+	baseline float64 // pass@1 estimator over the pool
+	vrank    bool
+	vfocus   bool
+	err      error
+}
+
+func runFig4Model(ctx context.Context, cfg Fig4Config, oracle *Oracle, model string) (Fig4Series, error) {
+	profile, err := llm.ProfileByName(model)
+	if err != nil {
+		return Fig4Series{}, err
+	}
+	series := Fig4Series{Model: model}
+	for _, n := range cfg.SampleSizes {
+		var (
+			baseRuns, vrankRuns, vfocusRuns []float64
+		)
+		for run := 0; run < cfg.Runs; run++ {
+			cells := make([]fig4Cell, len(cfg.Tasks))
+			var wg sync.WaitGroup
+			jobs := make(chan int)
+			for w := 0; w < cfg.Workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for ti := range jobs {
+						cells[ti] = fig4Task(ctx, cfg, oracle, profile, cfg.Tasks[ti], run, n)
+					}
+				}()
+			}
+			for ti := range cfg.Tasks {
+				jobs <- ti
+			}
+			close(jobs)
+			wg.Wait()
+
+			var base, vr, vf float64
+			for _, c := range cells {
+				if c.err != nil {
+					return series, c.err
+				}
+				base += c.baseline
+				if c.vrank {
+					vr++
+				}
+				if c.vfocus {
+					vf++
+				}
+			}
+			total := float64(len(cfg.Tasks))
+			baseRuns = append(baseRuns, base/total)
+			vrankRuns = append(vrankRuns, vr/total)
+			vfocusRuns = append(vfocusRuns, vf/total)
+		}
+		series.Points = append(series.Points, Fig4Point{
+			N:        n,
+			Baseline: metrics.Summarize(baseRuns),
+			VRank:    metrics.Summarize(vrankRuns),
+			VFocus:   metrics.Summarize(vfocusRuns),
+		})
+	}
+	return series, nil
+}
+
+func fig4Task(ctx context.Context, cfg Fig4Config, oracle *Oracle, profile llm.Profile, task eval.Task, run, n int) fig4Cell {
+	var cell fig4Cell
+	clientSeed := cfg.Seed + int64(run)*1009
+	client, err := llm.NewSimClient(profile, clientSeed, []eval.Task{task})
+	if err != nil {
+		cell.err = err
+		return cell
+	}
+	runVariant := func(v core.Variant) (*core.Result, error) {
+		pcfg := core.DefaultConfig(v, profile.Name)
+		pcfg.Samples = n
+		pcfg.TBSeed = cfg.Seed + int64(run)*31
+		pcfg.SelectSeed = cfg.Seed + int64(run)*47
+		pcfg.RetryBaseDelay = 0
+		return core.New(client, pcfg).Run(ctx, task)
+	}
+
+	baseRes, err := runVariant(core.VariantBaseline)
+	if err != nil {
+		cell.err = err
+		return cell
+	}
+	correct := 0
+	for _, c := range baseRes.Candidates {
+		ok, verr := oracle.Verify(task.ID, c.Code)
+		if verr != nil {
+			cell.err = verr
+			return cell
+		}
+		if ok {
+			correct++
+		}
+	}
+	cell.baseline = float64(correct) / float64(n)
+
+	check := func(v core.Variant) (bool, error) {
+		r, rerr := runVariant(v)
+		if rerr != nil {
+			return false, rerr
+		}
+		if r.Final == "" {
+			return false, nil
+		}
+		return oracle.Verify(task.ID, r.Final)
+	}
+	if cell.vrank, err = check(core.VariantVRank); err != nil {
+		cell.err = err
+		return cell
+	}
+	// Per the paper, the Fig. 4 VFocus series is pre-ranking + ranking only.
+	if cell.vfocus, err = check(core.VariantPreVRank); err != nil {
+		cell.err = err
+		return cell
+	}
+	return cell
+}
+
+// Render formats the curves as one table per model.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4: Functional correctness (Pass@1 %%) vs # samples (%d runs, mean±std)\n", r.Config.Runs)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "\n(%s)\n", s.Model)
+		fmt.Fprintf(&b, "  %-5s %-16s %-16s %-16s\n", "n", "Baseline", "VRank", "VFocus")
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "  %-5d %6.2f ± %-6.2f %6.2f ± %-6.2f %6.2f ± %-6.2f\n",
+				p.N,
+				100*p.Baseline.Mean, 100*p.Baseline.Std,
+				100*p.VRank.Mean, 100*p.VRank.Std,
+				100*p.VFocus.Mean, 100*p.VFocus.Std)
+		}
+	}
+	return b.String()
+}

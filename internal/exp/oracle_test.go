@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/mutate"
+	"repro/internal/verilog/parser"
+	"repro/internal/verilog/printer"
+)
+
+func TestOracleGoldenAlwaysPasses(t *testing.T) {
+	tasks := eval.Suite()
+	oracle := NewOracle(tasks, 3)
+	for i := 0; i < len(tasks); i += 10 {
+		ok, err := oracle.Verify(tasks[i].ID, tasks[i].Golden)
+		if err != nil {
+			t.Fatalf("%s: %v", tasks[i].ID, err)
+		}
+		if !ok {
+			t.Errorf("%s: golden fails its own verification", tasks[i].ID)
+		}
+	}
+}
+
+func TestOracleRejectsGarbageAndUnknownTask(t *testing.T) {
+	tasks := eval.Suite()[:3]
+	oracle := NewOracle(tasks, 3)
+	ok, err := oracle.Verify(tasks[0].ID, "not verilog at all")
+	if err != nil || ok {
+		t.Errorf("garbage verdict: %v %v", ok, err)
+	}
+	ok, err = oracle.Verify(tasks[0].ID, "module wrong_name (input a, output y);\nassign y = a;\nendmodule\n")
+	if err != nil || ok {
+		t.Errorf("wrong module name verdict: %v %v", ok, err)
+	}
+	if _, err := oracle.Verify("ghost_task", "x"); err == nil {
+		t.Error("unknown task should error")
+	}
+}
+
+func TestOracleDetectsMutants(t *testing.T) {
+	tasks := eval.Suite()
+	oracle := NewOracle(tasks, 3)
+	rng := rand.New(rand.NewSource(31))
+	detected, total := 0, 0
+	for i := 0; i < len(tasks); i += 12 {
+		task := tasks[i]
+		src, err := parser.Parse(task.Golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := src.FindModule(eval.TopModule)
+		for trial := 0; trial < 3; trial++ {
+			mutant, _ := mutate.Semantic(top, rng, mutate.Config{Count: 2})
+			if mutant == nil {
+				continue
+			}
+			ok, verr := oracle.Verify(task.ID, printer.PrintModule(mutant))
+			if verr != nil {
+				t.Fatal(verr)
+			}
+			total++
+			if !ok {
+				detected++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no mutants tested")
+	}
+	if frac := float64(detected) / float64(total); frac < 0.7 {
+		t.Errorf("oracle detected only %.0f%% of double mutants", 100*frac)
+	}
+}
+
+func TestOracleCacheConsistencyUnderConcurrency(t *testing.T) {
+	tasks := eval.Suite()[:4]
+	oracle := NewOracle(tasks, 3)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, task := range tasks {
+				ok, err := oracle.Verify(task.ID, task.Golden)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !ok {
+					errs <- &Error{msg: "golden failed under concurrency: " + task.ID}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// Error is a trivial test error type.
+type Error struct{ msg string }
+
+func (e *Error) Error() string { return e.msg }
+
+func TestTable1Render(t *testing.T) {
+	res := &Table1Result{
+		Config: Table1Config{Samples: 50, Runs: 5},
+		Rows: []Table1Row{{
+			Model: "deepseek-r1", Dataset: "Human",
+			BasePass1: 0.66, BasePass2: 0.709, BasePass3: 0.729,
+			VRank: 0.792, PreVRank: 0.847, VFocus: 0.87,
+		}},
+	}
+	out := res.Render()
+	for _, want := range []string{"deepseek-r1", "Human", "66.0%", "79.2%", "87.0%", "VRank", "Pre+VRank", "VFocus"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

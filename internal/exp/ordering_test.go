@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+// TestFrameworkOrdering is the headline integration test: on a moderate
+// subset of the benchmark, the paper's main result must hold —
+// Baseline < VRank ≤ Pre+VRank ≤ VFocus in pass@1 (with slack for run
+// noise on the two refinement increments).
+//
+// This exercises the entire stack end to end: task generation, the
+// simulated LLM, parsing, semantic checks, testbench generation, four-state
+// simulation, clustering, density filtering, refinement, and golden
+// verification.
+func TestFrameworkOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack ordering test skipped in -short mode")
+	}
+	all := eval.Suite()
+	var tasks []eval.Task
+	for i := 0; i < len(all); i += 3 {
+		tasks = append(tasks, all[i])
+	}
+	cfg := Table1Config{
+		Models:  []string{"qwq-32b"}, // weakest model: clearest separations
+		Tasks:   tasks,
+		Samples: 30,
+		Runs:    2,
+		Seed:    5,
+	}
+	res, err := RunTable1(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var human Table1Row
+	for _, row := range res.Rows {
+		if row.Dataset == "Human" {
+			human = row
+		}
+	}
+	t.Logf("baseline=%.3f vrank=%.3f prevrank=%.3f vfocus=%.3f",
+		human.BasePass1, human.VRank, human.PreVRank, human.VFocus)
+
+	if human.VRank <= human.BasePass1+0.05 {
+		t.Errorf("VRank %.3f should clearly beat baseline %.3f", human.VRank, human.BasePass1)
+	}
+	if human.PreVRank < human.VRank-0.02 {
+		t.Errorf("Pre+VRank %.3f trails VRank %.3f beyond noise", human.PreVRank, human.VRank)
+	}
+	if human.VFocus < human.PreVRank-0.02 {
+		t.Errorf("VFocus %.3f trails Pre+VRank %.3f beyond noise", human.VFocus, human.PreVRank)
+	}
+	if human.VFocus <= human.BasePass1+0.10 {
+		t.Errorf("VFocus %.3f should beat baseline %.3f by a wide margin", human.VFocus, human.BasePass1)
+	}
+}
+
+// TestSeqGainsExceedCmbGains checks the paper's second structural claim:
+// the full framework's improvement over the baseline is larger on
+// sequential circuits than on combinational ones.
+func TestSeqGainsExceedCmbGains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack test skipped in -short mode")
+	}
+	all := eval.Suite()
+	var tasks []eval.Task
+	for i := 0; i < len(all); i += 3 {
+		tasks = append(tasks, all[i])
+	}
+	cfg := Table1Config{
+		Models:  []string{"deepseek-r1"},
+		Tasks:   tasks,
+		Samples: 30,
+		Runs:    2,
+		Seed:    9,
+	}
+	res, err := RunTable1(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmb, seq Table1Row
+	for _, row := range res.Rows {
+		switch row.Dataset {
+		case "CMB":
+			cmb = row
+		case "SEQ":
+			seq = row
+		}
+	}
+	cmbGain := cmb.VFocus - cmb.BasePass1
+	seqGain := seq.VFocus - seq.BasePass1
+	t.Logf("CMB gain %.3f, SEQ gain %.3f", cmbGain, seqGain)
+	if seqGain <= cmbGain {
+		t.Errorf("SEQ gain %.3f should exceed CMB gain %.3f (CMB baselines are already high)",
+			seqGain, cmbGain)
+	}
+}

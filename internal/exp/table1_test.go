@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+// TestRunTable1Small runs a reduced Table I (few tasks, 1 run, small n) and
+// checks structural invariants: rows exist for each dataset, probabilities
+// are in range, and the run is deterministic for a fixed seed.
+func TestRunTable1Small(t *testing.T) {
+	tasks := eval.Suite()
+	sel := []eval.Task{
+		tasks[0], tasks[20], tasks[40], tasks[60], // CMB
+		tasks[85], tasks[100], tasks[120], tasks[140], // SEQ
+	}
+	cfg := Table1Config{
+		Models:  []string{"deepseek-r1"},
+		Tasks:   sel,
+		Samples: 10,
+		Runs:    1,
+		Seed:    3,
+	}
+	res, err := RunTable1(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("RunTable1: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for name, v := range map[string]float64{
+			"pass@1": row.BasePass1, "pass@2": row.BasePass2, "pass@3": row.BasePass3,
+			"vrank": row.VRank, "prevrank": row.PreVRank, "vfocus": row.VFocus,
+		} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s/%s %s = %v out of [0,1]", row.Model, row.Dataset, name, v)
+			}
+		}
+		if row.BasePass2 < row.BasePass1 || row.BasePass3 < row.BasePass2 {
+			t.Errorf("%s/%s pass@k not monotone: %v %v %v",
+				row.Model, row.Dataset, row.BasePass1, row.BasePass2, row.BasePass3)
+		}
+	}
+
+	res2, err := RunTable1(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("RunTable1 rerun: %v", err)
+	}
+	for i := range res.Rows {
+		if res.Rows[i] != res2.Rows[i] {
+			t.Errorf("row %d differs between identical runs:\n%+v\n%+v", i, res.Rows[i], res2.Rows[i])
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/verilog/parser"
+	"repro/internal/verilog/sem"
+)
+
+// TestEmpiricalValidityRateMatchesProfile: over many samples, the observed
+// invalid-output rate must track the profile's PInvalid within binomial
+// noise.
+func TestEmpiricalValidityRateMatchesProfile(t *testing.T) {
+	tasks := eval.Suite()[:12]
+	profile := Profiles()["qwq-32b"] // highest PInvalid: best signal
+	client, err := NewSimClient(profile, 41, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	invalid, total := 0, 0
+	for _, task := range tasks {
+		for i := 0; i < 40; i++ {
+			resp, gerr := client.Generate(ctx, GenerateRequest{TaskID: task.ID, SampleIndex: i})
+			if gerr != nil {
+				if errors.Is(gerr, ErrTransient) {
+					continue
+				}
+				t.Fatal(gerr)
+			}
+			total++
+			src, perr := parser.Parse(resp.Code)
+			bad := perr != nil
+			if !bad {
+				bad = sem.Check(src).HasErrors()
+			}
+			if bad {
+				invalid++
+			}
+		}
+	}
+	rate := float64(invalid) / float64(total)
+	// 3-sigma binomial band around PInvalid.
+	sigma := math.Sqrt(profile.PInvalid * (1 - profile.PInvalid) / float64(total))
+	if math.Abs(rate-profile.PInvalid) > 3*sigma+0.01 {
+		t.Errorf("invalid rate %.3f deviates from PInvalid %.3f (n=%d)", rate, profile.PInvalid, total)
+	}
+}
+
+// TestEmpiricalNoTraceRateMatchesProfile mirrors the validity test for
+// missing reasoning traces.
+func TestEmpiricalNoTraceRateMatchesProfile(t *testing.T) {
+	tasks := eval.Suite()[:12]
+	profile := Profiles()["o3-mini-medium"] // highest PNoTrace
+	client, err := NewSimClient(profile, 43, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	missing, total := 0, 0
+	for _, task := range tasks {
+		for i := 0; i < 40; i++ {
+			resp, gerr := client.Generate(ctx, GenerateRequest{TaskID: task.ID, SampleIndex: i})
+			if gerr != nil {
+				continue
+			}
+			total++
+			if resp.ReasoningTokens == 0 {
+				missing++
+			}
+		}
+	}
+	rate := float64(missing) / float64(total)
+	sigma := math.Sqrt(profile.PNoTrace * (1 - profile.PNoTrace) / float64(total))
+	if math.Abs(rate-profile.PNoTrace) > 3*sigma+0.01 {
+		t.Errorf("missing-trace rate %.3f deviates from PNoTrace %.3f (n=%d)", rate, profile.PNoTrace, total)
+	}
+}
+
+// TestFocusHintRaisesRefinementQuality: the paper's core mechanism — a
+// focused prompt (non-empty hint) must make refinement succeed more often
+// than a blind one. Measured empirically against the verification oracle's
+// criterion (behavioral agreement with the hidden golden) over many calls.
+func TestFocusHintRaisesRefinementQuality(t *testing.T) {
+	all := eval.Suite()
+	var hard []eval.Task
+	for _, task := range all {
+		if task.Category == eval.Sequential && task.Difficulty > 0.45 {
+			hard = append(hard, task)
+		}
+		if len(hard) == 12 {
+			break
+		}
+	}
+	profile := Profiles()["qwq-32b"]
+	client, err := NewSimClient(profile, 47, hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	countCorrect := func(hint string) int {
+		correct := 0
+		for _, task := range hard {
+			goldenAst, perr := parser.Parse(task.Golden)
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			st := buildCase(task)
+			goldenTrace := runCase(goldenAst, st)
+			for i := 0; i < 15; i++ {
+				resp, rerr := client.Refine(ctx, RefineRequest{
+					TaskID:      task.ID,
+					Spec:        task.Spec,
+					CandidateA:  task.Golden,
+					CandidateB:  task.Golden,
+					FocusHint:   hint,
+					SampleIndex: i,
+				})
+				if rerr != nil {
+					continue
+				}
+				candAst, cerr := parser.Parse(resp.Code)
+				if cerr != nil {
+					continue
+				}
+				tr := runCase(candAst, st)
+				if tr.Err == nil && tr.Fingerprint() == goldenTrace.Fingerprint() {
+					correct++
+				}
+			}
+		}
+		return correct
+	}
+
+	blind := countCorrect("")
+	focused := countCorrect("on test case 3 the groups disagree: out=1 vs out=0")
+	t.Logf("blind=%d focused=%d (of %d calls each)", blind, focused, len(hard)*15)
+	if focused <= blind {
+		t.Errorf("focused refinement (%d) did not beat blind refinement (%d)", focused, blind)
+	}
+}

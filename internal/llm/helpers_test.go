@@ -1,0 +1,28 @@
+package llm
+
+import (
+	"repro/internal/eval"
+	"repro/internal/sim"
+	"repro/internal/testbench"
+	"repro/internal/verilog/ast"
+)
+
+// buildCase constructs a one-case stimulus with all-zero inputs for a task.
+func buildCase(task eval.Task) *testbench.Stimulus {
+	inputs := make(map[string]sim.Value)
+	for _, in := range task.Ifc.DataInputs() {
+		inputs[in.Name] = sim.NewKnown(in.Width, 0)
+	}
+	if task.Ifc.Reset != "" {
+		inputs[task.Ifc.Reset] = sim.NewKnown(1, 0)
+	}
+	return &testbench.Stimulus{
+		Ifc:   task.Ifc,
+		Cases: []testbench.Case{{Steps: []testbench.Step{{Inputs: inputs}}}},
+	}
+}
+
+// runCase executes a stimulus against a parsed design.
+func runCase(src *ast.Source, st *testbench.Stimulus) *testbench.Trace {
+	return testbench.Run(src, eval.TopModule, st)
+}

@@ -1,0 +1,331 @@
+// Package llm defines the client interface the VFocus pipeline talks to and
+// provides a simulated reasoning LLM behind it.
+//
+// The paper drives three hosted reasoning models (Deepseek-R1, o3-mini,
+// QwQ-32B) over HTTP APIs. Offline, this package substitutes a mechanistic
+// simulator: each model profile samples a reasoning-trace length and emits a
+// real Verilog candidate whose correctness probability follows that model's
+// empirical pass-rate-versus-length curve (the shapes of the paper's
+// Fig. 3). Incorrect candidates are materialized by semantically mutating
+// the task's hidden golden design — so candidates genuinely differ in
+// simulated behavior, and everything downstream (filtering, clustering,
+// refinement, verification) runs the same code path it would with a live
+// model. The pipeline only ever sees the Client interface.
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/eval"
+	"repro/internal/testbench"
+)
+
+// Sentinel errors returned by clients.
+var (
+	// ErrTransient marks a retryable failure (rate limit, network); the
+	// pipeline's retry-with-backoff handles it.
+	ErrTransient = errors.New("transient llm error")
+	// ErrUnknownTask is returned for task IDs outside the benchmark.
+	ErrUnknownTask = errors.New("unknown task")
+	// ErrUnknownModel is returned for unrecognized model names.
+	ErrUnknownModel = errors.New("unknown model")
+)
+
+// GenerateRequest asks for one Verilog candidate.
+type GenerateRequest struct {
+	// TaskID identifies the problem.
+	TaskID string
+	// Spec is the natural-language module specification.
+	Spec string
+	// Guidelines carries the prompt-engineering text (general tips and
+	// typical-mistake warnings per the paper's pre-ranking stage).
+	Guidelines string
+	// SampleIndex distinguishes repeated samples of the same task; with
+	// Attempt it makes generation deterministic for a fixed client seed.
+	SampleIndex int
+	// Attempt counts syntax retries (0 for the first try).
+	Attempt int
+}
+
+// Response is one model completion.
+type Response struct {
+	// Code is the Verilog source text.
+	Code string
+	// Reasoning is the reasoning trace ("" when the model omitted it).
+	Reasoning string
+	// ReasoningTokens is the trace length in tokens (0 when missing).
+	ReasoningTokens int
+}
+
+// RefineRequest asks the model to reconcile two candidate implementations
+// (the paper's intra-cluster and fallback inter-cluster refinement).
+type RefineRequest struct {
+	TaskID string
+	Spec   string
+	// CandidateA and CandidateB are the two implementations to reconcile.
+	CandidateA string
+	CandidateB string
+	// FocusHint describes a concrete behavioral divergence (test inputs and
+	// conflicting outputs); non-empty hints sharpen the model's attention
+	// and raise refinement quality.
+	FocusHint string
+	// SampleIndex deduplicates repeated refinement calls deterministically.
+	SampleIndex int
+}
+
+// JudgeRequest asks the model to reason out the expected outputs for one
+// concrete test case (inter-cluster refinement on simple-description tasks).
+type JudgeRequest struct {
+	TaskID string
+	Spec   string
+	// Case is the stimulus whose expected response is in question.
+	Case testbench.Case
+	// SampleIndex deduplicates repeated judge calls deterministically.
+	SampleIndex int
+}
+
+// JudgeResponse carries the model's predicted outputs for the case.
+type JudgeResponse struct {
+	// Predicted is the model's claimed output trace for the case.
+	Predicted *testbench.CaseTrace
+}
+
+// Client is the model API used by the pipeline. Implementations must be
+// deterministic for a fixed construction seed and request contents.
+type Client interface {
+	// ModelName identifies the underlying model.
+	ModelName() string
+	// Generate produces one candidate completion.
+	Generate(ctx context.Context, req GenerateRequest) (Response, error)
+	// Refine produces an improved candidate from two references.
+	Refine(ctx context.Context, req RefineRequest) (Response, error)
+	// JudgeOutput predicts expected outputs for one test case.
+	JudgeOutput(ctx context.Context, req JudgeRequest) (JudgeResponse, error)
+}
+
+// CurveKind selects the pass-rate-versus-reasoning-length shape observed in
+// the paper's Fig. 3.
+type CurveKind int
+
+// Curve kinds.
+const (
+	// CurveMonotone: pass rate decreases as reasoning grows (Deepseek-R1,
+	// Fig. 3a).
+	CurveMonotone CurveKind = iota + 1
+	// CurveInvertedU: both very short and very long reasoning hurt
+	// (o3-mini-high, QwQ-32B; Fig. 3b/3c).
+	CurveInvertedU
+	// CurveFlat: no usable length signal (o3-mini-medium, Fig. 3d — the
+	// model's imposed token limit destroys the correlation).
+	CurveFlat
+)
+
+// Profile parameterizes one simulated model.
+type Profile struct {
+	// Name is the model identifier, e.g. "deepseek-r1".
+	Name string
+	// TCMB and TSEQ are the solvability thresholds for combinational and
+	// sequential tasks: a task of difficulty d is solvable to base
+	// probability PMax·σ((T−d)/Tau). Steep Tau makes per-task correctness
+	// bimodal, matching the small pass@2−pass@1 gaps in the paper.
+	TCMB, TSEQ float64
+	// Tau is the logistic width of the solvability transition.
+	Tau float64
+	// PMax caps per-sample correctness (residual noise floor).
+	PMax float64
+	// DiffScale scales difficulty into refinement/judging penalties.
+	DiffScale float64
+	// Curve shapes the length modulation.
+	Curve CurveKind
+	// PInvalid is the per-sample probability of syntactically broken
+	// output (exercises the paper's retry mechanism).
+	PInvalid float64
+	// PNoTrace is the probability the reasoning trace is missing.
+	PNoTrace float64
+	// PTransient is the probability of a retryable API error.
+	PTransient float64
+	// RefineSkill in [0,1] scales refinement success.
+	RefineSkill float64
+	// JudgeSkill in [0,1] scales output-judging accuracy on
+	// simple-description tasks.
+	JudgeSkill float64
+	// TokenBase and TokenSpan set the reasoning-token scale: a sample at
+	// latent length-percentile u spends about
+	// difficulty*(TokenBase + u*TokenSpan) tokens.
+	TokenBase int
+	TokenSpan int
+	// MaxBugs bounds semantic mutations per incorrect candidate.
+	MaxBugs int
+	// CanonicalProb is the chance an incorrect candidate reproduces the
+	// task's "common misconception" bug instead of an idiosyncratic one —
+	// this is what lets wrong candidates agree and form large wrong
+	// clusters, the failure mode VRank inherits.
+	CanonicalProb float64
+}
+
+// Profiles returns the four simulated models used across the paper's
+// experiments, keyed by name.
+func Profiles() map[string]Profile {
+	ps := []Profile{
+		{
+			Name:          "deepseek-r1",
+			TCMB:          0.435,
+			TSEQ:          0.41,
+			Tau:           0.08,
+			PMax:          0.985,
+			DiffScale:     1.12,
+			Curve:         CurveMonotone,
+			PInvalid:      0.02,
+			PNoTrace:      0.01,
+			PTransient:    0.01,
+			RefineSkill:   0.72,
+			JudgeSkill:    0.88,
+			TokenBase:     900,
+			TokenSpan:     5200,
+			MaxBugs:       3,
+			CanonicalProb: 0.50,
+		},
+		{
+			Name:          "o3-mini-high",
+			TCMB:          0.355,
+			TSEQ:          0.385,
+			Tau:           0.08,
+			PMax:          0.98,
+			DiffScale:     1.18,
+			Curve:         CurveInvertedU,
+			PInvalid:      0.01,
+			PNoTrace:      0.02,
+			PTransient:    0.01,
+			RefineSkill:   0.70,
+			JudgeSkill:    0.86,
+			TokenBase:     700,
+			TokenSpan:     3800,
+			MaxBugs:       3,
+			CanonicalProb: 0.60,
+		},
+		{
+			Name:          "qwq-32b",
+			TCMB:          0.33,
+			TSEQ:          0.25,
+			Tau:           0.09,
+			PMax:          0.97,
+			DiffScale:     1.62,
+			Curve:         CurveInvertedU,
+			PInvalid:      0.06,
+			PNoTrace:      0.03,
+			PTransient:    0.02,
+			RefineSkill:   0.55,
+			JudgeSkill:    0.74,
+			TokenBase:     1200,
+			TokenSpan:     7800,
+			MaxBugs:       3,
+			CanonicalProb: 0.45,
+		},
+		{
+			Name:          "o3-mini-medium",
+			TCMB:          0.38,
+			TSEQ:          0.40,
+			Tau:           0.08,
+			PMax:          0.98,
+			DiffScale:     1.30,
+			Curve:         CurveFlat,
+			PInvalid:      0.02,
+			PNoTrace:      0.10,
+			PTransient:    0.01,
+			RefineSkill:   0.60,
+			JudgeSkill:    0.80,
+			TokenBase:     500,
+			TokenSpan:     1400,
+			MaxBugs:       2,
+			CanonicalProb: 0.42,
+		},
+	}
+	out := make(map[string]Profile, len(ps))
+	for _, p := range ps {
+		out[p.Name] = p
+	}
+	return out
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (Profile, error) {
+	p, ok := Profiles()[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return p, nil
+}
+
+// LengthShift is the reasoning-length modulation s(u) for a latent length
+// percentile u in [0,1], expressed in *difficulty units* added to the
+// solvability margin. Shapes mirror Fig. 3:
+//   - monotone: best when short, degrading as reasoning grows (underthinking
+//     models keep rambling past the solution);
+//   - inverted-U: negligently short *and* overthought traces both hurt, with
+//     the sweet spot around the 35th percentile;
+//   - flat: no signal.
+//
+// Because the shift enters the logistic margin, tasks well inside a model's
+// capability barely feel it (their per-task correctness stays near PMax,
+// matching the paper's small pass@2−pass@1 gaps), while *marginal* tasks
+// swing strongly with reasoning length — which is exactly where
+// Density-guided Filtering buys accuracy.
+func LengthShift(curve CurveKind, u float64) float64 {
+	switch curve {
+	case CurveMonotone:
+		return 0.05 - 0.22*u
+	case CurveInvertedU:
+		const peakU, peak = 0.35, 0.05
+		if u < peakU {
+			d := peakU - u
+			return peak - 1.4*d*d
+		}
+		d := u - peakU
+		return peak - 0.60*d*d
+	default:
+		return 0
+	}
+}
+
+// logistic is the standard sigmoid.
+func logistic(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}
+
+// PassProbability returns the simulated probability that a sample drawn at
+// latent length-percentile u solves a task of the given difficulty and
+// category: PMax·σ((T − d + s(u))/τ). The steep logistic makes per-task
+// correctness bimodal — most tasks are either within or beyond a model's
+// capability — while the length shift s(u) moves marginal tasks across the
+// boundary. Exposed for calibration tests and the experiment harness.
+func (p Profile) PassProbability(cat eval.Category, difficulty, u float64) float64 {
+	t := p.TCMB
+	if cat == eval.Sequential {
+		t = p.TSEQ
+	}
+	tau := p.Tau
+	if tau <= 0 {
+		tau = 0.12
+	}
+	v := p.PMax * logistic((t-difficulty+LengthShift(p.Curve, u))/tau)
+	if v < 0.01 {
+		return 0.01
+	}
+	if v > 0.98 {
+		return 0.98
+	}
+	return v
+}
+
+// ReasoningTokens maps a latent percentile and difficulty to a token count.
+func (p Profile) ReasoningTokens(difficulty, u float64) int {
+	scale := 0.35 + difficulty
+	n := int(scale * (float64(p.TokenBase) + u*float64(p.TokenSpan)))
+	if n < 16 {
+		n = 16
+	}
+	return n
+}

@@ -1,0 +1,268 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/verilog/parser"
+)
+
+func testTasks(t *testing.T) []eval.Task {
+	t.Helper()
+	all := eval.Suite()
+	return []eval.Task{all[0], all[10], all[44], all[85], all[120], all[150]}
+}
+
+func TestProfiles(t *testing.T) {
+	ps := Profiles()
+	for _, name := range []string{"deepseek-r1", "o3-mini-high", "qwq-32b", "o3-mini-medium"} {
+		p, ok := ps[name]
+		if !ok {
+			t.Fatalf("missing profile %q", name)
+		}
+		if p.PMax <= 0 || p.PMax > 1 || p.Tau <= 0 {
+			t.Errorf("%s: bad PMax/Tau: %+v", name, p)
+		}
+	}
+	if _, err := ProfileByName("gpt-oops"); !errors.Is(err, ErrUnknownModel) {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestPassProbabilityShapes(t *testing.T) {
+	ds, _ := ProfileByName("deepseek-r1")
+	o3h, _ := ProfileByName("o3-mini-high")
+	o3m, _ := ProfileByName("o3-mini-medium")
+
+	// Monotone: short reasoning beats long at a marginal difficulty.
+	d := ds.TSEQ
+	if ds.PassProbability(eval.Sequential, d, 0.1) <= ds.PassProbability(eval.Sequential, d, 0.9) {
+		t.Error("deepseek curve should decrease with length")
+	}
+	// Inverted-U: the sweet spot beats both extremes.
+	d2 := o3h.TSEQ
+	mid := o3h.PassProbability(eval.Sequential, d2, 0.35)
+	if mid <= o3h.PassProbability(eval.Sequential, d2, 0.0) ||
+		mid <= o3h.PassProbability(eval.Sequential, d2, 1.0) {
+		t.Error("o3-mini-high curve should peak mid-length")
+	}
+	// Flat: no length signal at all.
+	d3 := o3m.TSEQ
+	if o3m.PassProbability(eval.Sequential, d3, 0.1) != o3m.PassProbability(eval.Sequential, d3, 0.9) {
+		t.Error("o3-mini-medium should be flat in length")
+	}
+	// Difficulty monotone: harder tasks never raise the pass probability.
+	for _, u := range []float64{0.1, 0.5, 0.9} {
+		if ds.PassProbability(eval.Sequential, 0.2, u) < ds.PassProbability(eval.Sequential, 0.7, u) {
+			t.Errorf("u=%v: harder task has higher pass probability", u)
+		}
+	}
+	// Bounds.
+	for _, u := range []float64{0, 0.5, 1} {
+		for _, d := range []float64{0, 0.5, 1} {
+			p := ds.PassProbability(eval.Combinational, d, u)
+			if p < 0.01 || p > 0.98 {
+				t.Errorf("pass probability %v out of clamp range", p)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tasks := testTasks(t)
+	c1, err := NewSimClient(Profiles()["deepseek-r1"], 9, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewSimClient(Profiles()["deepseek-r1"], 9, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		req := GenerateRequest{TaskID: tasks[0].ID, Spec: tasks[0].Spec, SampleIndex: i}
+		r1, e1 := c1.Generate(ctx, req)
+		r2, e2 := c2.Generate(ctx, req)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("error divergence: %v vs %v", e1, e2)
+		}
+		if e1 != nil {
+			continue
+		}
+		if r1.Code != r2.Code || r1.ReasoningTokens != r2.ReasoningTokens {
+			t.Fatalf("sample %d not deterministic", i)
+		}
+	}
+	// Different seeds must diverge somewhere.
+	c3, _ := NewSimClient(Profiles()["deepseek-r1"], 10, tasks)
+	same := 0
+	for i := 0; i < 10; i++ {
+		req := GenerateRequest{TaskID: tasks[0].ID, SampleIndex: i}
+		r1, e1 := c1.Generate(ctx, req)
+		r3, e3 := c3.Generate(ctx, req)
+		if e1 == nil && e3 == nil && r1.Code == r3.Code && r1.ReasoningTokens == r3.ReasoningTokens {
+			same++
+		}
+	}
+	if same == 10 {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestGenerateProducesMostlyValidCode(t *testing.T) {
+	tasks := testTasks(t)
+	client, err := NewSimClient(Profiles()["deepseek-r1"], 3, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	valid, total := 0, 0
+	for _, task := range tasks {
+		for i := 0; i < 20; i++ {
+			resp, gerr := client.Generate(ctx, GenerateRequest{TaskID: task.ID, SampleIndex: i})
+			if gerr != nil {
+				if errors.Is(gerr, ErrTransient) {
+					continue
+				}
+				t.Fatal(gerr)
+			}
+			total++
+			if _, perr := parser.Parse(resp.Code); perr == nil {
+				valid++
+			}
+		}
+	}
+	frac := float64(valid) / float64(total)
+	if frac < 0.90 {
+		t.Errorf("only %.0f%% of completions parse (PInvalid=0.02 expected ~98%%)", 100*frac)
+	}
+	if frac == 1.0 {
+		t.Log("note: no invalid completions in this sample (possible but unusual)")
+	}
+}
+
+func TestGenerateUnknownTask(t *testing.T) {
+	client, err := NewSimClient(Profiles()["deepseek-r1"], 3, testTasks(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gerr := client.Generate(context.Background(), GenerateRequest{TaskID: "nope"})
+	if !errors.Is(gerr, ErrUnknownTask) {
+		t.Errorf("got %v", gerr)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	client, err := NewSimClient(Profiles()["deepseek-r1"], 3, testTasks(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, gerr := client.Generate(ctx, GenerateRequest{TaskID: testTasks(t)[0].ID}); gerr == nil {
+		t.Error("cancelled context should fail")
+	}
+	if _, rerr := client.Refine(ctx, RefineRequest{TaskID: testTasks(t)[0].ID}); rerr == nil {
+		t.Error("cancelled context should fail refine")
+	}
+	if _, jerr := client.JudgeOutput(ctx, JudgeRequest{TaskID: testTasks(t)[0].ID}); jerr == nil {
+		t.Error("cancelled context should fail judge")
+	}
+}
+
+func TestRefineReturnsCode(t *testing.T) {
+	tasks := testTasks(t)
+	client, err := NewSimClient(Profiles()["deepseek-r1"], 3, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	task := tasks[3]
+	got := 0
+	for i := 0; i < 10; i++ {
+		resp, rerr := client.Refine(ctx, RefineRequest{
+			TaskID:      task.ID,
+			Spec:        task.Spec,
+			CandidateA:  task.Golden,
+			CandidateB:  task.Golden,
+			SampleIndex: i,
+		})
+		if rerr != nil {
+			if errors.Is(rerr, ErrTransient) {
+				continue
+			}
+			t.Fatal(rerr)
+		}
+		got++
+		if strings.TrimSpace(resp.Code) == "" {
+			t.Error("empty refined code")
+		}
+		if resp.ReasoningTokens <= 0 {
+			t.Error("refinement should carry reasoning tokens")
+		}
+	}
+	if got == 0 {
+		t.Fatal("all refine calls failed")
+	}
+}
+
+func TestJudgePredictsGoldenMostly(t *testing.T) {
+	all := eval.Suite()
+	// Use an easy combinational SimpleDesc task: judge accuracy should be
+	// high.
+	var task eval.Task
+	for _, tk := range all {
+		if tk.Family == "gates" {
+			task = tk
+			break
+		}
+	}
+	client, err := NewSimClient(Profiles()["deepseek-r1"], 3, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Build one concrete test case by hand.
+	st := buildCase(task)
+	goldenAst, _ := parser.Parse(task.Golden)
+	goldenTrace := runCase(goldenAst, st)
+
+	match, total := 0, 0
+	for i := 0; i < 30; i++ {
+		resp, jerr := client.JudgeOutput(ctx, JudgeRequest{TaskID: task.ID, Case: st.Cases[0], SampleIndex: i})
+		if jerr != nil {
+			continue
+		}
+		total++
+		if resp.Predicted.Fingerprint() == goldenTrace.Cases[0].Fingerprint() {
+			match++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no judge responses")
+	}
+	if frac := float64(match) / float64(total); frac < 0.6 {
+		t.Errorf("judge matched golden only %.0f%% on an easy task", 100*frac)
+	}
+}
+
+func TestReasoningTokensScale(t *testing.T) {
+	p := Profiles()["deepseek-r1"]
+	short := p.ReasoningTokens(0.2, 0.0)
+	long := p.ReasoningTokens(0.2, 1.0)
+	if long <= short {
+		t.Errorf("tokens should grow with u: %d vs %d", short, long)
+	}
+	easy := p.ReasoningTokens(0.1, 0.5)
+	hard := p.ReasoningTokens(0.9, 0.5)
+	if hard <= easy {
+		t.Errorf("tokens should grow with difficulty: %d vs %d", easy, hard)
+	}
+	if p.ReasoningTokens(0, 0) < 16 {
+		t.Error("token floor violated")
+	}
+}

@@ -1,0 +1,246 @@
+// Package metrics implements the paper's evaluation statistics: the
+// unbiased pass@k estimator (Eq. 4, following Chen et al. 2021), summary
+// statistics for repeated runs, histogram binning and the quadratic
+// least-squares trend fit used in Fig. 3.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrBadInput marks invalid statistic inputs.
+var ErrBadInput = errors.New("invalid metrics input")
+
+// PassAtK is the unbiased estimator 1 - C(n-c, k)/C(n, k): the probability
+// that at least one of k uniformly drawn candidates (out of n with c
+// correct) passes. Returns an error when k > n or c > n.
+func PassAtK(n, c, k int) (float64, error) {
+	if n <= 0 || k <= 0 || k > n || c < 0 || c > n {
+		return 0, ErrBadInput
+	}
+	if c == 0 {
+		return 0, nil
+	}
+	if n-c < k {
+		return 1, nil
+	}
+	// Compute prod_{i=0}^{k-1} (n-c-i)/(n-i) in floating point.
+	prob := 1.0
+	for i := 0; i < k; i++ {
+		prob *= float64(n-c-i) / float64(n-i)
+	}
+	return 1 - prob, nil
+}
+
+// MeanPassAtK averages PassAtK over per-problem correct counts, mirroring
+// the paper's E_problems[·].
+func MeanPassAtK(n int, correct []int, k int) (float64, error) {
+	if len(correct) == 0 {
+		return 0, ErrBadInput
+	}
+	sum := 0.0
+	for _, c := range correct {
+		p, err := PassAtK(n, c, k)
+		if err != nil {
+			return 0, err
+		}
+		sum += p
+	}
+	return sum / float64(len(correct)), nil
+}
+
+// Summary holds aggregate statistics of repeated measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes summary statistics; an empty input yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// QuadFit holds the coefficients of y = A + B·x + C·x².
+type QuadFit struct {
+	A, B, C float64
+}
+
+// Eval evaluates the fitted parabola at x.
+func (q QuadFit) Eval(x float64) float64 {
+	return q.A + q.B*x + q.C*x*x
+}
+
+// PeakX returns the stationary point of the parabola (NaN for C == 0).
+func (q QuadFit) PeakX() float64 {
+	if q.C == 0 {
+		return math.NaN()
+	}
+	return -q.B / (2 * q.C)
+}
+
+// FitQuadratic computes the least-squares parabola through (x, y) pairs by
+// solving the 3x3 normal equations with Gaussian elimination. It needs at
+// least three distinct x values.
+func FitQuadratic(xs, ys []float64) (QuadFit, error) {
+	if len(xs) != len(ys) || len(xs) < 3 {
+		return QuadFit{}, ErrBadInput
+	}
+	var s [5]float64 // sums of x^0..x^4
+	var t [3]float64 // sums of y·x^0..x^2
+	for i := range xs {
+		x, y := xs[i], ys[i]
+		xp := 1.0
+		for p := 0; p <= 4; p++ {
+			s[p] += xp
+			if p <= 2 {
+				t[p] += y * xp
+			}
+			xp *= x
+		}
+	}
+	m := [3][4]float64{
+		{s[0], s[1], s[2], t[0]},
+		{s[1], s[2], s[3], t[1]},
+		{s[2], s[3], s[4], t[2]},
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < 3; col++ {
+		pivot := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return QuadFit{}, ErrBadInput
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for cc := col; cc < 4; cc++ {
+				m[r][cc] -= f * m[col][cc]
+			}
+		}
+	}
+	return QuadFit{
+		A: m[0][3] / m[0][0],
+		B: m[1][3] / m[1][1],
+		C: m[2][3] / m[2][2],
+	}, nil
+}
+
+// Bin is one histogram bucket of samples keyed by a unit-interval position.
+type Bin struct {
+	// Lo and Hi bound the bin in [0,1].
+	Lo, Hi float64
+	// Count is the number of samples.
+	Count int
+	// PassRate is the fraction of passing samples (0 when empty).
+	PassRate float64
+}
+
+// Center returns the bin midpoint.
+func (b Bin) Center() float64 { return (b.Lo + b.Hi) / 2 }
+
+// BinPassRates buckets (position, passed) samples into nbins equal bins over
+// [0,1] and computes per-bin pass rates. Positions outside [0,1] are
+// clamped.
+func BinPassRates(pos []float64, passed []bool, nbins int) []Bin {
+	if nbins <= 0 || len(pos) != len(passed) {
+		return nil
+	}
+	bins := make([]Bin, nbins)
+	counts := make([]int, nbins)
+	passes := make([]int, nbins)
+	for i := range bins {
+		bins[i].Lo = float64(i) / float64(nbins)
+		bins[i].Hi = float64(i+1) / float64(nbins)
+	}
+	for i, p := range pos {
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		idx := int(p * float64(nbins))
+		if idx == nbins {
+			idx = nbins - 1
+		}
+		counts[idx]++
+		if passed[i] {
+			passes[idx]++
+		}
+	}
+	for i := range bins {
+		bins[i].Count = counts[i]
+		if counts[i] > 0 {
+			bins[i].PassRate = float64(passes[i]) / float64(counts[i])
+		}
+	}
+	return bins
+}
+
+// Percentile returns the p-quantile (0..1) of xs by linear interpolation.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := p * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

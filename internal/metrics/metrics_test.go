@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPassAtKKnownValues(t *testing.T) {
+	cases := []struct {
+		n, c, k int
+		want    float64
+	}{
+		{50, 0, 1, 0},
+		{50, 50, 1, 1},
+		{50, 25, 1, 0.5},
+		{2, 1, 2, 1},                   // both picks cover the one correct
+		{4, 2, 2, 1 - (2.0/4)*(1.0/3)}, // 1 - C(2,2)/C(4,2) = 5/6
+		{10, 3, 1, 0.3},
+	}
+	for _, tc := range cases {
+		got, err := PassAtK(tc.n, tc.c, tc.k)
+		if err != nil {
+			t.Errorf("PassAtK(%d,%d,%d): %v", tc.n, tc.c, tc.k, err)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("PassAtK(%d,%d,%d) = %v, want %v", tc.n, tc.c, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestPassAtKErrors(t *testing.T) {
+	for _, tc := range [][3]int{{0, 0, 1}, {5, 6, 1}, {5, 2, 6}, {5, -1, 1}, {5, 2, 0}} {
+		if _, err := PassAtK(tc[0], tc[1], tc[2]); !errors.Is(err, ErrBadInput) {
+			t.Errorf("PassAtK(%v) should fail with ErrBadInput", tc)
+		}
+	}
+}
+
+// TestPassAtKMonotoneQuick: pass@k is monotone in both c and k.
+func TestPassAtKMonotoneQuick(t *testing.T) {
+	prop := func(cRaw, kRaw uint8) bool {
+		n := 50
+		c := int(cRaw) % (n + 1)
+		k := int(kRaw)%n + 1
+		p1, err1 := PassAtK(n, c, k)
+		if err1 != nil {
+			return false
+		}
+		if c < n {
+			p2, err2 := PassAtK(n, c+1, k)
+			if err2 != nil || p2 < p1-1e-12 {
+				return false
+			}
+		}
+		if k < n {
+			p3, err3 := PassAtK(n, c, k+1)
+			if err3 != nil || p3 < p1-1e-12 {
+				return false
+			}
+		}
+		return p1 >= 0 && p1 <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanPassAtK(t *testing.T) {
+	got, err := MeanPassAtK(10, []int{0, 10, 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.0 + 1.0 + 0.5) / 3
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if _, err := MeanPassAtK(10, nil, 1); !errors.Is(err, ErrBadInput) {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Std-2.138089935299395) > 1e-9 {
+		t.Errorf("std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("median = %v", s.Median)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Error("empty summarize")
+	}
+	if got := Summarize([]float64{3}); got.Std != 0 || got.Median != 3 {
+		t.Errorf("single-element: %+v", got)
+	}
+}
+
+func TestFitQuadraticExact(t *testing.T) {
+	// y = 2 - 3x + 0.5x² sampled exactly.
+	var xs, ys []float64
+	for i := 0; i <= 10; i++ {
+		x := float64(i) / 10
+		xs = append(xs, x)
+		ys = append(ys, 2-3*x+0.5*x*x)
+	}
+	fit, err := FitQuadratic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.A-2) > 1e-9 || math.Abs(fit.B+3) > 1e-9 || math.Abs(fit.C-0.5) > 1e-9 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if math.Abs(fit.Eval(0.5)-(2-1.5+0.125)) > 1e-9 {
+		t.Errorf("Eval(0.5) = %v", fit.Eval(0.5))
+	}
+	if math.Abs(fit.PeakX()-3) > 1e-9 {
+		t.Errorf("PeakX = %v", fit.PeakX())
+	}
+}
+
+func TestFitQuadraticErrors(t *testing.T) {
+	if _, err := FitQuadratic([]float64{1, 2}, []float64{1, 2}); !errors.Is(err, ErrBadInput) {
+		t.Error("too few points should fail")
+	}
+	// Degenerate: all same x.
+	if _, err := FitQuadratic([]float64{1, 1, 1, 1}, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("singular system should fail")
+	}
+	if !math.IsNaN((QuadFit{C: 0, B: 1}).PeakX()) {
+		t.Error("PeakX of linear fit should be NaN")
+	}
+}
+
+// TestFitQuadraticRecoveryQuick: fitting exact parabola samples recovers the
+// coefficients for arbitrary (bounded) coefficients.
+func TestFitQuadraticRecoveryQuick(t *testing.T) {
+	prop := func(a8, b8, c8 int8) bool {
+		a, b, c := float64(a8)/16, float64(b8)/16, float64(c8)/16
+		var xs, ys []float64
+		for i := 0; i <= 8; i++ {
+			x := float64(i) / 8
+			xs = append(xs, x)
+			ys = append(ys, a+b*x+c*x*x)
+		}
+		fit, err := FitQuadratic(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.A-a) < 1e-6 && math.Abs(fit.B-b) < 1e-6 && math.Abs(fit.C-c) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinPassRates(t *testing.T) {
+	pos := []float64{0.05, 0.15, 0.15, 0.95, 1.0, -0.5}
+	passed := []bool{true, true, false, false, true, true}
+	bins := BinPassRates(pos, passed, 10)
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	// Bin 0 holds 0.05 and the clamped -0.5.
+	if bins[0].Count != 2 || bins[0].PassRate != 1 {
+		t.Errorf("bin0 = %+v", bins[0])
+	}
+	if bins[1].Count != 2 || bins[1].PassRate != 0.5 {
+		t.Errorf("bin1 = %+v", bins[1])
+	}
+	// 0.95 and clamped 1.0 land in the last bin.
+	last := bins[9]
+	if last.Count != 2 || last.PassRate != 0.5 {
+		t.Errorf("bin9 = %+v", last)
+	}
+	if got := bins[0].Center(); got != 0.05 {
+		t.Errorf("center = %v", got)
+	}
+	if BinPassRates(pos, passed[:2], 10) != nil {
+		t.Error("mismatched lengths should return nil")
+	}
+	if BinPassRates(pos, passed, 0) != nil {
+		t.Error("zero bins should return nil")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 1); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 0.5); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 0.25); got != 2 {
+		t.Errorf("p25 = %v", got)
+	}
+	if got := Percentile(xs, 0.1); math.Abs(got-1.4) > 1e-12 {
+		t.Errorf("p10 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty percentile should be NaN")
+	}
+}

@@ -1,0 +1,170 @@
+package mutate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/verilog/ast"
+)
+
+// Cosmetic clones m and applies behavior-preserving rewrites chosen by rng:
+// internal signal renames, numeric literal re-basing, commutative operand
+// swaps, if/else inversion and declaration reordering. Two cosmetic variants
+// of the same design print differently but simulate identically, which is
+// what lets correct candidates form one behavioral cluster despite textual
+// diversity.
+func Cosmetic(m *ast.Module, rng *rand.Rand) *ast.Module {
+	clone := ast.CloneModule(m)
+	renameInternals(clone, rng)
+	if rng.Float64() < 0.7 {
+		rebaseLiterals(clone, rng)
+	}
+	if rng.Float64() < 0.5 {
+		swapCommutative(clone, rng)
+	}
+	if rng.Float64() < 0.4 {
+		invertIfs(clone, rng)
+	}
+	if rng.Float64() < 0.5 {
+		reorderDecls(clone, rng)
+	}
+	return clone
+}
+
+var renameSuffixes = []string{"_r", "_reg", "_q", "_int", "_sig", "_v", "_w", "_next"}
+
+// renameInternals renames non-port declared names consistently.
+func renameInternals(m *ast.Module, rng *rand.Rand) {
+	ports := make(map[string]bool)
+	for _, p := range m.Ports {
+		ports[p.Name] = true
+	}
+	mapping := make(map[string]string)
+	for _, it := range m.Items {
+		d, ok := it.(*ast.NetDecl)
+		if !ok {
+			continue
+		}
+		for i, name := range d.Names {
+			if ports[name] || rng.Float64() < 0.3 {
+				continue
+			}
+			suffix := renameSuffixes[rng.Intn(len(renameSuffixes))]
+			newName := name + suffix
+			if ports[newName] {
+				continue
+			}
+			mapping[name] = newName
+			d.Names[i] = newName
+		}
+	}
+	if len(mapping) == 0 {
+		return
+	}
+	renameIdents := func(e ast.Expr) bool {
+		if id, ok := e.(*ast.Ident); ok {
+			if nn, hit := mapping[id.Name]; hit {
+				id.Name = nn
+			}
+		}
+		return true
+	}
+	ast.ModuleExprs(m, renameIdents)
+}
+
+// rebaseLiterals rewrites sized literal text between decimal, hex and binary
+// without changing the value.
+func rebaseLiterals(m *ast.Module, rng *rand.Rand) {
+	ast.ModuleExprs(m, func(e ast.Expr) bool {
+		n, ok := e.(*ast.Number)
+		if !ok || n.Width <= 0 || n.Width > 64 || anySet(n.XZ) {
+			return true
+		}
+		if rng.Float64() < 0.5 {
+			return true
+		}
+		v := n.Val[0]
+		switch rng.Intn(3) {
+		case 0:
+			n.Text = fmt.Sprintf("%d'd%d", n.Width, v)
+		case 1:
+			n.Text = fmt.Sprintf("%d'h%x", n.Width, v)
+		default:
+			n.Text = fmt.Sprintf("%d'b%b", n.Width, v)
+		}
+		return true
+	})
+}
+
+// swapCommutative swaps operands of +, &, |, ^ nodes (value-preserving).
+func swapCommutative(m *ast.Module, rng *rand.Rand) {
+	ast.ModuleExprs(m, func(e ast.Expr) bool {
+		b, ok := e.(*ast.Binary)
+		if !ok {
+			return true
+		}
+		switch b.Op {
+		case ast.Add, ast.BitAnd, ast.BitOr, ast.BitXor:
+			if rng.Float64() < 0.5 {
+				b.X, b.Y = b.Y, b.X
+			}
+		}
+		return true
+	})
+}
+
+// invertIfs rewrites if (c) A else B into if (!c) B else A for plain
+// two-branch ifs (behavior-preserving for fully-known conditions, which is
+// what the benchmark stimulus exercises after reset).
+func invertIfs(m *ast.Module, rng *rand.Rand) {
+	var visit func(s ast.Stmt)
+	visit = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case *ast.Block:
+			for _, sub := range x.Stmts {
+				visit(sub)
+			}
+		case *ast.If:
+			_, elseIsIf := x.Else.(*ast.If)
+			if x.Else != nil && !elseIsIf && rng.Float64() < 0.5 {
+				x.Cond = &ast.Unary{Op: ast.LogicalNot, X: x.Cond}
+				x.Then, x.Else = x.Else, x.Then
+			}
+			visit(x.Then)
+			if x.Else != nil {
+				visit(x.Else)
+			}
+		case *ast.Case:
+			for _, it := range x.Items {
+				visit(it.Body)
+			}
+		case *ast.For:
+			visit(x.Body)
+		}
+	}
+	for _, it := range m.Items {
+		switch x := it.(type) {
+		case *ast.Always:
+			visit(x.Body)
+		case *ast.Initial:
+			visit(x.Body)
+		}
+	}
+}
+
+// reorderDecls rotates the leading run of NetDecl items.
+func reorderDecls(m *ast.Module, rng *rand.Rand) {
+	var declIdx []int
+	for i, it := range m.Items {
+		if _, ok := it.(*ast.NetDecl); ok {
+			declIdx = append(declIdx, i)
+		}
+	}
+	if len(declIdx) < 2 {
+		return
+	}
+	i, j := declIdx[0], declIdx[len(declIdx)-1]
+	if rng.Float64() < 0.5 {
+		m.Items[i], m.Items[j] = m.Items[j], m.Items[i]
+	}
+}

@@ -1,0 +1,550 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/verilog/ast"
+)
+
+// Sentinel errors reported by elaboration and simulation.
+var (
+	ErrElab       = errors.New("elaboration error")
+	ErrNoConverge = errors.New("simulation did not converge (combinational loop?)")
+	ErrUnknownNet = errors.New("unknown net")
+	ErrNotInput   = errors.New("not an input port")
+	ErrRuntime    = errors.New("simulation runtime error")
+)
+
+// maxDeltas bounds the number of delta cycles per settle; exceeding it means
+// a combinational loop or zero-delay oscillation.
+const maxDeltas = 4096
+
+// maxLoopIters bounds behavioral for-loop iterations.
+const maxLoopIters = 1 << 16
+
+// net is one elaborated signal with four-state storage.
+type net struct {
+	name  string // hierarchical name
+	width int
+	lsb   int // declared LSB index (bit address of storage bit 0)
+	value Value
+
+	// levelFanout are processes re-evaluated whenever the net changes.
+	levelFanout []*process
+	// edgeFanout are edge-sensitive subscriptions.
+	edgeFanout []edgeSub
+}
+
+type edgeSub struct {
+	proc *process
+	edge ast.EdgeKind
+}
+
+// process is an executable unit: a continuous assignment, an always block,
+// or an initial block.
+type process struct {
+	id    int
+	scope *scope
+	// Continuous assignment form (cont == true). rhsScope, when non-nil,
+	// resolves RHS identifiers in a different scope (used for instance port
+	// bindings that cross the hierarchy boundary).
+	cont     bool
+	lhs      ast.Expr
+	rhs      ast.Expr
+	rhsScope *scope
+	// Behavioral form.
+	body        ast.Stmt
+	starSens    bool
+	levelEvents []ast.Event
+	edgeEvents  []ast.Event
+	initialOnly bool
+	queued      bool
+}
+
+// scope resolves identifiers for one module instance.
+type scope struct {
+	prefix string
+	nets   map[string]*net
+	params map[string]Value
+}
+
+func (sc *scope) lookupNet(name string) (*net, bool) {
+	n, ok := sc.nets[name]
+	return n, ok
+}
+
+// PortInfo describes one port of the top-level module.
+type PortInfo struct {
+	Name  string
+	Dir   ast.Dir
+	Width int
+}
+
+// Simulator is an elaborated design ready for stimulus. It is not safe for
+// concurrent use.
+type Simulator struct {
+	src      *ast.Source
+	topName  string
+	nets     []*net
+	procs    []*process
+	topScope *scope
+	inputs   []PortInfo
+	outputs  []PortInfo
+
+	active      []*process
+	nba         []nbaWrite
+	changed     []netChange
+	currentProc *process
+}
+
+type nbaWrite struct {
+	target *net
+	lo     int
+	val    Value
+}
+
+// netChange records a value transition. byProc is the behavioral process
+// whose blocking assignment caused it, if any: per event-control semantics a
+// process does not observe changes it makes while executing, so dispatch
+// skips waking byProc on its own change.
+type netChange struct {
+	n        *net
+	old, new Value
+	byProc   *process
+}
+
+// New elaborates src with the given top module and returns a simulator with
+// all state initialized to X and initial blocks executed.
+func New(src *ast.Source, top string) (*Simulator, error) {
+	m := src.FindModule(top)
+	if m == nil {
+		return nil, fmt.Errorf("%w: top module %q not found", ErrElab, top)
+	}
+	s := &Simulator{src: src, topName: top}
+	sc, err := s.elaborate(m, "", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.topScope = sc
+	for _, p := range m.Ports {
+		w := 1
+		if p.Range != nil {
+			w, _, err = s.rangeWidth(p.Range, sc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		info := PortInfo{Name: p.Name, Dir: p.Dir, Width: w}
+		if p.Dir == ast.Input {
+			s.inputs = append(s.inputs, info)
+		} else {
+			s.outputs = append(s.outputs, info)
+		}
+	}
+	// Schedule every process once so combinational logic computes its
+	// initial outputs and sequential blocks observe initial edges from X.
+	for _, p := range s.procs {
+		if !p.cont && len(collectEdgeEvents(p)) > 0 {
+			continue // edge-triggered blocks wait for a real edge
+		}
+		s.enqueue(p)
+	}
+	if err := s.Settle(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func collectEdgeEvents(p *process) []ast.Event {
+	return p.edgeEvents
+}
+
+// rangeWidth const-evaluates a range and returns (width, lsb).
+func (s *Simulator) rangeWidth(r *ast.Range, sc *scope) (int, int, error) {
+	msbV, err := s.constEval(r.MSB, sc)
+	if err != nil {
+		return 0, 0, err
+	}
+	lsbV, err := s.constEval(r.LSB, sc)
+	if err != nil {
+		return 0, 0, err
+	}
+	msb, ok1 := msbV.Uint64()
+	lsb, ok2 := lsbV.Uint64()
+	if !ok1 || !ok2 {
+		return 0, 0, fmt.Errorf("%w: range bounds must be constant", ErrElab)
+	}
+	if lsb > msb {
+		return 0, 0, fmt.Errorf("%w: ascending ranges [%d:%d] are not supported", ErrElab, msb, lsb)
+	}
+	return int(msb-lsb) + 1, int(lsb), nil
+}
+
+// constEval evaluates an elaboration-time constant expression.
+func (s *Simulator) constEval(e ast.Expr, sc *scope) (Value, error) {
+	return s.eval(e, sc)
+}
+
+func (s *Simulator) newNet(sc *scope, localName string, width, lsb int) *net {
+	n := &net{
+		name:  sc.prefix + localName,
+		width: width,
+		lsb:   lsb,
+		value: NewX(width),
+	}
+	s.nets = append(s.nets, n)
+	sc.nets[localName] = n
+	return n
+}
+
+// elaborate recursively instantiates module m under the given hierarchical
+// prefix with parameter overrides.
+func (s *Simulator) elaborate(m *ast.Module, prefix string, paramOverrides map[string]Value, _ *scope) (*scope, error) {
+	sc := &scope{prefix: prefix, nets: make(map[string]*net), params: make(map[string]Value)}
+
+	// Ports first, so parameter defaults can reference them is not allowed
+	// (params may appear in port ranges, so do params lazily: collect decls
+	// and evaluate parameter items before nets that use them).
+	for _, it := range m.Items {
+		pd, ok := it.(*ast.ParamDecl)
+		if !ok {
+			continue
+		}
+		if ov, has := paramOverrides[pd.Name]; has && !pd.Local {
+			sc.params[pd.Name] = ov
+			continue
+		}
+		v, err := s.eval(pd.Value, sc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: parameter %s: %v", ErrElab, pd.Name, err)
+		}
+		if pd.Range != nil {
+			w, _, err := s.rangeWidth(pd.Range, sc)
+			if err != nil {
+				return nil, err
+			}
+			v = v.Resize(w)
+		}
+		sc.params[pd.Name] = v
+	}
+
+	for _, p := range m.Ports {
+		w, lsb := 1, 0
+		var err error
+		if p.Range != nil {
+			w, lsb, err = s.rangeWidth(p.Range, sc)
+			if err != nil {
+				return nil, fmt.Errorf("%w: port %s: %v", ErrElab, p.Name, err)
+			}
+		}
+		s.newNet(sc, p.Name, w, lsb)
+	}
+
+	// First pass: declare every net so later passes resolve names regardless
+	// of item order (Verilog is declaration-order insensitive). Initializer
+	// processes are added only after all nets exist, so their sensitivity
+	// subscriptions resolve.
+	var initAssigns []*process
+	for _, it := range m.Items {
+		item, ok := it.(*ast.NetDecl)
+		if !ok {
+			continue
+		}
+		w, lsb := 1, 0
+		var err error
+		if item.Kind == ast.Integer {
+			w = 32
+		}
+		if item.Range != nil {
+			w, lsb, err = s.rangeWidth(item.Range, sc)
+			if err != nil {
+				return nil, fmt.Errorf("%w: decl at %s: %v", ErrElab, item.DeclPos, err)
+			}
+		}
+		for i, name := range item.Names {
+			if _, exists := sc.nets[name]; !exists {
+				s.newNet(sc, name, w, lsb)
+			}
+			if i < len(item.Init) && item.Init[i] != nil {
+				initAssigns = append(initAssigns, &process{
+					scope: sc,
+					cont:  true,
+					lhs:   &ast.Ident{Name: name},
+					rhs:   item.Init[i],
+				})
+			}
+		}
+	}
+	for _, p := range initAssigns {
+		s.addProcess(p)
+	}
+
+	var behavioral []*ast.Always
+	var initials []*ast.Initial
+	for _, it := range m.Items {
+		switch item := it.(type) {
+		case *ast.ParamDecl, *ast.NetDecl:
+			// handled above
+		case *ast.ContAssign:
+			p := &process{scope: sc, cont: true, lhs: item.LHS, rhs: item.RHS}
+			s.addProcess(p)
+		case *ast.Always:
+			behavioral = append(behavioral, item)
+		case *ast.Initial:
+			initials = append(initials, item)
+		case *ast.Instance:
+			if err := s.elabInstance(item, m, sc); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, a := range behavioral {
+		p := &process{scope: sc, body: a.Body}
+		if a.Star {
+			p.starSens = true
+		} else {
+			for _, ev := range a.Events {
+				if ev.Edge == ast.EdgeNone {
+					p.levelEvents = append(p.levelEvents, ev)
+				} else {
+					p.edgeEvents = append(p.edgeEvents, ev)
+				}
+			}
+		}
+		s.addProcess(p)
+	}
+	for _, ini := range initials {
+		p := &process{scope: sc, body: ini.Body, initialOnly: true}
+		s.addProcess(p)
+	}
+	return sc, nil
+}
+
+// elabInstance wires a child module instance into the parent scope by
+// creating connection processes for each bound port.
+func (s *Simulator) elabInstance(inst *ast.Instance, parent *ast.Module, sc *scope) error {
+	child := s.src.FindModule(inst.ModName)
+	if child == nil {
+		return fmt.Errorf("%w: instance %s: unknown module %q", ErrElab, inst.Name, inst.ModName)
+	}
+	overrides := make(map[string]Value)
+	for _, pc := range inst.ParamsBy {
+		if pc.Name == "" || pc.Expr == nil {
+			return fmt.Errorf("%w: instance %s: parameter overrides must be by name", ErrElab, inst.Name)
+		}
+		v, err := s.eval(pc.Expr, sc)
+		if err != nil {
+			return fmt.Errorf("%w: instance %s: parameter %s: %v", ErrElab, inst.Name, pc.Name, err)
+		}
+		overrides[pc.Name] = v
+	}
+	childScope, err := s.elaborate(child, sc.prefix+inst.Name+".", overrides, sc)
+	if err != nil {
+		return err
+	}
+
+	bind := func(formal *ast.Port, actual ast.Expr) error {
+		if actual == nil {
+			return nil // explicitly unconnected
+		}
+		formalRef := &ast.Ident{Name: formal.Name}
+		switch formal.Dir {
+		case ast.Input:
+			// formal (child) driven by actual (parent expression).
+			p := &process{scope: childScope, cont: true, lhs: formalRef, rhs: actual, rhsScope: sc}
+			s.addProcess(p)
+		case ast.Output:
+			// actual (parent lvalue) driven by formal (child net).
+			p := &process{scope: sc, cont: true, lhs: actual, rhs: formalRef, rhsScope: childScope}
+			s.addProcess(p)
+		default:
+			return fmt.Errorf("%w: instance %s: inout ports are not supported", ErrElab, inst.Name)
+		}
+		return nil
+	}
+
+	if inst.ByName {
+		for _, c := range inst.Conns {
+			if c.Name == "" {
+				return fmt.Errorf("%w: instance %s mixes positional and named connections", ErrElab, inst.Name)
+			}
+			formal := child.PortByName(c.Name)
+			if formal == nil {
+				return fmt.Errorf("%w: instance %s: module %s has no port %q", ErrElab, inst.Name, child.Name, c.Name)
+			}
+			if err := bind(formal, c.Expr); err != nil {
+				return err
+			}
+		}
+	} else {
+		if len(inst.Conns) > len(child.Ports) {
+			return fmt.Errorf("%w: instance %s: too many connections (%d > %d ports)", ErrElab, inst.Name, len(inst.Conns), len(child.Ports))
+		}
+		for i, c := range inst.Conns {
+			if err := bind(child.Ports[i], c.Expr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addProcess registers a process and computes its sensitivities.
+func (s *Simulator) addProcess(p *process) {
+	p.id = len(s.procs)
+	s.procs = append(s.procs, p)
+
+	if p.initialOnly {
+		return
+	}
+	if p.cont {
+		reads := make(map[string]struct{})
+		ast.ExprReads(p.rhs, reads)
+		// Index expressions on the LHS are also reads.
+		collectLHSIndexReads(p.lhs, reads)
+		rsc := p.rhsScope
+		if rsc == nil {
+			rsc = p.scope
+		}
+		// RHS reads resolve in rhsScope; LHS index reads in scope. To stay
+		// conservative, subscribe in both scopes where the name resolves.
+		for name := range reads {
+			if n, ok := rsc.lookupNet(name); ok {
+				n.levelFanout = append(n.levelFanout, p)
+			}
+			if p.rhsScope != nil {
+				if n, ok := p.scope.lookupNet(name); ok {
+					n.levelFanout = append(n.levelFanout, p)
+				}
+			}
+		}
+		return
+	}
+	// Behavioral process.
+	if p.starSens {
+		reads := make(map[string]struct{})
+		ast.WalkStmts(p.body, func(st ast.Stmt) bool {
+			ast.StmtExprs(st, func(e ast.Expr) bool {
+				if id, ok := e.(*ast.Ident); ok {
+					reads[id.Name] = struct{}{}
+				}
+				return true
+			})
+			// Exclude pure LHS base names? Reading the old value is possible;
+			// staying conservative is safe but can oscillate on self-updates.
+			return true
+		})
+		// Remove names that are only ever written, to avoid self-triggering.
+		writes := make(map[string]struct{})
+		onlyWrites := make(map[string]struct{})
+		ast.WalkStmts(p.body, func(st ast.Stmt) bool {
+			if a, ok := st.(*ast.AssignStmt); ok {
+				ast.LHSBase(a.LHS, func(nm string) { writes[nm] = struct{}{} })
+			}
+			if f, ok := st.(*ast.For); ok {
+				if f.Init != nil {
+					ast.LHSBase(f.Init.LHS, func(nm string) { writes[nm] = struct{}{} })
+				}
+				if f.Step != nil {
+					ast.LHSBase(f.Step.LHS, func(nm string) { writes[nm] = struct{}{} })
+				}
+			}
+			return true
+		})
+		for w := range writes {
+			if !readOutsideWrite(p.body, w) {
+				onlyWrites[w] = struct{}{}
+			}
+		}
+		for name := range reads {
+			if _, skip := onlyWrites[name]; skip {
+				continue
+			}
+			if n, ok := p.scope.lookupNet(name); ok {
+				n.levelFanout = append(n.levelFanout, p)
+			}
+		}
+		return
+	}
+	for _, ev := range p.levelEvents {
+		reads := make(map[string]struct{})
+		ast.ExprReads(ev.Sig, reads)
+		for name := range reads {
+			if n, ok := p.scope.lookupNet(name); ok {
+				n.levelFanout = append(n.levelFanout, p)
+			}
+		}
+	}
+	for _, ev := range p.edgeEvents {
+		if id, ok := ev.Sig.(*ast.Ident); ok {
+			if n, ok2 := p.scope.lookupNet(id.Name); ok2 {
+				n.edgeFanout = append(n.edgeFanout, edgeSub{proc: p, edge: ev.Edge})
+			}
+		}
+	}
+}
+
+// readOutsideWrite reports whether name is read in any RHS/condition of the
+// statement tree (not merely written).
+func readOutsideWrite(body ast.Stmt, name string) bool {
+	found := false
+	ast.WalkStmts(body, func(st ast.Stmt) bool {
+		check := func(e ast.Expr) {
+			ast.WalkExprs(e, func(x ast.Expr) bool {
+				if id, ok := x.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return true
+			})
+		}
+		switch a := st.(type) {
+		case *ast.AssignStmt:
+			check(a.RHS)
+			// Index expressions on LHS are reads.
+			switch l := a.LHS.(type) {
+			case *ast.Index:
+				check(l.Idx)
+			case *ast.PartSel:
+				check(l.A)
+				check(l.B)
+			}
+		case *ast.If:
+			check(a.Cond)
+		case *ast.Case:
+			check(a.Subject)
+			for _, it := range a.Items {
+				for _, l := range it.Labels {
+					check(l)
+				}
+			}
+		case *ast.For:
+			check(a.Cond)
+			if a.Init != nil {
+				check(a.Init.RHS)
+			}
+			if a.Step != nil {
+				check(a.Step.RHS)
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func collectLHSIndexReads(lhs ast.Expr, out map[string]struct{}) {
+	switch l := lhs.(type) {
+	case *ast.Index:
+		ast.ExprReads(l.Idx, out)
+		collectLHSIndexReads(l.X, out)
+	case *ast.PartSel:
+		ast.ExprReads(l.A, out)
+		ast.ExprReads(l.B, out)
+		collectLHSIndexReads(l.X, out)
+	case *ast.Concat:
+		for _, p := range l.Parts {
+			collectLHSIndexReads(p, out)
+		}
+	}
+}

@@ -1,0 +1,483 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/verilog/parser"
+)
+
+func TestXPropagationUninitializedReg(t *testing.T) {
+	src := `
+module top_module (
+    input clk,
+    input d,
+    output q
+);
+    reg r;
+    always @(posedge clk)
+        r <= d;
+    assign q = r;
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	v, err := s.Output("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.HasXZ() {
+		t.Errorf("uninitialized reg should read X, got %s", v)
+	}
+	if err := s.SetInputUint("clk", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInputUint("d", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Tick("clk"); err != nil {
+		t.Fatal(err)
+	}
+	if got := outUint(t, s, "q"); got != 1 {
+		t.Errorf("after clock q=%d, want 1", got)
+	}
+}
+
+func TestNonBlockingSwapSemantics(t *testing.T) {
+	// The classic: non-blocking assignments read pre-edge values, so two
+	// registers can swap without a temp.
+	src := `
+module top_module (
+    input clk,
+    input load,
+    input [3:0] av,
+    input [3:0] bv,
+    output reg [3:0] a,
+    output reg [3:0] b
+);
+    always @(posedge clk) begin
+        if (load) begin
+            a <= av;
+            b <= bv;
+        end else begin
+            a <= b;
+            b <= a;
+        end
+    end
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	for name, v := range map[string]uint64{"clk": 0, "load": 1, "av": 3, "bv": 12} {
+		if err := s.SetInputUint(name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Tick("clk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInputUint("load", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Tick("clk"); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := outUint(t, s, "a"), outUint(t, s, "b"); a != 12 || b != 3 {
+		t.Errorf("after swap a=%d b=%d, want 12,3", a, b)
+	}
+}
+
+func TestBlockingChainInClockedBlock(t *testing.T) {
+	// Blocking assignments propagate within the same edge.
+	src := `
+module top_module (
+    input clk,
+    input [3:0] d,
+    output reg [3:0] q
+);
+    reg [3:0] tmp;
+    always @(posedge clk) begin
+        tmp = d + 4'd1;
+        q = tmp + 4'd1;
+    end
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	if err := s.SetInputUint("clk", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInputUint("d", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Tick("clk"); err != nil {
+		t.Fatal(err)
+	}
+	if got := outUint(t, s, "q"); got != 7 {
+		t.Errorf("q=%d, want 7", got)
+	}
+}
+
+func TestCombinationalLoopDetected(t *testing.T) {
+	// From an all-X start, X is a fixed point of the feedback (four-state
+	// semantics), so elaboration settles. Driving the enable with a known
+	// value turns the loop into a zero-delay oscillator, which Settle must
+	// report instead of spinning forever.
+	src := `
+module top_module (
+    input en,
+    output y
+);
+    wire w;
+    assign w = en ? ~w : 1'b0;
+    assign y = w;
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	if err := s.SetInputUint("en", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := outUint(t, s, "y"); got != 0 {
+		t.Fatalf("y=%d with en=0, want 0", got)
+	}
+	if err := s.SetInputUint("en", 1); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Settle()
+	if err == nil {
+		t.Fatal("expected oscillation error")
+	}
+	if !errors.Is(err, ErrNoConverge) {
+		t.Errorf("error %v is not ErrNoConverge", err)
+	}
+}
+
+func TestPartSelectWrite(t *testing.T) {
+	src := `
+module top_module (
+    input clk,
+    input [1:0] be,
+    input [15:0] d,
+    output reg [15:0] q
+);
+    always @(posedge clk) begin
+        if (be[0])
+            q[7:0] <= d[7:0];
+        if (be[1])
+            q[15:8] <= d[15:8];
+    end
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	for name, v := range map[string]uint64{"clk": 0, "be": 3, "d": 0xABCD} {
+		if err := s.SetInputUint(name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Tick("clk"); err != nil {
+		t.Fatal(err)
+	}
+	if got := outUint(t, s, "q"); got != 0xABCD {
+		t.Errorf("q=%x", got)
+	}
+	// Byte-enable only low byte.
+	if err := s.SetInputUint("be", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInputUint("d", 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Tick("clk"); err != nil {
+		t.Fatal(err)
+	}
+	if got := outUint(t, s, "q"); got != 0xAB34 {
+		t.Errorf("q=%x, want AB34", got)
+	}
+}
+
+func TestDynamicBitWrite(t *testing.T) {
+	src := `
+module top_module (
+    input clk,
+    input [2:0] idx,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        q <= 8'd0;
+        q[idx] <= 1'b1;
+    end
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	if err := s.SetInputUint("clk", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInputUint("idx", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Tick("clk"); err != nil {
+		t.Fatal(err)
+	}
+	if got := outUint(t, s, "q"); got != 1<<5 {
+		t.Errorf("q=%b", got)
+	}
+}
+
+func TestNegedgeSensitivity(t *testing.T) {
+	src := `
+module top_module (
+    input clk,
+    input d,
+    output reg q
+);
+    always @(negedge clk)
+        q <= d;
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	if err := s.SetInputUint("clk", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInputUint("d", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	// Rising edge: no capture.
+	v, _ := s.Output("q")
+	if !v.HasXZ() {
+		t.Error("q captured on wrong edge")
+	}
+	if err := s.SetInputUint("clk", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := outUint(t, s, "q"); got != 1 {
+		t.Errorf("q=%d after negedge, want 1", got)
+	}
+}
+
+func TestParametersAndOverrides(t *testing.T) {
+	src := `
+module counter (
+    input clk,
+    input reset,
+    output reg [7:0] q
+);
+    parameter LIMIT = 3;
+    always @(posedge clk) begin
+        if (reset)
+            q <= 8'd0;
+        else if (q == LIMIT)
+            q <= 8'd0;
+        else
+            q <= q + 8'd1;
+    end
+endmodule
+
+module top_module (
+    input clk,
+    input reset,
+    output [7:0] q
+);
+    counter #(.LIMIT(5)) u (.clk(clk), .reset(reset), .q(q));
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	if err := s.SetInputUint("clk", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInputUint("reset", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Tick("clk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInputUint("reset", 0); err != nil {
+		t.Fatal(err)
+	}
+	seen := []uint64{}
+	for i := 0; i < 8; i++ {
+		if err := s.Tick("clk"); err != nil {
+			t.Fatal(err)
+		}
+		seen = append(seen, outUint(t, s, "q"))
+	}
+	want := []uint64{1, 2, 3, 4, 5, 0, 1, 2}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("cycle %d: q=%d, want %d (override LIMIT=5 ignored?)", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestWireInitializer(t *testing.T) {
+	src := `
+module top_module (
+    input [3:0] a,
+    output [3:0] y
+);
+    wire [3:0] inv = ~a;
+    assign y = inv;
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	if err := s.SetInputUint("a", 0b0101); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := outUint(t, s, "y"); got != 0b1010 {
+		t.Errorf("y=%b", got)
+	}
+}
+
+func TestNonZeroLSBRange(t *testing.T) {
+	src := `
+module top_module (
+    input [7:4] a,
+    output [3:0] y
+);
+    assign y = a[5:4];
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	if err := s.SetInput("a", NewKnown(4, 0b0110)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := outUint(t, s, "y"); got != 0b10 {
+		t.Errorf("y=%b, want 10", got)
+	}
+}
+
+func TestErrorsAPI(t *testing.T) {
+	src := `
+module top_module (
+    input a,
+    output y
+);
+    assign y = a;
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	if err := s.SetInputUint("ghost", 1); !errors.Is(err, ErrUnknownNet) {
+		t.Errorf("SetInput unknown: %v", err)
+	}
+	if err := s.SetInputUint("y", 1); !errors.Is(err, ErrNotInput) {
+		t.Errorf("SetInput on output: %v", err)
+	}
+	if _, err := s.Output("ghost"); !errors.Is(err, ErrUnknownNet) {
+		t.Errorf("Output unknown: %v", err)
+	}
+	ins, outs := s.Inputs(), s.Outputs()
+	if len(ins) != 1 || ins[0].Name != "a" || len(outs) != 1 || outs[0].Name != "y" {
+		t.Errorf("ports: %v %v", ins, outs)
+	}
+}
+
+func TestElabErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"missing-top": "module other (input a, output y); assign y = a; endmodule",
+		"bad-range":   "module top_module (input [0:7] a, output y); assign y = a[0]; endmodule",
+		"unknown-sub": "module top_module (input a, output y); ghost u (.a(a), .y(y)); endmodule",
+	} {
+		srcAst, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if _, err := New(srcAst, "top_module"); !errors.Is(err, ErrElab) {
+			t.Errorf("%s: error %v is not ErrElab", name, err)
+		}
+	}
+}
+
+func TestCasezWildcardExecution(t *testing.T) {
+	src := `
+module top_module (
+    input [3:0] in,
+    output reg [1:0] pos
+);
+    always @(*) begin
+        casez (in)
+            4'b1zzz: pos = 2'd3;
+            4'b01zz: pos = 2'd2;
+            4'b001z: pos = 2'd1;
+            4'b0001: pos = 2'd0;
+            default: pos = 2'd0;
+        endcase
+    end
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	for in, want := range map[uint64]uint64{0b1000: 3, 0b1111: 3, 0b0100: 2, 0b0011: 1, 0b0001: 0, 0b0000: 0} {
+		if err := s.SetInputUint("in", in); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		if got := outUint(t, s, "pos"); got != want {
+			t.Errorf("in=%04b: pos=%d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestTernaryXMerge(t *testing.T) {
+	src := `
+module top_module (
+    input s,
+    output [1:0] y
+);
+    assign y = s ? 2'b11 : 2'b10;
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	// s unset (X): bit 1 agrees (1), bit 0 disagrees -> x.
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Output("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Bit(1) != '1' || v.Bit(0) != 'x' {
+		t.Errorf("y=%s, want 1x", v)
+	}
+}
+
+func TestShiftContextWidth(t *testing.T) {
+	// in << amt assigned to a wider output must not truncate at the input
+	// width.
+	src := `
+module top_module (
+    input [3:0] in,
+    input [2:0] amt,
+    output [7:0] y
+);
+    assign y = in << amt;
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	if err := s.SetInputUint("in", 0xF); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInputUint("amt", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := outUint(t, s, "y"); got != 0xF0 {
+		t.Errorf("y=%x, want F0", got)
+	}
+}

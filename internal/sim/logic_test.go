@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewKnownAndString(t *testing.T) {
+	v := NewKnown(4, 0b1010)
+	if got := v.String(); got != "4'b1010" {
+		t.Errorf("String = %q", got)
+	}
+	if u, ok := v.Uint64(); !ok || u != 10 {
+		t.Errorf("Uint64 = %d,%v", u, ok)
+	}
+	if v.HasXZ() {
+		t.Error("known value reports XZ")
+	}
+}
+
+func TestNewXAndBits(t *testing.T) {
+	v := NewX(3)
+	if got := v.String(); got != "3'bxxx" {
+		t.Errorf("String = %q", got)
+	}
+	if !v.HasXZ() {
+		t.Error("X value reports known")
+	}
+	if _, ok := v.Uint64(); ok {
+		t.Error("X value converted to uint64")
+	}
+	if v.Bit(5) != '0' {
+		t.Error("out-of-range bit should read 0")
+	}
+}
+
+func TestMaskOverflow(t *testing.T) {
+	v := NewKnown(4, 0xFF)
+	if u, _ := v.Uint64(); u != 0xF {
+		t.Errorf("mask failed: %d", u)
+	}
+}
+
+func TestResize(t *testing.T) {
+	v := NewKnown(4, 0b1010)
+	up := v.Resize(8)
+	if u, _ := up.Uint64(); u != 0b1010 {
+		t.Errorf("zero-extend: %d", u)
+	}
+	down := v.Resize(2)
+	if u, _ := down.Uint64(); u != 0b10 {
+		t.Errorf("truncate: %d", u)
+	}
+}
+
+func TestBitwiseXSemantics(t *testing.T) {
+	x := NewX(1)
+	one := NewKnown(1, 1)
+	zero := NewKnown(1, 0)
+
+	if got := And(zero, x); got.Bit(0) != '0' {
+		t.Errorf("0 & x = %c, want 0", got.Bit(0))
+	}
+	if got := And(one, x); got.Bit(0) != 'x' {
+		t.Errorf("1 & x = %c, want x", got.Bit(0))
+	}
+	if got := Or(one, x); got.Bit(0) != '1' {
+		t.Errorf("1 | x = %c, want 1", got.Bit(0))
+	}
+	if got := Or(zero, x); got.Bit(0) != 'x' {
+		t.Errorf("0 | x = %c, want x", got.Bit(0))
+	}
+	if got := Xor(one, x); got.Bit(0) != 'x' {
+		t.Errorf("1 ^ x = %c, want x", got.Bit(0))
+	}
+	if got := Not(x); got.Bit(0) != 'x' {
+		t.Errorf("~x = %c, want x", got.Bit(0))
+	}
+}
+
+func TestArithXPropagation(t *testing.T) {
+	x := NewX(4)
+	v := NewKnown(4, 3)
+	for name, got := range map[string]Value{
+		"add": Add(v, x), "sub": Sub(v, x), "mul": Mul(v, x),
+		"div": Div(v, x), "mod": Mod(v, x),
+	} {
+		if !got.HasXZ() {
+			t.Errorf("%s with X operand should be X", name)
+		}
+	}
+	if !Div(v, NewKnown(4, 0)).HasXZ() {
+		t.Error("division by zero should be X")
+	}
+	if !Eq(v, x).HasXZ() {
+		t.Error("== with X should be X")
+	}
+}
+
+func TestCaseEquality(t *testing.T) {
+	x := NewX(2)
+	if got, _ := CaseEq(x, NewX(2)).Uint64(); got != 1 {
+		t.Error("x === x should be 1")
+	}
+	if got, _ := CaseEq(x, NewKnown(2, 0)).Uint64(); got != 0 {
+		t.Error("x === 0 should be 0")
+	}
+	if got, _ := CaseNeq(x, NewKnown(2, 0)).Uint64(); got != 1 {
+		t.Error("x !== 0 should be 1")
+	}
+}
+
+func TestShifts(t *testing.T) {
+	v := NewKnown(8, 0b10010110)
+	if u, _ := Shl(v, NewKnown(3, 2)).Uint64(); u != 0b01011000 {
+		t.Errorf("shl: %b", u)
+	}
+	if u, _ := Shr(v, NewKnown(3, 2)).Uint64(); u != 0b00100101 {
+		t.Errorf("shr: %b", u)
+	}
+	if u, _ := AShr(v, NewKnown(3, 2)).Uint64(); u != 0b11100101 {
+		t.Errorf("ashr: %b", u)
+	}
+	if u, _ := Shl(v, NewKnown(8, 9)).Uint64(); u != 0 {
+		t.Errorf("over-shift left: %b", u)
+	}
+	if u, _ := AShr(v, NewKnown(8, 9)).Uint64(); u != 0xFF {
+		t.Errorf("over-ashr of negative: %b", u)
+	}
+	if !Shl(v, NewX(2)).HasXZ() {
+		t.Error("shift by X should be X")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	if u, _ := RedAnd(NewKnown(4, 0xF)).Uint64(); u != 1 {
+		t.Error("&1111 should be 1")
+	}
+	if u, _ := RedAnd(NewKnown(4, 0x7)).Uint64(); u != 0 {
+		t.Error("&0111 should be 0")
+	}
+	if u, _ := RedOr(NewKnown(4, 0)).Uint64(); u != 0 {
+		t.Error("|0000 should be 0")
+	}
+	if u, _ := RedXor(NewKnown(4, 0b1011)).Uint64(); u != 1 {
+		t.Error("^1011 should be 1")
+	}
+	// X handling: AND with a known 0 dominates X.
+	v := NewX(2)
+	v = v.WriteBits(0, NewKnown(1, 0))
+	if u, _ := RedAnd(v).Uint64(); u != 0 {
+		t.Error("&(x0) should be 0")
+	}
+	if !RedOr(v).HasXZ() {
+		t.Error("|(x0) should be x")
+	}
+}
+
+func TestConcatAndRepl(t *testing.T) {
+	hi := NewKnown(4, 0xA)
+	lo := NewKnown(4, 0x5)
+	cat := ConcatVals([]Value{hi, lo})
+	if u, _ := cat.Uint64(); u != 0xA5 || cat.Width() != 8 {
+		t.Errorf("concat = %x width %d", u, cat.Width())
+	}
+	rep := ReplVal(3, NewKnown(2, 0b10))
+	if u, _ := rep.Uint64(); u != 0b101010 || rep.Width() != 6 {
+		t.Errorf("repl = %b width %d", u, rep.Width())
+	}
+}
+
+func TestSliceAndWrite(t *testing.T) {
+	v := NewKnown(8, 0xA5)
+	if u, _ := v.SliceBits(4, 4).Uint64(); u != 0xA {
+		t.Error("slice high nibble")
+	}
+	out := v.SliceBits(6, 4)
+	if out.Bit(2) != 'x' || out.Bit(3) != 'x' {
+		t.Error("out-of-range slice bits should be X")
+	}
+	w := v.WriteBits(0, NewKnown(4, 0xF))
+	if u, _ := w.Uint64(); u != 0xAF {
+		t.Errorf("write = %x", u)
+	}
+	if u, _ := v.Uint64(); u != 0xA5 {
+		t.Error("WriteBits must not mutate the receiver")
+	}
+}
+
+func TestCasezMatch(t *testing.T) {
+	subj := NewKnown(4, 0b1010)
+	label := NewFromPlanes(4, []uint64{0b1011}, []uint64{0b0011}) // 10zz ('?'→z)
+	if !CasezMatch(subj, label, false) {
+		t.Error("10zz should match 1010 in casez")
+	}
+	exact := NewKnown(4, 0b1110)
+	if CasezMatch(exact, NewKnown(4, 0b1010), false) {
+		t.Error("no wildcards: mismatch expected")
+	}
+	xsubj := NewX(4)
+	if CasezMatch(xsubj, NewKnown(4, 0), false) {
+		t.Error("X subject should not match in casez")
+	}
+	if !CasezMatch(xsubj, NewKnown(4, 0), true) {
+		t.Error("X subject should match in casex")
+	}
+}
+
+func TestBool3(t *testing.T) {
+	if tr, known := NewKnown(4, 2).Bool3(); !tr || !known {
+		t.Error("2 should be known-true")
+	}
+	if tr, known := NewKnown(4, 0).Bool3(); tr || !known {
+		t.Error("0 should be known-false")
+	}
+	if _, known := NewX(4).Bool3(); known {
+		t.Error("X should be unknown")
+	}
+	// 1 bit known-1 plus X bits: still known-true.
+	v := NewX(4).WriteBits(0, NewKnown(1, 1))
+	if tr, known := v.Bool3(); !tr || !known {
+		t.Error("x..1 should be known-true")
+	}
+}
+
+// --- property-based tests against uint64 reference semantics ------------------
+
+func TestAddMatchesUint64Quick(t *testing.T) {
+	prop := func(a, b uint32) bool {
+		va, vb := NewKnown(32, uint64(a)), NewKnown(32, uint64(b))
+		got, ok := Add(va, vb).Uint64()
+		return ok && uint32(got) == a+b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubMatchesUint64Quick(t *testing.T) {
+	prop := func(a, b uint32) bool {
+		got, ok := Sub(NewKnown(32, uint64(a)), NewKnown(32, uint64(b))).Uint64()
+		return ok && uint32(got) == a-b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulMatchesUint64Quick(t *testing.T) {
+	prop := func(a, b uint32) bool {
+		got, ok := Mul(NewKnown(32, uint64(a)), NewKnown(32, uint64(b))).Uint64()
+		return ok && uint32(got) == a*b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivModMatchesUint64Quick(t *testing.T) {
+	prop := func(a, b uint32) bool {
+		if b == 0 {
+			return Div(NewKnown(32, uint64(a)), NewKnown(32, 0)).HasXZ()
+		}
+		q, ok1 := Div(NewKnown(32, uint64(a)), NewKnown(32, uint64(b))).Uint64()
+		r, ok2 := Mod(NewKnown(32, uint64(a)), NewKnown(32, uint64(b))).Uint64()
+		return ok1 && ok2 && uint32(q) == a/b && uint32(r) == a%b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWideMulDivConsistencyQuick(t *testing.T) {
+	// For 96-bit values built from two words, (a*b)/b == a when b != 0 and
+	// the product fits (use small a to avoid overflow).
+	prop := func(a16 uint16, b32 uint32) bool {
+		if b32 == 0 {
+			return true
+		}
+		a := NewKnown(96, uint64(a16))
+		b := NewKnown(96, uint64(b32))
+		prod := Mul(a, b)
+		q := Div(prod, b)
+		return q.Equal(a.Resize(96))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareMatchesUint64Quick(t *testing.T) {
+	prop := func(a, b uint32) bool {
+		va, vb := NewKnown(32, uint64(a)), NewKnown(32, uint64(b))
+		lt, _ := Lt(va, vb).Uint64()
+		leq, _ := Leq(va, vb).Uint64()
+		gt, _ := Gt(va, vb).Uint64()
+		geq, _ := Geq(va, vb).Uint64()
+		eq, _ := Eq(va, vb).Uint64()
+		return (lt == 1) == (a < b) && (leq == 1) == (a <= b) &&
+			(gt == 1) == (a > b) && (geq == 1) == (a >= b) && (eq == 1) == (a == b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitwiseMatchesUint64Quick(t *testing.T) {
+	prop := func(a, b uint32) bool {
+		va, vb := NewKnown(32, uint64(a)), NewKnown(32, uint64(b))
+		and, _ := And(va, vb).Uint64()
+		or, _ := Or(va, vb).Uint64()
+		xor, _ := Xor(va, vb).Uint64()
+		not, _ := Not(va).Uint64()
+		return uint32(and) == a&b && uint32(or) == a|b &&
+			uint32(xor) == a^b && uint32(not) == ^a
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegQuick(t *testing.T) {
+	prop := func(a uint32) bool {
+		got, ok := Neg(NewKnown(32, uint64(a))).Uint64()
+		return ok && uint32(got) == -a
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcatSliceInverseQuick(t *testing.T) {
+	// Slicing a concat recovers the original parts.
+	prop := func(hi uint16, lo uint16) bool {
+		cat := ConcatVals([]Value{NewKnown(16, uint64(hi)), NewKnown(16, uint64(lo))})
+		gotHi, _ := cat.SliceBits(16, 16).Uint64()
+		gotLo, _ := cat.SliceBits(0, 16).Uint64()
+		return uint16(gotHi) == hi && uint16(gotLo) == lo
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

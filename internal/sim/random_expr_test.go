@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/verilog/parser"
+)
+
+// randExpr builds a random combinational expression over inputs a and b
+// (both 8-bit) together with a reference evaluator over uint64 that mirrors
+// the subset's width semantics at a fixed 8-bit context.
+type exprGen struct {
+	rng *rand.Rand
+}
+
+// gen returns (verilog text, reference func) for an expression evaluated in
+// an 8-bit assignment context with zero-extension semantics.
+func (g *exprGen) gen(depth int) (string, func(a, b uint64) uint64) {
+	const mask = 0xFF
+	if depth <= 0 || g.rng.Float64() < 0.25 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return "a", func(a, _ uint64) uint64 { return a }
+		case 1:
+			return "b", func(_, b uint64) uint64 { return b }
+		default:
+			k := uint64(g.rng.Intn(256))
+			return fmt.Sprintf("8'd%d", k), func(_, _ uint64) uint64 { return k }
+		}
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		x, fx := g.gen(depth - 1)
+		return "(~" + x + ")", func(a, b uint64) uint64 { return ^fx(a, b) & mask }
+	case 1:
+		x, fx := g.gen(depth - 1)
+		y, fy := g.gen(depth - 1)
+		return "(" + x + " + " + y + ")", func(a, b uint64) uint64 { return (fx(a, b) + fy(a, b)) & mask }
+	case 2:
+		x, fx := g.gen(depth - 1)
+		y, fy := g.gen(depth - 1)
+		return "(" + x + " - " + y + ")", func(a, b uint64) uint64 { return (fx(a, b) - fy(a, b)) & mask }
+	case 3:
+		x, fx := g.gen(depth - 1)
+		y, fy := g.gen(depth - 1)
+		return "(" + x + " & " + y + ")", func(a, b uint64) uint64 { return fx(a, b) & fy(a, b) }
+	case 4:
+		x, fx := g.gen(depth - 1)
+		y, fy := g.gen(depth - 1)
+		return "(" + x + " | " + y + ")", func(a, b uint64) uint64 { return fx(a, b) | fy(a, b) }
+	case 5:
+		x, fx := g.gen(depth - 1)
+		y, fy := g.gen(depth - 1)
+		return "(" + x + " ^ " + y + ")", func(a, b uint64) uint64 { return fx(a, b) ^ fy(a, b) }
+	case 6:
+		x, fx := g.gen(depth - 1)
+		k := g.rng.Intn(8)
+		return fmt.Sprintf("(%s << %d)", x, k), func(a, b uint64) uint64 { return (fx(a, b) << uint(k)) & mask }
+	default:
+		x, fx := g.gen(depth - 1)
+		k := g.rng.Intn(8)
+		return fmt.Sprintf("(%s >> %d)", x, k), func(a, b uint64) uint64 { return fx(a, b) >> uint(k) }
+	}
+}
+
+// TestRandomExpressionsMatchReference simulates randomly generated
+// combinational designs and compares every output against a direct Go
+// reference evaluation. This is the simulator's strongest differential test.
+func TestRandomExpressionsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	g := &exprGen{rng: rng}
+	for trial := 0; trial < 60; trial++ {
+		expr, ref := g.gen(3)
+		src := fmt.Sprintf(`
+module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    output [7:0] y
+);
+    assign y = %s;
+endmodule
+`, expr)
+		parsed, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: generated source does not parse: %v\n%s", trial, err, src)
+		}
+		s, err := New(parsed, "top_module")
+		if err != nil {
+			t.Fatalf("trial %d: elaborate: %v\n%s", trial, err, src)
+		}
+		for vec := 0; vec < 12; vec++ {
+			av := rng.Uint64() & 0xFF
+			bv := rng.Uint64() & 0xFF
+			if err := s.SetInputUint("a", av); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetInputUint("b", bv); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Settle(); err != nil {
+				t.Fatalf("trial %d: settle: %v\n%s", trial, err, src)
+			}
+			got, err := s.Output("y")
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotU, ok := got.Uint64()
+			if !ok {
+				t.Fatalf("trial %d: output has X bits for known inputs: %s\nexpr: %s", trial, got, expr)
+			}
+			want := ref(av, bv)
+			if gotU != want {
+				t.Fatalf("trial %d: a=%d b=%d: y=%d, want %d\nexpr: %s", trial, av, bv, gotU, want, expr)
+			}
+		}
+	}
+}
+
+// TestRandomMixedProcessStyles cross-checks that the same random function
+// computed three ways — continuous assign, always @(*) with a case-free
+// body, and a two-way split through a helper wire — produces identical
+// traces.
+func TestRandomMixedProcessStyles(t *testing.T) {
+	rng := rand.New(rand.NewSource(4096))
+	g := &exprGen{rng: rng}
+	for trial := 0; trial < 20; trial++ {
+		expr, _ := g.gen(3)
+		styles := []string{
+			fmt.Sprintf(`
+module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    output [7:0] y
+);
+    assign y = %s;
+endmodule
+`, expr),
+			fmt.Sprintf(`
+module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    output reg [7:0] y
+);
+    always @(*)
+        y = %s;
+endmodule
+`, expr),
+			fmt.Sprintf(`
+module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    output [7:0] y
+);
+    wire [7:0] t;
+    assign t = %s;
+    assign y = t;
+endmodule
+`, expr),
+		}
+		var results []uint64
+		for si, src := range styles {
+			parsed, err := parser.Parse(src)
+			if err != nil {
+				t.Fatalf("style %d: %v", si, err)
+			}
+			s, err := New(parsed, "top_module")
+			if err != nil {
+				t.Fatalf("style %d: %v", si, err)
+			}
+			if err := s.SetInputUint("a", 0xA7); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetInputUint("b", 0x3C); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Settle(); err != nil {
+				t.Fatalf("style %d: %v\n%s", si, err, src)
+			}
+			v, err := s.Output("y")
+			if err != nil {
+				t.Fatal(err)
+			}
+			u, ok := v.Uint64()
+			if !ok {
+				t.Fatalf("style %d produced X: %s\nexpr %s", si, v, expr)
+			}
+			results = append(results, u)
+		}
+		if results[0] != results[1] || results[1] != results[2] {
+			t.Fatalf("styles disagree: %v\nexpr: %s", results, expr)
+		}
+	}
+}
+
+// TestWideVectorOperations exercises >64-bit vectors end to end.
+func TestWideVectorOperations(t *testing.T) {
+	src := `
+module top_module (
+    input [99:0] in,
+    output [99:0] rev,
+    output [99:0] sum
+);
+    integer i;
+    reg [99:0] r;
+    always @(*) begin
+        for (i = 0; i < 100; i = i + 1)
+            r[99 - i] = in[i];
+    end
+    assign rev = r;
+    assign sum = in + 100'd1;
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	// in = 1 (bit 0 set) -> rev has bit 99 set; sum = 2.
+	if err := s.SetInput("in", NewKnown(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	rev, err := s.Output("rev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Bit(99) != '1' {
+		t.Errorf("rev bit 99 = %c", rev.Bit(99))
+	}
+	for i := 0; i < 99; i++ {
+		if rev.Bit(i) != '0' {
+			t.Errorf("rev bit %d = %c, want 0", i, rev.Bit(i))
+		}
+	}
+	sum, err := s.Output("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u, ok := sum.Uint64(); !ok || u != 2 {
+		t.Errorf("sum = %s", sum)
+	}
+	// All-ones + 1 wraps to zero at 100 bits.
+	ones := Not(NewKnown(100, 0))
+	if err := s.SetInput("in", ones); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	sum2, _ := s.Output("sum")
+	if !sum2.IsZero() {
+		t.Errorf("wrap: sum = %s", sum2)
+	}
+}
+
+// TestTraceStability re-runs a full suite member many times and confirms the
+// trace never varies (no map-iteration nondeterminism in the engine).
+func TestTraceStability(t *testing.T) {
+	src := `
+module top_module (
+    input clk,
+    input reset,
+    input [3:0] d,
+    output reg [3:0] q,
+    output [3:0] inv
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 4'd0;
+        else
+            q <= q ^ d;
+    end
+    assign inv = ~q;
+endmodule
+`
+	var ref []string
+	for rep := 0; rep < 10; rep++ {
+		s := mustElab(t, src, "top_module")
+		if err := s.SetInputUint("clk", 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetInputUint("reset", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Tick("clk"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetInputUint("reset", 0); err != nil {
+			t.Fatal(err)
+		}
+		var lines []string
+		for c := 0; c < 8; c++ {
+			if err := s.SetInputUint("d", uint64(c*5)%16); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Tick("clk"); err != nil {
+				t.Fatal(err)
+			}
+			q, _ := s.Output("q")
+			inv, _ := s.Output("inv")
+			lines = append(lines, q.String()+inv.String())
+		}
+		got := strings.Join(lines, "|")
+		if rep == 0 {
+			ref = lines
+			continue
+		}
+		if got != strings.Join(ref, "|") {
+			t.Fatalf("rep %d trace differs", rep)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/verilog/parser"
+)
+
+func mustElab(t *testing.T, src, top string) *Simulator {
+	t.Helper()
+	s, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sim, err := New(s, top)
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	return sim
+}
+
+func outUint(t *testing.T, s *Simulator, name string) uint64 {
+	t.Helper()
+	v, err := s.Output(name)
+	if err != nil {
+		t.Fatalf("output %s: %v", name, err)
+	}
+	u, ok := v.Uint64()
+	if !ok {
+		t.Fatalf("output %s is not fully known: %s", name, v)
+	}
+	return u
+}
+
+func TestCombinationalAdder(t *testing.T) {
+	src := `
+module top_module (
+    input [7:0] a,
+    input [7:0] b,
+    output [8:0] sum
+);
+    assign sum = a + b;
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	cases := []struct{ a, b, want uint64 }{
+		{0, 0, 0}, {1, 2, 3}, {255, 255, 510}, {128, 128, 256},
+	}
+	for _, tc := range cases {
+		if err := s.SetInputUint("a", tc.a); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetInputUint("b", tc.b); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		if got := outUint(t, s, "sum"); got != tc.want {
+			t.Errorf("a=%d b=%d: sum=%d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestSequentialCounterSyncReset(t *testing.T) {
+	src := `
+module top_module (
+    input clk,
+    input reset,
+    output reg [3:0] q
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 4'd0;
+        else if (q == 4'd9)
+            q <= 4'd0;
+        else
+            q <= q + 4'd1;
+    end
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	if err := s.SetInputUint("clk", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInputUint("reset", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Tick("clk"); err != nil {
+		t.Fatal(err)
+	}
+	if got := outUint(t, s, "q"); got != 0 {
+		t.Fatalf("after reset: q=%d, want 0", got)
+	}
+	if err := s.SetInputUint("reset", 0); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1}
+	for i, w := range want {
+		if err := s.Tick("clk"); err != nil {
+			t.Fatal(err)
+		}
+		if got := outUint(t, s, "q"); got != w {
+			t.Fatalf("cycle %d: q=%d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestAlwaysStarCase(t *testing.T) {
+	src := `
+module top_module (
+    input [1:0] sel,
+    input [3:0] a,
+    input [3:0] b,
+    input [3:0] c,
+    input [3:0] d,
+    output reg [3:0] y
+);
+    always @(*) begin
+        case (sel)
+            2'd0: y = a;
+            2'd1: y = b;
+            2'd2: y = c;
+            default: y = d;
+        endcase
+    end
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	for _, name := range []string{"a", "b", "c", "d"} {
+		if err := s.SetInputUint(name, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetInputUint("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInputUint("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInputUint("c", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInputUint("d", 4); err != nil {
+		t.Fatal(err)
+	}
+	for sel, want := range map[uint64]uint64{0: 1, 1: 2, 2: 3, 3: 4} {
+		if err := s.SetInputUint("sel", sel); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		if got := outUint(t, s, "y"); got != want {
+			t.Errorf("sel=%d: y=%d, want %d", sel, got, want)
+		}
+	}
+}
+
+func TestHierarchyInstance(t *testing.T) {
+	src := `
+module full_adder (
+    input a,
+    input b,
+    input cin,
+    output sum,
+    output cout
+);
+    assign sum = a ^ b ^ cin;
+    assign cout = (a & b) | (a & cin) | (b & cin);
+endmodule
+
+module top_module (
+    input [3:0] x,
+    input [3:0] y,
+    output [4:0] s
+);
+    wire c1, c2, c3;
+    full_adder fa0 (.a(x[0]), .b(y[0]), .cin(1'b0), .sum(s[0]), .cout(c1));
+    full_adder fa1 (.a(x[1]), .b(y[1]), .cin(c1), .sum(s[1]), .cout(c2));
+    full_adder fa2 (.a(x[2]), .b(y[2]), .cin(c2), .sum(s[2]), .cout(c3));
+    full_adder fa3 (.a(x[3]), .b(y[3]), .cin(c3), .sum(s[3]), .cout(s[4]));
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	for a := uint64(0); a < 16; a += 3 {
+		for b := uint64(0); b < 16; b += 5 {
+			if err := s.SetInputUint("x", a); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetInputUint("y", b); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Settle(); err != nil {
+				t.Fatal(err)
+			}
+			if got := outUint(t, s, "s"); got != a+b {
+				t.Errorf("x=%d y=%d: s=%d, want %d", a, b, got, a+b)
+			}
+		}
+	}
+}
+
+func TestForLoopPopcount(t *testing.T) {
+	src := `
+module top_module (
+    input [7:0] in,
+    output reg [3:0] count
+);
+    integer i;
+    always @(*) begin
+        count = 4'd0;
+        for (i = 0; i < 8; i = i + 1)
+            if (in[i])
+                count = count + 4'd1;
+    end
+endmodule
+`
+	s := mustElab(t, src, "top_module")
+	for _, tc := range []struct{ in, want uint64 }{
+		{0x00, 0}, {0xFF, 8}, {0xA5, 4}, {0x01, 1}, {0x80, 1},
+	} {
+		if err := s.SetInputUint("in", tc.in); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		if got := outUint(t, s, "count"); got != tc.want {
+			t.Errorf("in=%#x: count=%d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

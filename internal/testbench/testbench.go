@@ -1,0 +1,443 @@
+// Package testbench generates stimulus for candidate modules and captures
+// simulation traces. It plays the role of CorrectBench in the paper: the
+// generated testbenches only *print* outputs (they never judge them), and
+// the ranking stage compares the printed traces across candidates.
+//
+// Two testbench grades exist:
+//
+//   - Ranking testbenches (Generator.Ranking) are deliberately lightweight
+//     and optionally imperfect, modeling the LLM-generated testbenches the
+//     paper relies on: they may under-cover edge cases, which is exactly why
+//     the post-ranking refinement stage exists.
+//   - Verification testbenches (Generator.Verification) are dense and are
+//     used only to score a final pick against the golden design, mirroring
+//     the reference testbenches of VerilogEval-Human.
+package testbench
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/verilog/ast"
+)
+
+// ErrRun is the sentinel for stimulus execution failures.
+var ErrRun = errors.New("testbench run failed")
+
+// PortSpec describes one port of the design under test.
+type PortSpec struct {
+	Name  string
+	Width int
+}
+
+// Interface describes the boundary of a design under test.
+type Interface struct {
+	Inputs  []PortSpec
+	Outputs []PortSpec
+	// Clock is the clock input name for sequential designs ("" for
+	// combinational).
+	Clock string
+	// Reset is the synchronous reset input name, if any.
+	Reset string
+	// ResetActiveLow marks an active-low reset.
+	ResetActiveLow bool
+}
+
+// Sequential reports whether the interface has a clock.
+func (ifc *Interface) Sequential() bool { return ifc.Clock != "" }
+
+// DataInputs returns input ports excluding clock and reset.
+func (ifc *Interface) DataInputs() []PortSpec {
+	var out []PortSpec
+	for _, in := range ifc.Inputs {
+		if in.Name == ifc.Clock || in.Name == ifc.Reset {
+			continue
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// Step is one stimulus step: drive the inputs, advance (settle or clock
+// tick), then record all outputs.
+type Step struct {
+	Inputs map[string]sim.Value
+}
+
+// Case is one test case: a single vector for combinational circuits or a
+// reset-plus-sequence for sequential circuits. Each case starts from a fresh
+// simulator.
+type Case struct {
+	Steps []Step
+}
+
+// Stimulus is a full printing testbench: a set of test cases for one
+// interface.
+type Stimulus struct {
+	Ifc   Interface
+	Cases []Case
+}
+
+// NumCases returns the number of test cases.
+func (st *Stimulus) NumCases() int { return len(st.Cases) }
+
+// Generator builds stimulus deterministically from a seed.
+type Generator struct {
+	rng *rand.Rand
+
+	// MaxCombVectors bounds combinational vector counts (exhaustive
+	// enumeration is used when the input space is smaller).
+	MaxCombVectors int
+	// SeqCases and SeqSteps control sequential stimulus volume.
+	SeqCases int
+	SeqSteps int
+	// Imperfection in [0,1) drops roughly that fraction of the cases a
+	// perfect testbench would contain, modeling weak LLM-generated
+	// testbenches (0 = as dense as configured).
+	Imperfection float64
+}
+
+// NewGenerator returns a generator with the given seed and defaults
+// resembling the lightweight testbenches of the ranking stage.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{
+		rng:            rand.New(rand.NewSource(seed)),
+		MaxCombVectors: 32,
+		SeqCases:       3,
+		SeqSteps:       12,
+	}
+}
+
+// Ranking generates the lightweight printing testbench used by the ranking
+// stage.
+func (g *Generator) Ranking(ifc Interface) *Stimulus {
+	st := g.generate(ifc, g.MaxCombVectors, g.SeqCases, g.SeqSteps)
+	if g.Imperfection > 0 && len(st.Cases) > 1 {
+		keep := int(float64(len(st.Cases)) * (1 - g.Imperfection))
+		if keep < 1 {
+			keep = 1
+		}
+		g.rng.Shuffle(len(st.Cases), func(i, j int) {
+			st.Cases[i], st.Cases[j] = st.Cases[j], st.Cases[i]
+		})
+		st.Cases = st.Cases[:keep]
+	}
+	return st
+}
+
+// Verification generates the dense testbench used only for final scoring
+// against the golden design.
+func (g *Generator) Verification(ifc Interface) *Stimulus {
+	return g.generate(ifc, 256, 8, 48)
+}
+
+func (g *Generator) generate(ifc Interface, maxComb, seqCases, seqSteps int) *Stimulus {
+	st := &Stimulus{Ifc: ifc}
+	if ifc.Sequential() {
+		for c := 0; c < seqCases; c++ {
+			st.Cases = append(st.Cases, g.seqCase(ifc, seqSteps, c == 0))
+		}
+		return st
+	}
+	st.Cases = g.combCases(ifc, maxComb)
+	return st
+}
+
+// combCases enumerates the input space exhaustively when it is small enough,
+// otherwise samples random vectors (always including the all-zeros and
+// all-ones corners).
+func (g *Generator) combCases(ifc Interface, maxVectors int) []Case {
+	ins := ifc.DataInputs()
+	totalBits := 0
+	for _, in := range ins {
+		totalBits += in.Width
+	}
+	var cases []Case
+	if totalBits <= 16 && 1<<uint(totalBits) <= maxVectors {
+		for v := uint64(0); v < 1<<uint(totalBits); v++ {
+			cases = append(cases, Case{Steps: []Step{{Inputs: splitVector(ins, v)}}})
+		}
+		return cases
+	}
+	seen := make(map[string]bool)
+	addVector := func(mk func(PortSpec) sim.Value) {
+		inputs := make(map[string]sim.Value, len(ins))
+		var key strings.Builder
+		for _, in := range ins {
+			v := mk(in)
+			inputs[in.Name] = v
+			key.WriteString(v.String())
+			key.WriteByte('|')
+		}
+		if seen[key.String()] {
+			return
+		}
+		seen[key.String()] = true
+		cases = append(cases, Case{Steps: []Step{{Inputs: inputs}}})
+	}
+	addVector(func(p PortSpec) sim.Value { return sim.NewKnown(p.Width, 0) })
+	addVector(func(p PortSpec) sim.Value {
+		return sim.Not(sim.NewKnown(p.Width, 0))
+	})
+	for len(cases) < maxVectors {
+		addVector(func(p PortSpec) sim.Value { return g.randValue(p.Width) })
+	}
+	return cases
+}
+
+// seqCase builds one sequential test case: assert reset for two cycles (when
+// the interface has one), then drive random data inputs. The first case uses
+// a short directed pattern (all-zeros then all-ones inputs) so basic
+// behaviors always appear in the trace.
+func (g *Generator) seqCase(ifc Interface, steps int, directed bool) Case {
+	var c Case
+	ins := ifc.DataInputs()
+	mkStep := func(reset bool, mk func(PortSpec, int) sim.Value, idx int) Step {
+		inputs := make(map[string]sim.Value, len(ins)+1)
+		if ifc.Reset != "" {
+			rv := uint64(0)
+			if reset != ifc.ResetActiveLow {
+				rv = 1
+			}
+			inputs[ifc.Reset] = sim.NewKnown(1, rv)
+		}
+		for _, in := range ins {
+			inputs[in.Name] = mk(in, idx)
+		}
+		return Step{Inputs: inputs}
+	}
+	zero := func(p PortSpec, _ int) sim.Value { return sim.NewKnown(p.Width, 0) }
+	rnd := func(p PortSpec, _ int) sim.Value { return g.randValue(p.Width) }
+	alt := func(p PortSpec, i int) sim.Value {
+		if i%2 == 0 {
+			return sim.NewKnown(p.Width, 0)
+		}
+		return sim.Not(sim.NewKnown(p.Width, 0))
+	}
+
+	if ifc.Reset != "" {
+		c.Steps = append(c.Steps, mkStep(true, zero, 0), mkStep(true, zero, 1))
+	}
+	for i := 0; i < steps; i++ {
+		if directed {
+			c.Steps = append(c.Steps, mkStep(false, alt, i))
+		} else {
+			c.Steps = append(c.Steps, mkStep(false, rnd, i))
+		}
+	}
+	return c
+}
+
+func (g *Generator) randValue(width int) sim.Value {
+	words := (width + 63) / 64
+	planes := make([]uint64, words)
+	for i := range planes {
+		planes[i] = g.rng.Uint64()
+	}
+	return sim.NewFromPlanes(width, planes, make([]uint64, words))
+}
+
+func splitVector(ins []PortSpec, v uint64) map[string]sim.Value {
+	out := make(map[string]sim.Value, len(ins))
+	shift := 0
+	for _, in := range ins {
+		out[in.Name] = sim.NewKnown(in.Width, v>>uint(shift))
+		shift += in.Width
+	}
+	return out
+}
+
+// --- Trace capture -----------------------------------------------------------------
+
+// StepRecord holds all printed outputs after one step.
+type StepRecord struct {
+	Outputs []string // aligned with Interface.Outputs order
+}
+
+// CaseTrace is the printed record of one test case.
+type CaseTrace struct {
+	Steps []StepRecord
+}
+
+// Fingerprint returns a stable hash of the case's printed outputs.
+func (ct *CaseTrace) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, s := range ct.Steps {
+		for _, o := range s.Outputs {
+			_, _ = h.Write([]byte(o))
+			_, _ = h.Write([]byte{'\n'})
+		}
+	}
+	return h.Sum64()
+}
+
+// Trace is the full printed record of a stimulus run.
+type Trace struct {
+	Ifc   Interface
+	Cases []CaseTrace
+	// Err records a runtime failure (e.g. combinational loop); candidates
+	// whose trace has Err != nil never match any other candidate.
+	Err error
+}
+
+// Fingerprint hashes the entire trace, including the error state.
+func (t *Trace) Fingerprint() uint64 {
+	h := fnv.New64a()
+	if t.Err != nil {
+		_, _ = h.Write([]byte("ERR:" + t.Err.Error()))
+		return h.Sum64()
+	}
+	for _, c := range t.Cases {
+		var buf [8]byte
+		fp := c.Fingerprint()
+		for i := range buf {
+			buf[i] = byte(fp >> (8 * uint(i)))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// CaseAgrees reports whether two traces printed identical outputs for test
+// case i.
+func CaseAgrees(a, b *Trace, i int) bool {
+	if a.Err != nil || b.Err != nil {
+		return a.Err != nil && b.Err != nil && a.Err.Error() == b.Err.Error()
+	}
+	if i >= len(a.Cases) || i >= len(b.Cases) {
+		return false
+	}
+	return a.Cases[i].Fingerprint() == b.Cases[i].Fingerprint()
+}
+
+// Agrees reports strict behavioral agreement across all test cases
+// (the paper's ℓ_strict(c,c') == 0).
+func Agrees(a, b *Trace) bool {
+	if a.Err != nil || b.Err != nil {
+		return a.Err != nil && b.Err != nil && a.Err.Error() == b.Err.Error()
+	}
+	if len(a.Cases) != len(b.Cases) {
+		return false
+	}
+	for i := range a.Cases {
+		if a.Cases[i].Fingerprint() != b.Cases[i].Fingerprint() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the trace the way the paper's printing testbench would:
+// one line per step listing every output.
+func (t *Trace) String() string {
+	if t.Err != nil {
+		return "SIMULATION ERROR: " + t.Err.Error() + "\n"
+	}
+	var b strings.Builder
+	for ci, c := range t.Cases {
+		fmt.Fprintf(&b, "case %d:\n", ci)
+		for si, s := range c.Steps {
+			fmt.Fprintf(&b, "  step %d:", si)
+			for oi, out := range s.Outputs {
+				name := "?"
+				if oi < len(t.Ifc.Outputs) {
+					name = t.Ifc.Outputs[oi].Name
+				}
+				fmt.Fprintf(&b, " %s=%s", name, out)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Run executes the stimulus against a design and captures its trace. Each
+// sequential test case elaborates a fresh simulator so cases are
+// independent; combinational interfaces reuse one simulator across cases
+// (deterministic for both golden and candidates, so comparisons stay
+// apples-to-apples even for buggy candidates with accidental state). A
+// runtime error is recorded in the trace rather than returned: a failing
+// candidate is simply one that agrees with nobody.
+func Run(src *ast.Source, top string, st *Stimulus) *Trace {
+	tr := &Trace{Ifc: st.Ifc}
+	var shared *sim.Simulator
+	if st.Ifc.Clock == "" {
+		var err error
+		shared, err = sim.New(src, top)
+		if err != nil {
+			tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
+			return tr
+		}
+	}
+	for _, c := range st.Cases {
+		s := shared
+		if s == nil {
+			var err error
+			s, err = sim.New(src, top)
+			if err != nil {
+				tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
+				return tr
+			}
+		}
+		if st.Ifc.Clock != "" {
+			if err := s.SetInputUint(st.Ifc.Clock, 0); err != nil {
+				tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
+				return tr
+			}
+		}
+		var ct CaseTrace
+		for _, step := range c.Steps {
+			names := make([]string, 0, len(step.Inputs))
+			for name := range step.Inputs {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				if err := s.SetInput(name, step.Inputs[name]); err != nil {
+					tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
+					return tr
+				}
+			}
+			if st.Ifc.Clock != "" {
+				if err := s.Tick(st.Ifc.Clock); err != nil {
+					tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
+					return tr
+				}
+			} else {
+				if err := s.Settle(); err != nil {
+					tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
+					return tr
+				}
+			}
+			rec := StepRecord{Outputs: make([]string, len(st.Ifc.Outputs))}
+			for i, out := range st.Ifc.Outputs {
+				v, err := s.Output(out.Name)
+				if err != nil {
+					tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
+					return tr
+				}
+				rec.Outputs[i] = v.Resize(out.Width).String()
+			}
+			ct.Steps = append(ct.Steps, rec)
+		}
+		tr.Cases = append(tr.Cases, ct)
+	}
+	return tr
+}
+
+// Verify runs the stimulus on both a candidate and a reference design and
+// reports whether their printed traces agree exactly. This is the
+// golden-testbench pass/fail oracle used for final scoring.
+func Verify(candidate, golden *ast.Source, top string, st *Stimulus) bool {
+	ct := Run(candidate, top, st)
+	if ct.Err != nil {
+		return false
+	}
+	gt := Run(golden, top, st)
+	return Agrees(ct, gt)
+}

@@ -1,0 +1,503 @@
+// Package ast defines the abstract syntax tree for the supported Verilog
+// subset: ANSI-style modules with nets, continuous assignments, always and
+// initial blocks, behavioral statements, and module instantiation.
+package ast
+
+import "repro/internal/verilog/token"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// --- Expressions -----------------------------------------------------------
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a reference to a named net, variable, or parameter.
+type Ident struct {
+	NamePos token.Pos
+	Name    string
+}
+
+// Number is an integer literal. Width<0 means an unsized literal (treated as
+// 32 bits). Bits are stored in four-state form to support x/z digits.
+type Number struct {
+	LitPos token.Pos
+	Text   string // original literal text, e.g. "4'b10x0"
+	Width  int    // declared width, or -1 if unsized
+	// Val and XZ encode the four-state value: for bit i,
+	// XZ=0 → value bit Val; XZ=1 → Val=0 is X, Val=1 is Z.
+	Val []uint64
+	XZ  []uint64
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+// Unary operators. RedAnd..RedXnor are reduction operators.
+const (
+	UnaryPlus UnaryOp = iota + 1
+	UnaryMinus
+	LogicalNot // !
+	BitNot     // ~
+	RedAnd     // &
+	RedOr      // |
+	RedXor     // ^
+	RedNand    // ~&
+	RedNor     // ~|
+	RedXnor    // ~^
+)
+
+var unaryNames = map[UnaryOp]string{
+	UnaryPlus:  "+",
+	UnaryMinus: "-",
+	LogicalNot: "!",
+	BitNot:     "~",
+	RedAnd:     "&",
+	RedOr:      "|",
+	RedXor:     "^",
+	RedNand:    "~&",
+	RedNor:     "~|",
+	RedXnor:    "~^",
+}
+
+// String returns the operator's source spelling.
+func (op UnaryOp) String() string { return unaryNames[op] }
+
+// Unary is a unary or reduction expression.
+type Unary struct {
+	OpPos token.Pos
+	Op    UnaryOp
+	X     Expr
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators.
+const (
+	Add BinaryOp = iota + 1
+	Sub
+	Mul
+	Div
+	Mod
+	BitAnd
+	BitOr
+	BitXor
+	BitXnor
+	LogAnd
+	LogOr
+	Eq
+	Neq
+	CaseEq
+	CaseNeq
+	Lt
+	Leq
+	Gt
+	Geq
+	Shl
+	Shr
+	AShl
+	AShr
+)
+
+var binaryNames = map[BinaryOp]string{
+	Add:     "+",
+	Sub:     "-",
+	Mul:     "*",
+	Div:     "/",
+	Mod:     "%",
+	BitAnd:  "&",
+	BitOr:   "|",
+	BitXor:  "^",
+	BitXnor: "~^",
+	LogAnd:  "&&",
+	LogOr:   "||",
+	Eq:      "==",
+	Neq:     "!=",
+	CaseEq:  "===",
+	CaseNeq: "!==",
+	Lt:      "<",
+	Leq:     "<=",
+	Gt:      ">",
+	Geq:     ">=",
+	Shl:     "<<",
+	Shr:     ">>",
+	AShl:    "<<<",
+	AShr:    ">>>",
+}
+
+// String returns the operator's source spelling.
+func (op BinaryOp) String() string { return binaryNames[op] }
+
+// Binary is a binary expression X Op Y.
+type Binary struct {
+	Op   BinaryOp
+	X, Y Expr
+}
+
+// Ternary is the conditional expression Cond ? Then : Else.
+type Ternary struct {
+	Cond, Then, Else Expr
+}
+
+// Concat is a concatenation {A, B, ...}.
+type Concat struct {
+	LbPos token.Pos
+	Parts []Expr
+}
+
+// Repl is a replication {Count{Value}}.
+type Repl struct {
+	LbPos token.Pos
+	Count Expr
+	Value Expr
+}
+
+// Index is a bit-select X[Idx].
+type Index struct {
+	X   Expr
+	Idx Expr
+}
+
+// SelKind distinguishes part-select forms.
+type SelKind int
+
+// Part-select kinds: constant [msb:lsb], indexed up [base +: width], and
+// indexed down [base -: width].
+const (
+	SelConst SelKind = iota + 1
+	SelPlus
+	SelMinus
+)
+
+// PartSel is a part-select X[A:B], X[A+:B] or X[A-:B].
+type PartSel struct {
+	X    Expr
+	Kind SelKind
+	A, B Expr
+}
+
+// Pos implementations.
+func (e *Ident) Pos() token.Pos   { return e.NamePos }
+func (e *Number) Pos() token.Pos  { return e.LitPos }
+func (e *Unary) Pos() token.Pos   { return e.OpPos }
+func (e *Binary) Pos() token.Pos  { return e.X.Pos() }
+func (e *Ternary) Pos() token.Pos { return e.Cond.Pos() }
+func (e *Concat) Pos() token.Pos  { return e.LbPos }
+func (e *Repl) Pos() token.Pos    { return e.LbPos }
+func (e *Index) Pos() token.Pos   { return e.X.Pos() }
+func (e *PartSel) Pos() token.Pos { return e.X.Pos() }
+
+func (*Ident) exprNode()   {}
+func (*Number) exprNode()  {}
+func (*Unary) exprNode()   {}
+func (*Binary) exprNode()  {}
+func (*Ternary) exprNode() {}
+func (*Concat) exprNode()  {}
+func (*Repl) exprNode()    {}
+func (*Index) exprNode()   {}
+func (*PartSel) exprNode() {}
+
+// --- Statements -------------------------------------------------------------
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Block is a begin/end statement group.
+type Block struct {
+	BeginPos token.Pos
+	Name     string // optional label (begin : name)
+	Stmts    []Stmt
+}
+
+// AssignStmt is a procedural assignment. Blocking selects `=` vs `<=`.
+type AssignStmt struct {
+	LHS      Expr // Ident, Index, PartSel, or Concat of those
+	RHS      Expr
+	Blocking bool
+}
+
+// If is an if/else statement. Else may be nil.
+type If struct {
+	IfPos token.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt
+}
+
+// CaseKind distinguishes case statement variants.
+type CaseKind int
+
+// Case statement kinds.
+const (
+	CasePlain CaseKind = iota + 1
+	CaseZ
+	CaseX
+)
+
+// String returns the source keyword of the case kind.
+func (k CaseKind) String() string {
+	switch k {
+	case CaseZ:
+		return "casez"
+	case CaseX:
+		return "casex"
+	default:
+		return "case"
+	}
+}
+
+// CaseItem is one arm of a case statement. A nil Labels slice marks the
+// default arm.
+type CaseItem struct {
+	ItemPos token.Pos
+	Labels  []Expr // nil for default
+	Body    Stmt
+}
+
+// Case is a case/casez/casex statement.
+type Case struct {
+	CasePos token.Pos
+	Kind    CaseKind
+	Subject Expr
+	Items   []*CaseItem
+}
+
+// For is a for loop with blocking-assignment init and step.
+type For struct {
+	ForPos token.Pos
+	Init   *AssignStmt
+	Cond   Expr
+	Step   *AssignStmt
+	Body   Stmt
+}
+
+// Pos implementations.
+func (s *Block) Pos() token.Pos      { return s.BeginPos }
+func (s *AssignStmt) Pos() token.Pos { return s.LHS.Pos() }
+func (s *If) Pos() token.Pos         { return s.IfPos }
+func (s *Case) Pos() token.Pos       { return s.CasePos }
+func (s *For) Pos() token.Pos        { return s.ForPos }
+
+func (*Block) stmtNode()      {}
+func (*AssignStmt) stmtNode() {}
+func (*If) stmtNode()         {}
+func (*Case) stmtNode()       {}
+func (*For) stmtNode()        {}
+
+// --- Module items ------------------------------------------------------------
+
+// Item is implemented by all module-level items.
+type Item interface {
+	Node
+	itemNode()
+}
+
+// Range is a vector range [MSB:LSB]. Nil means a scalar.
+type Range struct {
+	MSB, LSB Expr
+}
+
+// Dir is a port direction.
+type Dir int
+
+// Port directions.
+const (
+	Input Dir = iota + 1
+	Output
+	Inout
+)
+
+// String returns the source keyword of the direction.
+func (d Dir) String() string {
+	switch d {
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	case Inout:
+		return "inout"
+	default:
+		return "dir?"
+	}
+}
+
+// Port is an ANSI-style module port.
+type Port struct {
+	PortPos token.Pos
+	Dir     Dir
+	IsReg   bool
+	Signed  bool
+	Range   *Range // nil for scalar
+	Name    string
+}
+
+// NetKind distinguishes net/variable declarations.
+type NetKind int
+
+// Net kinds.
+const (
+	Wire NetKind = iota + 1
+	Reg
+	Integer
+)
+
+// String returns the source keyword of the net kind.
+func (k NetKind) String() string {
+	switch k {
+	case Wire:
+		return "wire"
+	case Reg:
+		return "reg"
+	case Integer:
+		return "integer"
+	default:
+		return "net?"
+	}
+}
+
+// NetDecl declares one or more nets or variables of the same kind and range.
+type NetDecl struct {
+	DeclPos token.Pos
+	Kind    NetKind
+	Signed  bool
+	Range   *Range
+	Names   []string
+	// Init, if non-nil and the same length as Names, holds per-name
+	// initialization expressions from `wire x = expr;` declarations
+	// (entries may be nil).
+	Init []Expr
+}
+
+// ParamDecl declares a parameter or localparam.
+type ParamDecl struct {
+	DeclPos token.Pos
+	Local   bool
+	Range   *Range
+	Name    string
+	Value   Expr
+}
+
+// ContAssign is a continuous assignment: assign LHS = RHS;
+type ContAssign struct {
+	AssignPos token.Pos
+	LHS       Expr
+	RHS       Expr
+}
+
+// EdgeKind is the edge specifier of a sensitivity event.
+type EdgeKind int
+
+// Edge kinds. EdgeNone is a level (plain signal) sensitivity entry.
+const (
+	EdgeNone EdgeKind = iota + 1
+	EdgePos
+	EdgeNeg
+)
+
+// Event is one entry of a sensitivity list.
+type Event struct {
+	Edge EdgeKind
+	Sig  Expr
+}
+
+// Always is an always block. Star marks always @(*) / always @*.
+type Always struct {
+	AlwaysPos token.Pos
+	Star      bool
+	Events    []Event
+	Body      Stmt
+}
+
+// Initial is an initial block (used by rendered testbenches; designs in the
+// benchmark do not rely on it).
+type Initial struct {
+	InitPos token.Pos
+	Body    Stmt
+}
+
+// PortConn is one port connection of a module instance. Name is empty for
+// positional connections.
+type PortConn struct {
+	Name string
+	Expr Expr // nil for explicitly unconnected .name()
+}
+
+// Instance instantiates a module.
+type Instance struct {
+	InstPos  token.Pos
+	ModName  string
+	Name     string
+	ByName   bool
+	Conns    []PortConn
+	ParamsBy []PortConn // #(.N(4)) style parameter overrides, by name
+}
+
+// Pos implementations.
+func (i *Port) Pos() token.Pos       { return i.PortPos }
+func (i *NetDecl) Pos() token.Pos    { return i.DeclPos }
+func (i *ParamDecl) Pos() token.Pos  { return i.DeclPos }
+func (i *ContAssign) Pos() token.Pos { return i.AssignPos }
+func (i *Always) Pos() token.Pos     { return i.AlwaysPos }
+func (i *Initial) Pos() token.Pos    { return i.InitPos }
+func (i *Instance) Pos() token.Pos   { return i.InstPos }
+
+func (*NetDecl) itemNode()    {}
+func (*ParamDecl) itemNode()  {}
+func (*ContAssign) itemNode() {}
+func (*Always) itemNode()     {}
+func (*Initial) itemNode()    {}
+func (*Instance) itemNode()   {}
+
+// Module is a Verilog module with ANSI-style ports.
+type Module struct {
+	ModPos token.Pos
+	Name   string
+	Ports  []*Port
+	Items  []Item
+}
+
+// Pos returns the position of the module keyword.
+func (m *Module) Pos() token.Pos { return m.ModPos }
+
+// Source is a compilation unit: one or more modules.
+type Source struct {
+	Modules []*Module
+}
+
+// Pos returns the position of the first module, or the zero position.
+func (s *Source) Pos() token.Pos {
+	if len(s.Modules) > 0 {
+		return s.Modules[0].Pos()
+	}
+	return token.Pos{}
+}
+
+// FindModule returns the module with the given name, or nil.
+func (s *Source) FindModule(name string) *Module {
+	for _, m := range s.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// PortByName returns the port with the given name, or nil.
+func (m *Module) PortByName(name string) *Port {
+	for _, p := range m.Ports {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}

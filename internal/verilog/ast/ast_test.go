@@ -1,0 +1,229 @@
+package ast
+
+import (
+	"testing"
+
+	"repro/internal/verilog/token"
+)
+
+func sampleModule() *Module {
+	// module m (input a, output reg q);
+	//   wire w = a;
+	//   always @(posedge a) q <= w ? a : ~a;
+	// endmodule
+	return &Module{
+		Name: "m",
+		Ports: []*Port{
+			{Dir: Input, Name: "a"},
+			{Dir: Output, IsReg: true, Name: "q"},
+		},
+		Items: []Item{
+			&NetDecl{Kind: Wire, Names: []string{"w"}, Init: []Expr{&Ident{Name: "a"}}},
+			&Always{
+				Events: []Event{{Edge: EdgePos, Sig: &Ident{Name: "a"}}},
+				Body: &AssignStmt{
+					LHS: &Ident{Name: "q"},
+					RHS: &Ternary{
+						Cond: &Ident{Name: "w"},
+						Then: &Ident{Name: "a"},
+						Else: &Unary{Op: BitNot, X: &Ident{Name: "a"}},
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestWalkExprs(t *testing.T) {
+	e := &Binary{Op: Add,
+		X: &Concat{Parts: []Expr{&Ident{Name: "x"}, &Number{Text: "1"}}},
+		Y: &Repl{Count: &Number{Text: "2"}, Value: &Index{X: &Ident{Name: "y"}, Idx: &Number{Text: "0"}}},
+	}
+	var idents []string
+	WalkExprs(e, func(x Expr) bool {
+		if id, ok := x.(*Ident); ok {
+			idents = append(idents, id.Name)
+		}
+		return true
+	})
+	if len(idents) != 2 || idents[0] != "x" || idents[1] != "y" {
+		t.Errorf("idents = %v", idents)
+	}
+}
+
+func TestWalkExprsPrune(t *testing.T) {
+	e := &Binary{Op: Add, X: &Ident{Name: "x"}, Y: &Ident{Name: "y"}}
+	count := 0
+	WalkExprs(e, func(x Expr) bool {
+		count++
+		return false // do not descend
+	})
+	if count != 1 {
+		t.Errorf("visited %d nodes, want 1", count)
+	}
+}
+
+func TestExprReads(t *testing.T) {
+	e := &Ternary{
+		Cond: &Ident{Name: "sel"},
+		Then: &PartSel{X: &Ident{Name: "bus"}, Kind: SelConst, A: &Number{Text: "3"}, B: &Number{Text: "0"}},
+		Else: &Ident{Name: "alt"},
+	}
+	reads := map[string]struct{}{}
+	ExprReads(e, reads)
+	for _, want := range []string{"sel", "bus", "alt"} {
+		if _, ok := reads[want]; !ok {
+			t.Errorf("missing read %q", want)
+		}
+	}
+}
+
+func TestLHSBase(t *testing.T) {
+	lhs := &Concat{Parts: []Expr{
+		&Ident{Name: "hi"},
+		&Index{X: &Ident{Name: "mid"}, Idx: &Number{Text: "0"}},
+		&PartSel{X: &Ident{Name: "lo"}, Kind: SelConst, A: &Number{Text: "3"}, B: &Number{Text: "0"}},
+	}}
+	var names []string
+	LHSBase(lhs, func(n string) { names = append(names, n) })
+	if len(names) != 3 || names[0] != "hi" || names[1] != "mid" || names[2] != "lo" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestCloneModuleIsDeep(t *testing.T) {
+	orig := sampleModule()
+	clone := CloneModule(orig)
+
+	// Mutate the clone everywhere and verify the original is untouched.
+	clone.Name = "changed"
+	clone.Ports[0].Name = "zz"
+	clone.Items[0].(*NetDecl).Names[0] = "renamed"
+	alw := clone.Items[1].(*Always)
+	alw.Events[0].Edge = EdgeNeg
+	alw.Body.(*AssignStmt).LHS.(*Ident).Name = "other"
+
+	if orig.Name != "m" {
+		t.Error("module name leaked")
+	}
+	if orig.Ports[0].Name != "a" {
+		t.Error("port leaked")
+	}
+	if orig.Items[0].(*NetDecl).Names[0] != "w" {
+		t.Error("net decl leaked")
+	}
+	origAlw := orig.Items[1].(*Always)
+	if origAlw.Events[0].Edge != EdgePos {
+		t.Error("event leaked")
+	}
+	if origAlw.Body.(*AssignStmt).LHS.(*Ident).Name != "q" {
+		t.Error("stmt leaked")
+	}
+}
+
+func TestCloneStmtTypes(t *testing.T) {
+	stmts := []Stmt{
+		&Block{Stmts: []Stmt{&AssignStmt{LHS: &Ident{Name: "a"}, RHS: &Number{Text: "1"}}}},
+		&If{Cond: &Ident{Name: "c"}, Then: &Block{}, Else: &Block{}},
+		&Case{Subject: &Ident{Name: "s"}, Items: []*CaseItem{
+			{Labels: []Expr{&Number{Text: "0"}}, Body: &Block{}},
+			{Body: &Block{}},
+		}},
+		&For{
+			Init: &AssignStmt{LHS: &Ident{Name: "i"}, RHS: &Number{Text: "0"}, Blocking: true},
+			Cond: &Binary{Op: Lt, X: &Ident{Name: "i"}, Y: &Number{Text: "8"}},
+			Step: &AssignStmt{LHS: &Ident{Name: "i"}, RHS: &Number{Text: "1"}, Blocking: true},
+			Body: &Block{},
+		},
+	}
+	for i, s := range stmts {
+		c := CloneStmt(s)
+		if c == nil {
+			t.Errorf("stmt %d cloned to nil", i)
+		}
+	}
+	if CloneStmt(nil) != nil {
+		t.Error("nil should clone to nil")
+	}
+}
+
+func TestFindModuleAndPortByName(t *testing.T) {
+	src := &Source{Modules: []*Module{sampleModule()}}
+	if src.FindModule("m") == nil {
+		t.Error("FindModule failed")
+	}
+	if src.FindModule("nope") != nil {
+		t.Error("FindModule false positive")
+	}
+	m := src.Modules[0]
+	if m.PortByName("q") == nil || m.PortByName("zz") != nil {
+		t.Error("PortByName wrong")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if Input.String() != "input" || Output.String() != "output" || Inout.String() != "inout" {
+		t.Error("dir strings")
+	}
+	if Wire.String() != "wire" || Reg.String() != "reg" || Integer.String() != "integer" {
+		t.Error("net kind strings")
+	}
+	if CasePlain.String() != "case" || CaseZ.String() != "casez" || CaseX.String() != "casex" {
+		t.Error("case kind strings")
+	}
+	if Add.String() != "+" || BitXnor.String() != "~^" || AShr.String() != ">>>" {
+		t.Error("binary op strings")
+	}
+	if LogicalNot.String() != "!" || RedNand.String() != "~&" {
+		t.Error("unary op strings")
+	}
+}
+
+func TestModuleExprsCoversItems(t *testing.T) {
+	m := sampleModule()
+	m.Items = append(m.Items,
+		&ParamDecl{Name: "P", Value: &Ident{Name: "a"}},
+		&ContAssign{LHS: &Ident{Name: "q"}, RHS: &Ident{Name: "w"}},
+		&Instance{ModName: "sub", Name: "u", Conns: []PortConn{{Name: "x", Expr: &Ident{Name: "a"}}}},
+		&Initial{Body: &AssignStmt{LHS: &Ident{Name: "q"}, RHS: &Number{Text: "0"}}},
+	)
+	count := 0
+	ModuleExprs(m, func(e Expr) bool {
+		count++
+		return true
+	})
+	if count < 10 {
+		t.Errorf("ModuleExprs visited only %d nodes", count)
+	}
+}
+
+func TestPosAccessors(t *testing.T) {
+	pos := token.Pos{Line: 2, Col: 5}
+	nodes := []Node{
+		&Ident{NamePos: pos},
+		&Number{LitPos: pos},
+		&Unary{OpPos: pos},
+		&Concat{LbPos: pos},
+		&Repl{LbPos: pos},
+		&Block{BeginPos: pos},
+		&If{IfPos: pos},
+		&Case{CasePos: pos},
+		&For{ForPos: pos},
+		&Port{PortPos: pos},
+		&NetDecl{DeclPos: pos},
+		&ParamDecl{DeclPos: pos},
+		&ContAssign{AssignPos: pos},
+		&Always{AlwaysPos: pos},
+		&Initial{InitPos: pos},
+		&Instance{InstPos: pos},
+	}
+	for i, n := range nodes {
+		if n.Pos() != pos {
+			t.Errorf("node %d Pos() = %v", i, n.Pos())
+		}
+	}
+	empty := &Source{}
+	if empty.Pos() != (token.Pos{}) {
+		t.Error("empty source pos should be zero")
+	}
+}

@@ -1,0 +1,198 @@
+package ast
+
+// CloneModule returns a deep copy of a module. The mutation engine clones
+// the golden design before applying in-place mutations.
+func CloneModule(m *Module) *Module {
+	if m == nil {
+		return nil
+	}
+	out := &Module{ModPos: m.ModPos, Name: m.Name}
+	for _, p := range m.Ports {
+		cp := *p
+		cp.Range = cloneRange(p.Range)
+		out.Ports = append(out.Ports, &cp)
+	}
+	for _, it := range m.Items {
+		out.Items = append(out.Items, CloneItem(it))
+	}
+	return out
+}
+
+// CloneSource deep-copies a compilation unit.
+func CloneSource(s *Source) *Source {
+	if s == nil {
+		return nil
+	}
+	out := &Source{}
+	for _, m := range s.Modules {
+		out.Modules = append(out.Modules, CloneModule(m))
+	}
+	return out
+}
+
+func cloneRange(r *Range) *Range {
+	if r == nil {
+		return nil
+	}
+	return &Range{MSB: CloneExpr(r.MSB), LSB: CloneExpr(r.LSB)}
+}
+
+// CloneItem deep-copies a module item.
+func CloneItem(it Item) Item {
+	switch x := it.(type) {
+	case *NetDecl:
+		cp := *x
+		cp.Range = cloneRange(x.Range)
+		cp.Names = append([]string(nil), x.Names...)
+		cp.Init = nil
+		for _, e := range x.Init {
+			cp.Init = append(cp.Init, CloneExpr(e))
+		}
+		return &cp
+	case *ParamDecl:
+		cp := *x
+		cp.Range = cloneRange(x.Range)
+		cp.Value = CloneExpr(x.Value)
+		return &cp
+	case *ContAssign:
+		cp := *x
+		cp.LHS = CloneExpr(x.LHS)
+		cp.RHS = CloneExpr(x.RHS)
+		return &cp
+	case *Always:
+		cp := *x
+		cp.Events = nil
+		for _, ev := range x.Events {
+			cp.Events = append(cp.Events, Event{Edge: ev.Edge, Sig: CloneExpr(ev.Sig)})
+		}
+		cp.Body = CloneStmt(x.Body)
+		return &cp
+	case *Initial:
+		cp := *x
+		cp.Body = CloneStmt(x.Body)
+		return &cp
+	case *Instance:
+		cp := *x
+		cp.Conns = clonePortConns(x.Conns)
+		cp.ParamsBy = clonePortConns(x.ParamsBy)
+		return &cp
+	default:
+		return it
+	}
+}
+
+func clonePortConns(conns []PortConn) []PortConn {
+	out := make([]PortConn, len(conns))
+	for i, c := range conns {
+		out[i] = PortConn{Name: c.Name, Expr: CloneExpr(c.Expr)}
+	}
+	return out
+}
+
+// CloneStmt deep-copies a statement tree.
+func CloneStmt(s Stmt) Stmt {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *Block:
+		cp := *x
+		cp.Stmts = nil
+		for _, sub := range x.Stmts {
+			cp.Stmts = append(cp.Stmts, CloneStmt(sub))
+		}
+		return &cp
+	case *AssignStmt:
+		cp := *x
+		cp.LHS = CloneExpr(x.LHS)
+		cp.RHS = CloneExpr(x.RHS)
+		return &cp
+	case *If:
+		cp := *x
+		cp.Cond = CloneExpr(x.Cond)
+		cp.Then = CloneStmt(x.Then)
+		cp.Else = CloneStmt(x.Else)
+		return &cp
+	case *Case:
+		cp := *x
+		cp.Subject = CloneExpr(x.Subject)
+		cp.Items = nil
+		for _, item := range x.Items {
+			ci := &CaseItem{ItemPos: item.ItemPos}
+			for _, l := range item.Labels {
+				ci.Labels = append(ci.Labels, CloneExpr(l))
+			}
+			ci.Body = CloneStmt(item.Body)
+			cp.Items = append(cp.Items, ci)
+		}
+		return &cp
+	case *For:
+		cp := *x
+		if x.Init != nil {
+			cp.Init = CloneStmt(x.Init).(*AssignStmt)
+		}
+		cp.Cond = CloneExpr(x.Cond)
+		if x.Step != nil {
+			cp.Step = CloneStmt(x.Step).(*AssignStmt)
+		}
+		cp.Body = CloneStmt(x.Body)
+		return &cp
+	default:
+		return s
+	}
+}
+
+// CloneExpr deep-copies an expression tree.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		cp := *x
+		return &cp
+	case *Number:
+		cp := *x
+		cp.Val = append([]uint64(nil), x.Val...)
+		cp.XZ = append([]uint64(nil), x.XZ...)
+		return &cp
+	case *Unary:
+		cp := *x
+		cp.X = CloneExpr(x.X)
+		return &cp
+	case *Binary:
+		cp := *x
+		cp.X = CloneExpr(x.X)
+		cp.Y = CloneExpr(x.Y)
+		return &cp
+	case *Ternary:
+		cp := *x
+		cp.Cond = CloneExpr(x.Cond)
+		cp.Then = CloneExpr(x.Then)
+		cp.Else = CloneExpr(x.Else)
+		return &cp
+	case *Concat:
+		cp := *x
+		cp.Parts = nil
+		for _, p := range x.Parts {
+			cp.Parts = append(cp.Parts, CloneExpr(p))
+		}
+		return &cp
+	case *Repl:
+		cp := *x
+		cp.Count = CloneExpr(x.Count)
+		cp.Value = CloneExpr(x.Value)
+		return &cp
+	case *Index:
+		cp := *x
+		cp.X = CloneExpr(x.X)
+		cp.Idx = CloneExpr(x.Idx)
+		return &cp
+	case *PartSel:
+		cp := *x
+		cp.X = CloneExpr(x.X)
+		cp.A = CloneExpr(x.A)
+		cp.B = CloneExpr(x.B)
+		return &cp
+	default:
+		return e
+	}
+}

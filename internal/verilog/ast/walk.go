@@ -1,0 +1,155 @@
+package ast
+
+// WalkExprs calls fn for every expression reachable from e, in pre-order.
+// If fn returns false the walk does not descend into that expression.
+func WalkExprs(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *Ident, *Number:
+	case *Unary:
+		WalkExprs(x.X, fn)
+	case *Binary:
+		WalkExprs(x.X, fn)
+		WalkExprs(x.Y, fn)
+	case *Ternary:
+		WalkExprs(x.Cond, fn)
+		WalkExprs(x.Then, fn)
+		WalkExprs(x.Else, fn)
+	case *Concat:
+		for _, p := range x.Parts {
+			WalkExprs(p, fn)
+		}
+	case *Repl:
+		WalkExprs(x.Count, fn)
+		WalkExprs(x.Value, fn)
+	case *Index:
+		WalkExprs(x.X, fn)
+		WalkExprs(x.Idx, fn)
+	case *PartSel:
+		WalkExprs(x.X, fn)
+		WalkExprs(x.A, fn)
+		WalkExprs(x.B, fn)
+	}
+}
+
+// WalkStmts calls fn for every statement reachable from s, in pre-order.
+// If fn returns false the walk does not descend into that statement.
+func WalkStmts(s Stmt, fn func(Stmt) bool) {
+	if s == nil || !fn(s) {
+		return
+	}
+	switch x := s.(type) {
+	case *AssignStmt:
+	case *Block:
+		for _, sub := range x.Stmts {
+			WalkStmts(sub, fn)
+		}
+	case *If:
+		WalkStmts(x.Then, fn)
+		WalkStmts(x.Else, fn)
+	case *Case:
+		for _, item := range x.Items {
+			WalkStmts(item.Body, fn)
+		}
+	case *For:
+		WalkStmts(x.Body, fn)
+	}
+}
+
+// StmtExprs calls fn for every expression directly referenced by s (not
+// descending into nested statements).
+func StmtExprs(s Stmt, fn func(Expr) bool) {
+	switch x := s.(type) {
+	case *AssignStmt:
+		WalkExprs(x.LHS, fn)
+		WalkExprs(x.RHS, fn)
+	case *If:
+		WalkExprs(x.Cond, fn)
+	case *Case:
+		WalkExprs(x.Subject, fn)
+		for _, item := range x.Items {
+			for _, l := range item.Labels {
+				WalkExprs(l, fn)
+			}
+		}
+	case *For:
+		if x.Init != nil {
+			WalkExprs(x.Init.LHS, fn)
+			WalkExprs(x.Init.RHS, fn)
+		}
+		WalkExprs(x.Cond, fn)
+		if x.Step != nil {
+			WalkExprs(x.Step.LHS, fn)
+			WalkExprs(x.Step.RHS, fn)
+		}
+	case *Block:
+	}
+}
+
+// ModuleExprs calls fn for every expression in every item of the module,
+// including those nested inside statements.
+func ModuleExprs(m *Module, fn func(Expr) bool) {
+	for _, it := range m.Items {
+		switch x := it.(type) {
+		case *NetDecl:
+			for _, e := range x.Init {
+				WalkExprs(e, fn)
+			}
+		case *ParamDecl:
+			WalkExprs(x.Value, fn)
+		case *ContAssign:
+			WalkExprs(x.LHS, fn)
+			WalkExprs(x.RHS, fn)
+		case *Always:
+			for _, ev := range x.Events {
+				WalkExprs(ev.Sig, fn)
+			}
+			WalkStmts(x.Body, func(s Stmt) bool {
+				StmtExprs(s, fn)
+				return true
+			})
+		case *Initial:
+			WalkStmts(x.Body, func(s Stmt) bool {
+				StmtExprs(s, fn)
+				return true
+			})
+		case *Instance:
+			for _, c := range x.Conns {
+				WalkExprs(c.Expr, fn)
+			}
+			for _, c := range x.ParamsBy {
+				WalkExprs(c.Expr, fn)
+			}
+		}
+	}
+}
+
+// ExprReads collects the names of all identifiers read by e.
+func ExprReads(e Expr, out map[string]struct{}) {
+	WalkExprs(e, func(x Expr) bool {
+		if id, ok := x.(*Ident); ok {
+			out[id.Name] = struct{}{}
+		}
+		return true
+	})
+}
+
+// LHSBase returns the base identifier written by an lvalue expression:
+// x, x[i], x[a:b] all yield "x". Concatenation lvalues return every base via
+// the callback.
+func LHSBase(e Expr, fn func(name string)) {
+	switch x := e.(type) {
+	case *Ident:
+		fn(x.Name)
+	case *Index:
+		LHSBase(x.X, fn)
+	case *PartSel:
+		LHSBase(x.X, fn)
+	case *Concat:
+		for _, p := range x.Parts {
+			LHSBase(p, fn)
+		}
+	}
+}

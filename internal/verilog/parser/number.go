@@ -1,0 +1,172 @@
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/verilog/ast"
+)
+
+// ErrNumber is the sentinel for malformed number literals.
+var ErrNumber = errors.New("malformed number literal")
+
+func wordsFor(width int) int {
+	if width <= 0 {
+		return 1
+	}
+	return (width + 63) / 64
+}
+
+func setBit(words []uint64, i int) {
+	words[i/64] |= 1 << (uint(i) % 64)
+}
+
+// ParseNumber parses a Verilog number literal into an ast.Number with
+// four-state bitplanes. Supported forms: plain decimal (`42`), sized or
+// unsized based literals (`8'hFF`, `'b101`, `4'b1x0z`), with optional
+// underscores and an ignored signed marker (`8'sb...`).
+func ParseNumber(text string) (*ast.Number, error) {
+	n := &ast.Number{Text: text, Width: -1}
+	quote := strings.IndexByte(text, '\'')
+	if quote < 0 {
+		// Plain decimal, 32-bit unsized.
+		clean := strings.ReplaceAll(text, "_", "")
+		v, err := strconv.ParseUint(clean, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q", ErrNumber, text)
+		}
+		n.Val = []uint64{v}
+		n.XZ = []uint64{0}
+		return n, nil
+	}
+
+	sizeText := strings.ReplaceAll(text[:quote], "_", "")
+	rest := text[quote+1:]
+	if rest != "" && (rest[0] == 's' || rest[0] == 'S') {
+		rest = rest[1:]
+	}
+	if rest == "" {
+		return nil, fmt.Errorf("%w: %q has no base", ErrNumber, text)
+	}
+	base := rest[0]
+	digits := strings.ReplaceAll(rest[1:], "_", "")
+	if digits == "" {
+		return nil, fmt.Errorf("%w: %q has no digits", ErrNumber, text)
+	}
+
+	width := -1
+	if sizeText != "" {
+		w, err := strconv.Atoi(sizeText)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("%w: bad size in %q", ErrNumber, text)
+		}
+		width = w
+	}
+
+	var bitsPerDigit int
+	switch base {
+	case 'b', 'B':
+		bitsPerDigit = 1
+	case 'o', 'O':
+		bitsPerDigit = 3
+	case 'h', 'H':
+		bitsPerDigit = 4
+	case 'd', 'D':
+		// Decimal based literal: no x/z digits allowed.
+		v, err := strconv.ParseUint(digits, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q", ErrNumber, text)
+		}
+		if width < 0 {
+			width = 32
+			n.Width = -1
+		} else {
+			n.Width = width
+		}
+		nw := wordsFor(width)
+		n.Val = make([]uint64, nw)
+		n.XZ = make([]uint64, nw)
+		n.Val[0] = v
+		maskTo(n.Val, width)
+		maskTo(n.XZ, width)
+		return n, nil
+	default:
+		return nil, fmt.Errorf("%w: bad base %q in %q", ErrNumber, string(base), text)
+	}
+
+	totalBits := len(digits) * bitsPerDigit
+	if width < 0 {
+		width = totalBits
+		if width < 32 {
+			width = 32
+		}
+	} else {
+		n.Width = width
+	}
+	nw := wordsFor(width)
+	n.Val = make([]uint64, nw)
+	n.XZ = make([]uint64, nw)
+
+	// Fill from the least-significant digit.
+	bit := 0
+	for i := len(digits) - 1; i >= 0; i-- {
+		d := digits[i]
+		var dv uint64
+		var isX, isZ bool
+		switch {
+		case d >= '0' && d <= '9':
+			dv = uint64(d - '0')
+		case d >= 'a' && d <= 'f':
+			dv = uint64(d-'a') + 10
+		case d >= 'A' && d <= 'F':
+			dv = uint64(d-'A') + 10
+		case d == 'x' || d == 'X':
+			isX = true
+		case d == 'z' || d == 'Z' || d == '?':
+			isZ = true
+		default:
+			return nil, fmt.Errorf("%w: digit %q in %q", ErrNumber, string(d), text)
+		}
+		if dv >= 1<<uint(bitsPerDigit) {
+			return nil, fmt.Errorf("%w: digit %q too large for base in %q", ErrNumber, string(d), text)
+		}
+		for b := 0; b < bitsPerDigit; b++ {
+			if bit >= width {
+				break
+			}
+			switch {
+			case isX:
+				setBit(n.XZ, bit)
+			case isZ:
+				setBit(n.XZ, bit)
+				setBit(n.Val, bit)
+			default:
+				if dv&(1<<uint(b)) != 0 {
+					setBit(n.Val, bit)
+				}
+			}
+			bit++
+		}
+	}
+	maskTo(n.Val, width)
+	maskTo(n.XZ, width)
+	return n, nil
+}
+
+// maskTo clears bits at positions >= width.
+func maskTo(words []uint64, width int) {
+	if width <= 0 {
+		return
+	}
+	for i := range words {
+		lo := i * 64
+		switch {
+		case lo >= width:
+			words[i] = 0
+		case lo+64 > width:
+			words[i] &= (1 << (uint(width) % 64)) - 1
+		}
+	}
+}

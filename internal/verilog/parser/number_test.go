@@ -1,0 +1,136 @@
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNumberValues(t *testing.T) {
+	cases := []struct {
+		text  string
+		width int // expected declared width (-1 unsized)
+		val   uint64
+	}{
+		{"0", -1, 0},
+		{"42", -1, 42},
+		{"8'hFF", 8, 255},
+		{"8'hff", 8, 255},
+		{"4'b1010", 4, 10},
+		{"4'd9", 4, 9},
+		{"12'o777", 12, 0o777},
+		{"16'd65535", 16, 65535},
+		{"'b101", -1, 5},
+		{"8'sb11", 8, 3},
+		{"8'b1010_1010", 8, 0xAA},
+		{"3'd9", 3, 1}, // oversized digits truncate to width
+	}
+	for _, tc := range cases {
+		n, err := ParseNumber(tc.text)
+		if err != nil {
+			t.Errorf("%q: %v", tc.text, err)
+			continue
+		}
+		if n.Width != tc.width {
+			t.Errorf("%q: width %d, want %d", tc.text, n.Width, tc.width)
+		}
+		if n.Val[0] != tc.val {
+			t.Errorf("%q: val %d, want %d", tc.text, n.Val[0], tc.val)
+		}
+		for _, xz := range n.XZ {
+			if xz != 0 {
+				t.Errorf("%q: unexpected x/z bits", tc.text)
+			}
+		}
+	}
+}
+
+func TestParseNumberXZ(t *testing.T) {
+	n, err := ParseNumber("4'b1x0z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bit3=1, bit2=x, bit1=0, bit0=z
+	if n.Val[0]&(1<<3) == 0 {
+		t.Error("bit 3 should be 1")
+	}
+	if n.XZ[0]&(1<<2) == 0 || n.Val[0]&(1<<2) != 0 {
+		t.Error("bit 2 should be X")
+	}
+	if n.XZ[0]&(1<<0) == 0 || n.Val[0]&(1<<0) == 0 {
+		t.Error("bit 0 should be Z")
+	}
+	// '?' is Z in literals.
+	n2, err := ParseNumber("2'b?1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.XZ[0]&2 == 0 || n2.Val[0]&2 == 0 {
+		t.Error("? should read as Z")
+	}
+}
+
+func TestParseNumberWide(t *testing.T) {
+	n, err := ParseNumber("100'h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Width != 100 || len(n.Val) != 2 {
+		t.Fatalf("width=%d words=%d", n.Width, len(n.Val))
+	}
+	if n.Val[0] != 1 || n.Val[1] != 0 {
+		t.Errorf("val = %v", n.Val)
+	}
+}
+
+func TestParseNumberErrors(t *testing.T) {
+	for _, text := range []string{"8'q1", "'h", "8'", "0x12", "4'bxyz2w", "abc"} {
+		if _, err := ParseNumber(text); err == nil {
+			t.Errorf("%q: expected error", text)
+		} else if !errors.Is(err, ErrNumber) {
+			t.Errorf("%q: %v is not ErrNumber", text, err)
+		}
+	}
+}
+
+// TestParseNumberRoundTripQuick checks that any uint64 value formatted as a
+// sized hex or decimal literal parses back to itself.
+func TestParseNumberRoundTripQuick(t *testing.T) {
+	prop := func(v uint64, useHex bool) bool {
+		var text string
+		if useHex {
+			text = fmt.Sprintf("64'h%x", v)
+		} else {
+			text = fmt.Sprintf("64'd%d", v)
+		}
+		n, err := ParseNumber(text)
+		if err != nil {
+			return false
+		}
+		return n.Width == 64 && n.Val[0] == v && n.XZ[0] == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNumberWidthMaskQuick: a literal never carries bits above its
+// declared width.
+func TestParseNumberWidthMaskQuick(t *testing.T) {
+	prop := func(v uint16, w uint8) bool {
+		width := int(w%16) + 1
+		text := fmt.Sprintf("%d'h%x", width, v)
+		n, err := ParseNumber(text)
+		if err != nil {
+			return false
+		}
+		if width < 64 && n.Val[0] >= 1<<uint(width) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

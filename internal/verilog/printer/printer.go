@@ -1,0 +1,429 @@
+// Package printer renders AST nodes back to deterministic, readable Verilog
+// source text. The mutation engine relies on it to materialize candidate
+// code, and round-tripping through the parser is covered by tests.
+package printer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/verilog/ast"
+)
+
+// Print renders a full compilation unit.
+func Print(s *ast.Source) string {
+	var b strings.Builder
+	for i, m := range s.Modules {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(PrintModule(m))
+	}
+	return b.String()
+}
+
+// PrintModule renders one module.
+func PrintModule(m *ast.Module) string {
+	p := &printer{}
+	p.module(m)
+	return p.b.String()
+}
+
+// PrintExpr renders an expression.
+func PrintExpr(e ast.Expr) string {
+	p := &printer{}
+	p.expr(e, 0)
+	return p.b.String()
+}
+
+// PrintStmt renders a statement at the given indent depth.
+func PrintStmt(s ast.Stmt, depth int) string {
+	p := &printer{}
+	p.stmt(s, depth)
+	return p.b.String()
+}
+
+type printer struct {
+	b strings.Builder
+}
+
+func (p *printer) indent(depth int) {
+	for i := 0; i < depth; i++ {
+		p.b.WriteString("    ")
+	}
+}
+
+func (p *printer) module(m *ast.Module) {
+	fmt.Fprintf(&p.b, "module %s", m.Name)
+	if len(m.Ports) > 0 {
+		p.b.WriteString(" (\n")
+		for i, port := range m.Ports {
+			p.indent(1)
+			p.b.WriteString(port.Dir.String())
+			if port.IsReg {
+				p.b.WriteString(" reg")
+			}
+			if port.Signed {
+				p.b.WriteString(" signed")
+			}
+			if port.Range != nil {
+				p.b.WriteString(" ")
+				p.rng(port.Range)
+			}
+			p.b.WriteString(" ")
+			p.b.WriteString(port.Name)
+			if i < len(m.Ports)-1 {
+				p.b.WriteString(",")
+			}
+			p.b.WriteString("\n")
+		}
+		p.b.WriteString(")")
+	}
+	p.b.WriteString(";\n")
+	for _, item := range m.Items {
+		p.item(item)
+	}
+	p.b.WriteString("endmodule\n")
+}
+
+func (p *printer) rng(r *ast.Range) {
+	p.b.WriteString("[")
+	p.expr(r.MSB, 0)
+	p.b.WriteString(":")
+	p.expr(r.LSB, 0)
+	p.b.WriteString("]")
+}
+
+func (p *printer) item(item ast.Item) {
+	switch it := item.(type) {
+	case *ast.NetDecl:
+		p.indent(1)
+		p.b.WriteString(it.Kind.String())
+		if it.Signed {
+			p.b.WriteString(" signed")
+		}
+		if it.Range != nil {
+			p.b.WriteString(" ")
+			p.rng(it.Range)
+		}
+		p.b.WriteString(" ")
+		for i, name := range it.Names {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.b.WriteString(name)
+			if i < len(it.Init) && it.Init[i] != nil {
+				p.b.WriteString(" = ")
+				p.expr(it.Init[i], 0)
+			}
+		}
+		p.b.WriteString(";\n")
+	case *ast.ParamDecl:
+		p.indent(1)
+		if it.Local {
+			p.b.WriteString("localparam ")
+		} else {
+			p.b.WriteString("parameter ")
+		}
+		if it.Range != nil {
+			p.rng(it.Range)
+			p.b.WriteString(" ")
+		}
+		fmt.Fprintf(&p.b, "%s = ", it.Name)
+		p.expr(it.Value, 0)
+		p.b.WriteString(";\n")
+	case *ast.ContAssign:
+		p.indent(1)
+		p.b.WriteString("assign ")
+		p.expr(it.LHS, 0)
+		p.b.WriteString(" = ")
+		p.expr(it.RHS, 0)
+		p.b.WriteString(";\n")
+	case *ast.Always:
+		p.indent(1)
+		p.b.WriteString("always @(")
+		if it.Star {
+			p.b.WriteString("*")
+		} else {
+			for i, ev := range it.Events {
+				if i > 0 {
+					p.b.WriteString(" or ")
+				}
+				switch ev.Edge {
+				case ast.EdgePos:
+					p.b.WriteString("posedge ")
+				case ast.EdgeNeg:
+					p.b.WriteString("negedge ")
+				}
+				p.expr(ev.Sig, 0)
+			}
+		}
+		p.b.WriteString(")")
+		p.bodyAfterHeader(it.Body)
+	case *ast.Initial:
+		p.indent(1)
+		p.b.WriteString("initial")
+		p.bodyAfterHeader(it.Body)
+	case *ast.Instance:
+		p.indent(1)
+		p.b.WriteString(it.ModName)
+		if len(it.ParamsBy) > 0 {
+			p.b.WriteString(" #(")
+			p.conns(it.ParamsBy)
+			p.b.WriteString(")")
+		}
+		fmt.Fprintf(&p.b, " %s (", it.Name)
+		p.conns(it.Conns)
+		p.b.WriteString(");\n")
+	}
+}
+
+func (p *printer) conns(conns []ast.PortConn) {
+	for i, c := range conns {
+		if i > 0 {
+			p.b.WriteString(", ")
+		}
+		if c.Name != "" {
+			fmt.Fprintf(&p.b, ".%s(", c.Name)
+			if c.Expr != nil {
+				p.expr(c.Expr, 0)
+			}
+			p.b.WriteString(")")
+		} else {
+			p.expr(c.Expr, 0)
+		}
+	}
+}
+
+// bodyAfterHeader prints a statement that follows an always/initial header,
+// putting `begin` on the same line.
+func (p *printer) bodyAfterHeader(s ast.Stmt) {
+	if blk, ok := s.(*ast.Block); ok {
+		p.b.WriteString(" begin")
+		if blk.Name != "" {
+			fmt.Fprintf(&p.b, " : %s", blk.Name)
+		}
+		p.b.WriteString("\n")
+		for _, sub := range blk.Stmts {
+			p.stmt(sub, 2)
+		}
+		p.indent(1)
+		p.b.WriteString("end\n")
+		return
+	}
+	p.b.WriteString("\n")
+	p.stmt(s, 2)
+}
+
+func (p *printer) stmt(s ast.Stmt, depth int) {
+	switch st := s.(type) {
+	case *ast.Block:
+		p.indent(depth)
+		p.b.WriteString("begin")
+		if st.Name != "" {
+			fmt.Fprintf(&p.b, " : %s", st.Name)
+		}
+		p.b.WriteString("\n")
+		for _, sub := range st.Stmts {
+			p.stmt(sub, depth+1)
+		}
+		p.indent(depth)
+		p.b.WriteString("end\n")
+	case *ast.AssignStmt:
+		p.indent(depth)
+		p.expr(st.LHS, 0)
+		if st.Blocking {
+			p.b.WriteString(" = ")
+		} else {
+			p.b.WriteString(" <= ")
+		}
+		p.expr(st.RHS, 0)
+		p.b.WriteString(";\n")
+	case *ast.If:
+		p.indent(depth)
+		p.ifChain(st, depth)
+	case *ast.Case:
+		p.indent(depth)
+		fmt.Fprintf(&p.b, "%s (", st.Kind)
+		p.expr(st.Subject, 0)
+		p.b.WriteString(")\n")
+		for _, item := range st.Items {
+			p.indent(depth + 1)
+			if item.Labels == nil {
+				p.b.WriteString("default:")
+			} else {
+				for i, l := range item.Labels {
+					if i > 0 {
+						p.b.WriteString(", ")
+					}
+					p.expr(l, 0)
+				}
+				p.b.WriteString(":")
+			}
+			if blk, ok := item.Body.(*ast.Block); ok && len(blk.Stmts) != 1 {
+				p.b.WriteString("\n")
+				p.stmt(item.Body, depth+2)
+			} else if ok && len(blk.Stmts) == 1 {
+				p.b.WriteString(" ")
+				inline := PrintStmt(blk.Stmts[0], 0)
+				p.b.WriteString(strings.TrimRight(inline, "\n"))
+				p.b.WriteString("\n")
+			} else {
+				p.b.WriteString(" ")
+				inline := PrintStmt(item.Body, 0)
+				p.b.WriteString(strings.TrimRight(inline, "\n"))
+				p.b.WriteString("\n")
+			}
+		}
+		p.indent(depth)
+		p.b.WriteString("endcase\n")
+	case *ast.For:
+		p.indent(depth)
+		p.b.WriteString("for (")
+		p.expr(st.Init.LHS, 0)
+		p.b.WriteString(" = ")
+		p.expr(st.Init.RHS, 0)
+		p.b.WriteString("; ")
+		p.expr(st.Cond, 0)
+		p.b.WriteString("; ")
+		p.expr(st.Step.LHS, 0)
+		p.b.WriteString(" = ")
+		p.expr(st.Step.RHS, 0)
+		p.b.WriteString(")\n")
+		p.stmt(st.Body, depth+1)
+	}
+}
+
+// ifChain prints if/else-if chains without extra indentation pyramids.
+// The caller has already printed the indent for the `if` keyword.
+func (p *printer) ifChain(st *ast.If, depth int) {
+	p.b.WriteString("if (")
+	p.expr(st.Cond, 0)
+	p.b.WriteString(")")
+	p.branch(st.Then, depth)
+	if st.Else != nil {
+		p.indent(depth)
+		p.b.WriteString("else")
+		if elif, ok := st.Else.(*ast.If); ok {
+			p.b.WriteString(" ")
+			p.ifChain(elif, depth)
+			return
+		}
+		p.branch(st.Else, depth)
+	}
+}
+
+// branch prints the then/else body of an if, inlining blocks.
+func (p *printer) branch(s ast.Stmt, depth int) {
+	if blk, ok := s.(*ast.Block); ok {
+		p.b.WriteString(" begin\n")
+		for _, sub := range blk.Stmts {
+			p.stmt(sub, depth+1)
+		}
+		p.indent(depth)
+		p.b.WriteString("end\n")
+		return
+	}
+	p.b.WriteString("\n")
+	p.stmt(s, depth+1)
+}
+
+// Operator precedence used to decide parenthesization; mirrors the parser's
+// table.
+func exprPrec(e ast.Expr) int {
+	switch x := e.(type) {
+	case *ast.Binary:
+		switch x.Op {
+		case ast.Mul, ast.Div, ast.Mod:
+			return 10
+		case ast.Add, ast.Sub:
+			return 9
+		case ast.Shl, ast.Shr, ast.AShl, ast.AShr:
+			return 8
+		case ast.Lt, ast.Leq, ast.Gt, ast.Geq:
+			return 7
+		case ast.Eq, ast.Neq, ast.CaseEq, ast.CaseNeq:
+			return 6
+		case ast.BitAnd:
+			return 5
+		case ast.BitXor, ast.BitXnor:
+			return 4
+		case ast.BitOr:
+			return 3
+		case ast.LogAnd:
+			return 2
+		case ast.LogOr:
+			return 1
+		}
+	case *ast.Ternary:
+		return 0
+	case *ast.Unary:
+		return 11
+	}
+	return 12 // primary
+}
+
+func (p *printer) expr(e ast.Expr, parentPrec int) {
+	prec := exprPrec(e)
+	paren := prec < parentPrec
+	if paren {
+		p.b.WriteString("(")
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		p.b.WriteString(x.Name)
+	case *ast.Number:
+		p.b.WriteString(x.Text)
+	case *ast.Unary:
+		p.b.WriteString(x.Op.String())
+		// Parenthesize nested unary/binary operands of reductions for clarity.
+		p.expr(x.X, 11+1)
+	case *ast.Binary:
+		p.expr(x.X, prec)
+		fmt.Fprintf(&p.b, " %s ", x.Op)
+		p.expr(x.Y, prec+1)
+	case *ast.Ternary:
+		p.expr(x.Cond, 1)
+		p.b.WriteString(" ? ")
+		p.expr(x.Then, 0)
+		p.b.WriteString(" : ")
+		p.expr(x.Else, 0)
+	case *ast.Concat:
+		p.b.WriteString("{")
+		for i, part := range x.Parts {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.expr(part, 0)
+		}
+		p.b.WriteString("}")
+	case *ast.Repl:
+		p.b.WriteString("{")
+		p.expr(x.Count, 12)
+		p.b.WriteString("{")
+		p.expr(x.Value, 0)
+		p.b.WriteString("}}")
+	case *ast.Index:
+		p.expr(x.X, 12)
+		p.b.WriteString("[")
+		p.expr(x.Idx, 0)
+		p.b.WriteString("]")
+	case *ast.PartSel:
+		p.expr(x.X, 12)
+		p.b.WriteString("[")
+		p.expr(x.A, 0)
+		switch x.Kind {
+		case ast.SelPlus:
+			p.b.WriteString(" +: ")
+		case ast.SelMinus:
+			p.b.WriteString(" -: ")
+		default:
+			p.b.WriteString(":")
+		}
+		p.expr(x.B, 0)
+		p.b.WriteString("]")
+	}
+	if paren {
+		p.b.WriteString(")")
+	}
+}

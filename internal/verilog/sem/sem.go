@@ -1,0 +1,458 @@
+// Package sem implements semantic validity checks for parsed modules. The
+// VFocus pre-ranking stage uses it (together with the parser) as the
+// syntactic-validity gate: candidates that fail these checks are retried.
+package sem
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/verilog/ast"
+	"repro/internal/verilog/token"
+)
+
+// ErrSemantic is the sentinel wrapped by Check failures.
+var ErrSemantic = errors.New("verilog semantic error")
+
+// Severity grades an issue.
+type Severity int
+
+// Issue severities.
+const (
+	Warning Severity = iota + 1
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == Warning {
+		return "warning"
+	}
+	return "error"
+}
+
+// Issue is one diagnostic produced by Check.
+type Issue struct {
+	Sev Severity
+	Pos token.Pos
+	Msg string
+}
+
+// String renders the issue.
+func (i Issue) String() string {
+	return fmt.Sprintf("%s: %s: %s", i.Pos, i.Sev, i.Msg)
+}
+
+// Result aggregates the diagnostics for one source.
+type Result struct {
+	Issues []Issue
+}
+
+// HasErrors reports whether any issue is an Error.
+func (r *Result) HasErrors() bool {
+	for _, i := range r.Issues {
+		if i.Sev == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Err returns a wrapped error if the result contains errors, else nil.
+func (r *Result) Err() error {
+	if !r.HasErrors() {
+		return nil
+	}
+	var msgs []string
+	for _, i := range r.Issues {
+		if i.Sev == Error {
+			msgs = append(msgs, i.String())
+			if len(msgs) == 3 {
+				break
+			}
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrSemantic, strings.Join(msgs, "; "))
+}
+
+// Check runs all semantic checks on a compilation unit.
+func Check(src *ast.Source) *Result {
+	r := &Result{}
+	names := make(map[string]bool)
+	for _, m := range src.Modules {
+		if names[m.Name] {
+			r.errorf(m.Pos(), "duplicate module %q", m.Name)
+		}
+		names[m.Name] = true
+	}
+	for _, m := range src.Modules {
+		checkModule(r, src, m)
+	}
+	return r
+}
+
+// CheckModule runs checks for a single module against its source unit.
+func CheckModule(src *ast.Source, m *ast.Module) *Result {
+	r := &Result{}
+	checkModule(r, src, m)
+	return r
+}
+
+func (r *Result) errorf(pos token.Pos, format string, args ...any) {
+	r.Issues = append(r.Issues, Issue{Sev: Error, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (r *Result) warnf(pos token.Pos, format string, args ...any) {
+	r.Issues = append(r.Issues, Issue{Sev: Warning, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// symKind classifies a declared name.
+type symKind int
+
+const (
+	symWire symKind = iota + 1
+	symReg
+	symInteger
+	symParam
+)
+
+type symbol struct {
+	kind  symKind
+	dir   ast.Dir // nonzero for ports
+	pos   token.Pos
+	width int // 0 = unknown/scalar
+}
+
+func checkModule(r *Result, src *ast.Source, m *ast.Module) {
+	syms := make(map[string]*symbol)
+
+	declare := func(name string, s *symbol) {
+		if prev, ok := syms[name]; ok {
+			// Allow a net decl to re-type a port (non-ANSI style).
+			if prev.dir != 0 && prev.kind == symWire && (s.kind == symReg || s.kind == symWire) {
+				prev.kind = s.kind
+				return
+			}
+			r.errorf(s.pos, "duplicate declaration of %q (first at %s)", name, prev.pos)
+			return
+		}
+		syms[name] = s
+	}
+
+	for _, p := range m.Ports {
+		kind := symWire
+		if p.IsReg {
+			kind = symReg
+		}
+		declare(p.Name, &symbol{kind: kind, dir: p.Dir, pos: p.PortPos})
+		if p.Dir == ast.Input && p.IsReg {
+			r.errorf(p.PortPos, "input port %q cannot be a reg", p.Name)
+		}
+	}
+	for _, it := range m.Items {
+		switch d := it.(type) {
+		case *ast.NetDecl:
+			for _, n := range d.Names {
+				kind := symWire
+				switch d.Kind {
+				case ast.Reg:
+					kind = symReg
+				case ast.Integer:
+					kind = symInteger
+				}
+				declare(n, &symbol{kind: kind, pos: d.DeclPos})
+			}
+		case *ast.ParamDecl:
+			declare(d.Name, &symbol{kind: symParam, pos: d.DeclPos})
+		}
+	}
+
+	resolve := func(e ast.Expr) {
+		ast.WalkExprs(e, func(x ast.Expr) bool {
+			if id, ok := x.(*ast.Ident); ok {
+				if _, found := syms[id.Name]; !found {
+					r.errorf(id.NamePos, "undeclared identifier %q", id.Name)
+				}
+			}
+			return true
+		})
+	}
+
+	// Driver tracking: name -> how it is driven. Whole-net continuous
+	// drivers conflict with any other continuous driver of the same net;
+	// per-bit drivers are allowed to coexist (overlap is not checked).
+	type contDriver struct {
+		pos   token.Pos
+		whole bool
+	}
+	contDriven := make(map[string]contDriver)
+	procDriven := make(map[string]token.Pos)
+
+	// isWholeTarget reports whether the lvalue writes name as a bare
+	// identifier (possibly inside a concatenation) rather than a bit or
+	// part select.
+	var isWholeTarget func(lhs ast.Expr, name string) bool
+	isWholeTarget = func(lhs ast.Expr, name string) bool {
+		switch x := lhs.(type) {
+		case *ast.Ident:
+			return x.Name == name
+		case *ast.Concat:
+			for _, p := range x.Parts {
+				if isWholeTarget(p, name) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	checkLValue := func(lhs ast.Expr, procedural bool, pos token.Pos) {
+		ast.LHSBase(lhs, func(name string) {
+			s, ok := syms[name]
+			if !ok {
+				r.errorf(pos, "assignment to undeclared identifier %q", name)
+				return
+			}
+			if s.dir == ast.Input {
+				r.errorf(pos, "assignment to input port %q", name)
+				return
+			}
+			if procedural {
+				if s.kind == symWire {
+					r.errorf(pos, "procedural assignment to wire %q (declare it reg)", name)
+				}
+				procDriven[name] = pos
+				if p, dup := contDriven[name]; dup {
+					r.errorf(pos, "%q driven both procedurally and by continuous assignment (other driver at %s)", name, p.pos)
+				}
+			} else {
+				if s.kind == symReg || s.kind == symInteger {
+					r.errorf(pos, "continuous assignment to reg %q (use a wire or assign inside always)", name)
+				}
+				whole := isWholeTarget(lhs, name)
+				if p, dup := contDriven[name]; dup && (p.whole || whole) {
+					r.errorf(pos, "multiple continuous assignments drive %q (other driver at %s)", name, p.pos)
+				}
+				if p, dup := contDriven[name]; !dup || (!p.whole && whole) {
+					contDriven[name] = contDriver{pos: pos, whole: whole}
+				}
+				if p, dup := procDriven[name]; dup {
+					r.errorf(pos, "%q driven both procedurally and by continuous assignment (other driver at %s)", name, p)
+				}
+			}
+		})
+	}
+
+	var checkStmt func(st ast.Stmt, inEdgeBlock bool)
+	checkStmt = func(st ast.Stmt, inEdgeBlock bool) {
+		switch x := st.(type) {
+		case *ast.Block:
+			for _, sub := range x.Stmts {
+				checkStmt(sub, inEdgeBlock)
+			}
+		case *ast.AssignStmt:
+			checkLValue(x.LHS, true, x.Pos())
+			resolve(x.LHS)
+			resolve(x.RHS)
+		case *ast.If:
+			resolve(x.Cond)
+			checkStmt(x.Then, inEdgeBlock)
+			if x.Else != nil {
+				checkStmt(x.Else, inEdgeBlock)
+			}
+		case *ast.Case:
+			resolve(x.Subject)
+			defaults := 0
+			for _, item := range x.Items {
+				if item.Labels == nil {
+					defaults++
+				}
+				for _, l := range item.Labels {
+					resolve(l)
+				}
+				checkStmt(item.Body, inEdgeBlock)
+			}
+			if defaults > 1 {
+				r.errorf(x.CasePos, "case statement has %d default arms", defaults)
+			}
+		case *ast.For:
+			if x.Init != nil {
+				checkLValue(x.Init.LHS, true, x.Init.Pos())
+				resolve(x.Init.RHS)
+			}
+			resolve(x.Cond)
+			if x.Step != nil {
+				checkLValue(x.Step.LHS, true, x.Step.Pos())
+				resolve(x.Step.RHS)
+			}
+			checkStmt(x.Body, inEdgeBlock)
+		}
+	}
+
+	for _, it := range m.Items {
+		switch x := it.(type) {
+		case *ast.NetDecl:
+			if x.Range != nil {
+				resolve(x.Range.MSB)
+				resolve(x.Range.LSB)
+			}
+			for i, e := range x.Init {
+				if e == nil {
+					continue
+				}
+				if x.Kind != ast.Wire {
+					r.errorf(x.DeclPos, "declaration initializer on %s %q is not supported", x.Kind, x.Names[i])
+				}
+				resolve(e)
+				contDriven[x.Names[i]] = contDriver{pos: x.DeclPos, whole: true}
+			}
+		case *ast.ParamDecl:
+			resolve(x.Value)
+		case *ast.ContAssign:
+			checkLValue(x.LHS, false, x.AssignPos)
+			resolve(x.LHS)
+			resolve(x.RHS)
+		case *ast.Always:
+			hasEdge := false
+			for _, ev := range x.Events {
+				resolve(ev.Sig)
+				if ev.Edge != ast.EdgeNone {
+					hasEdge = true
+				}
+			}
+			if !x.Star && len(x.Events) == 0 {
+				r.errorf(x.AlwaysPos, "always block has an empty sensitivity list")
+			}
+			mixed := false
+			for _, ev := range x.Events {
+				if hasEdge && ev.Edge == ast.EdgeNone {
+					mixed = true
+				}
+			}
+			if mixed {
+				r.errorf(x.AlwaysPos, "sensitivity list mixes edge and level events")
+			}
+			checkBlockingStyle(r, x, hasEdge)
+			checkStmt(x.Body, hasEdge)
+		case *ast.Initial:
+			checkStmt(x.Body, false)
+		case *ast.Instance:
+			checkInstance(r, src, m, x, syms, resolve, checkLValue)
+		}
+	}
+
+	// Every output must have some driver.
+	for _, p := range m.Ports {
+		if p.Dir != ast.Output {
+			continue
+		}
+		_, c := contDriven[p.Name]
+		_, pr := procDriven[p.Name]
+		if !c && !pr && !drivenByInstance(m, p.Name) {
+			r.warnf(p.PortPos, "output port %q is never driven", p.Name)
+		}
+	}
+}
+
+// checkBlockingStyle flags non-blocking assignment in combinational blocks
+// and blocking assignment in edge-triggered blocks as warnings (common
+// LLM-generated-code smells, per the paper's "typical mistakes" guidance).
+func checkBlockingStyle(r *Result, a *ast.Always, hasEdge bool) {
+	ast.WalkStmts(a.Body, func(st ast.Stmt) bool {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if hasEdge && as.Blocking {
+			r.warnf(as.Pos(), "blocking assignment in edge-triggered always block")
+		}
+		if !hasEdge && !as.Blocking {
+			r.warnf(as.Pos(), "non-blocking assignment in combinational always block")
+		}
+		return true
+	})
+}
+
+func drivenByInstance(m *ast.Module, name string) bool {
+	for _, it := range m.Items {
+		inst, ok := it.(*ast.Instance)
+		if !ok {
+			continue
+		}
+		for _, c := range inst.Conns {
+			if c.Expr == nil {
+				continue
+			}
+			found := false
+			ast.LHSBase(c.Expr, func(n string) {
+				if n == name {
+					found = true
+				}
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkInstance(
+	r *Result,
+	src *ast.Source,
+	m *ast.Module,
+	inst *ast.Instance,
+	syms map[string]*symbol,
+	resolve func(ast.Expr),
+	checkLValue func(ast.Expr, bool, token.Pos),
+) {
+	child := src.FindModule(inst.ModName)
+	if child == nil {
+		r.errorf(inst.InstPos, "instance %q references unknown module %q", inst.Name, inst.ModName)
+		return
+	}
+	if child == m {
+		r.errorf(inst.InstPos, "module %q instantiates itself", m.Name)
+		return
+	}
+	if inst.ByName {
+		seen := make(map[string]bool)
+		for _, c := range inst.Conns {
+			if c.Name == "" {
+				r.errorf(inst.InstPos, "instance %q mixes positional and named connections", inst.Name)
+				continue
+			}
+			if seen[c.Name] {
+				r.errorf(inst.InstPos, "instance %q connects port %q twice", inst.Name, c.Name)
+			}
+			seen[c.Name] = true
+			port := child.PortByName(c.Name)
+			if port == nil {
+				r.errorf(inst.InstPos, "module %q has no port %q", child.Name, c.Name)
+				continue
+			}
+			if c.Expr != nil {
+				resolve(c.Expr)
+			}
+		}
+	} else {
+		if len(inst.Conns) > len(child.Ports) {
+			r.errorf(inst.InstPos, "instance %q has %d connections but module %q has %d ports",
+				inst.Name, len(inst.Conns), child.Name, len(child.Ports))
+		}
+		for _, c := range inst.Conns {
+			if c.Expr != nil {
+				resolve(c.Expr)
+			}
+		}
+	}
+	for _, pc := range inst.ParamsBy {
+		if pc.Name == "" {
+			r.errorf(inst.InstPos, "parameter overrides must be by name")
+		}
+		if pc.Expr != nil {
+			resolve(pc.Expr)
+		}
+	}
+}

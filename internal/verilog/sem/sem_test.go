@@ -1,0 +1,266 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/verilog/parser"
+)
+
+func check(t *testing.T, src string) *Result {
+	t.Helper()
+	s, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(s)
+}
+
+func wantError(t *testing.T, src, fragment string) {
+	t.Helper()
+	r := check(t, src)
+	if !r.HasErrors() {
+		t.Fatalf("expected error containing %q, got none", fragment)
+	}
+	if err := r.Err(); !strings.Contains(err.Error(), fragment) {
+		t.Errorf("error %q does not mention %q", err, fragment)
+	}
+}
+
+func wantClean(t *testing.T, src string) {
+	t.Helper()
+	r := check(t, src)
+	if r.HasErrors() {
+		t.Fatalf("unexpected errors: %v", r.Err())
+	}
+}
+
+func TestCleanModule(t *testing.T) {
+	wantClean(t, `
+module top_module (input clk, input [3:0] d, output reg [3:0] q);
+    always @(posedge clk)
+        q <= d;
+endmodule
+`)
+}
+
+func TestUndeclaredIdent(t *testing.T) {
+	wantError(t, `
+module m (input a, output y);
+    assign y = a & ghost;
+endmodule
+`, "undeclared")
+}
+
+func TestAssignToInput(t *testing.T) {
+	wantError(t, `
+module m (input a, output y);
+    assign a = y;
+endmodule
+`, "input port")
+}
+
+func TestProceduralAssignToWire(t *testing.T) {
+	wantError(t, `
+module m (input a, output y);
+    wire w;
+    always @(*) w = a;
+    assign y = w;
+endmodule
+`, "wire")
+}
+
+func TestContinuousAssignToReg(t *testing.T) {
+	wantError(t, `
+module m (input a, output y);
+    reg r;
+    assign r = a;
+    assign y = r;
+endmodule
+`, "reg")
+}
+
+func TestDoubleContinuousDriver(t *testing.T) {
+	wantError(t, `
+module m (input a, input b, output y);
+    assign y = a;
+    assign y = b;
+endmodule
+`, "multiple continuous")
+}
+
+func TestPerBitDriversAllowed(t *testing.T) {
+	wantClean(t, `
+module m (input a, input b, output [1:0] y);
+    assign y[0] = a;
+    assign y[1] = b;
+endmodule
+`)
+}
+
+func TestMixedDrivers(t *testing.T) {
+	wantError(t, `
+module m (input a, input clk, output reg y);
+    always @(posedge clk) y <= a;
+    assign y = a;
+endmodule
+`, "procedurally and by continuous")
+}
+
+func TestDuplicateDeclaration(t *testing.T) {
+	wantError(t, `
+module m (input a, output y);
+    wire x;
+    reg x;
+    assign y = a;
+endmodule
+`, "duplicate declaration")
+}
+
+func TestInputRegRejected(t *testing.T) {
+	wantError(t, `
+module m (input reg a, output y);
+    assign y = a;
+endmodule
+`, "cannot be a reg")
+}
+
+func TestMixedSensitivity(t *testing.T) {
+	wantError(t, `
+module m (input clk, input a, output reg y);
+    always @(posedge clk or a) y <= a;
+endmodule
+`, "mixes edge and level")
+}
+
+func TestDuplicateModule(t *testing.T) {
+	wantError(t, `
+module m (input a, output y);
+    assign y = a;
+endmodule
+module m (input a, output y);
+    assign y = a;
+endmodule
+`, "duplicate module")
+}
+
+func TestUnknownInstanceModule(t *testing.T) {
+	wantError(t, `
+module m (input a, output y);
+    ghost u (.x(a), .y(y));
+endmodule
+`, "unknown module")
+}
+
+func TestSelfInstantiation(t *testing.T) {
+	wantError(t, `
+module m (input a, output y);
+    m u (.a(a), .y(y));
+endmodule
+`, "instantiates itself")
+}
+
+func TestInstancePortChecks(t *testing.T) {
+	wantError(t, `
+module sub (input a, output y);
+    assign y = a;
+endmodule
+module m (input a, output y);
+    sub u (.a(a), .nope(y));
+endmodule
+`, "no port")
+
+	wantError(t, `
+module sub (input a, output y);
+    assign y = a;
+endmodule
+module m (input a, output y);
+    sub u (.a(a), .a(a));
+endmodule
+`, "twice")
+
+	wantError(t, `
+module sub (input a, output y);
+    assign y = a;
+endmodule
+module m (input a, output y);
+    sub u (a, y, a);
+endmodule
+`, "connections")
+}
+
+func TestBlockingStyleWarnings(t *testing.T) {
+	r := check(t, `
+module m (input clk, input a, output reg y, output reg z);
+    always @(posedge clk) y = a;
+    always @(*) z <= a;
+endmodule
+`)
+	if r.HasErrors() {
+		t.Fatalf("style issues must be warnings, got errors: %v", r.Err())
+	}
+	warnings := 0
+	for _, iss := range r.Issues {
+		if iss.Sev == Warning {
+			warnings++
+		}
+	}
+	if warnings < 2 {
+		t.Errorf("expected blocking-style warnings, got %d: %v", warnings, r.Issues)
+	}
+}
+
+func TestUndrivenOutputWarning(t *testing.T) {
+	r := check(t, `
+module m (input a, output y);
+endmodule
+`)
+	if r.HasErrors() {
+		t.Fatalf("undriven output must be a warning: %v", r.Err())
+	}
+	found := false
+	for _, iss := range r.Issues {
+		if strings.Contains(iss.Msg, "never driven") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing never-driven warning")
+	}
+}
+
+func TestOutputDrivenByInstanceNoWarning(t *testing.T) {
+	r := check(t, `
+module sub (input a, output y);
+    assign y = a;
+endmodule
+module m (input a, output y);
+    sub u (.a(a), .y(y));
+endmodule
+`)
+	for _, iss := range r.Issues {
+		if strings.Contains(iss.Msg, "never driven") {
+			t.Errorf("false positive: %v", iss)
+		}
+	}
+}
+
+func TestMultipleDefaults(t *testing.T) {
+	wantError(t, `
+module m (input [1:0] s, output reg y);
+    always @(*) begin
+        case (s)
+            2'd0: y = 1'b0;
+            default: y = 1'b1;
+            default: y = 1'bx;
+        endcase
+    end
+endmodule
+`, "default arms")
+}
+
+func TestSeverityString(t *testing.T) {
+	if Warning.String() != "warning" || Error.String() != "error" {
+		t.Error("severity names wrong")
+	}
+}

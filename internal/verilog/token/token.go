@@ -1,0 +1,256 @@
+// Package token defines the lexical tokens of the supported Verilog subset
+// and source positions used across the front-end.
+package token
+
+import "strconv"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Enums start at one so the zero value is invalid.
+const (
+	// Special tokens.
+	Illegal Kind = iota + 1
+	EOF
+
+	// Literals and identifiers.
+	Ident  // top_module, q, state
+	Number // 12, 8'hFF, 4'b10x0
+	SysID  // $display, $signed (lexed, rejected later where unsupported)
+
+	// Punctuation.
+	LParen   // (
+	RParen   // )
+	LBrack   // [
+	RBrack   // ]
+	LBrace   // {
+	RBrace   // }
+	Comma    // ,
+	Semi     // ;
+	Colon    // :
+	Dot      // .
+	Hash     // #
+	At       // @
+	Question // ?
+
+	// Operators.
+	Assign     // =
+	Plus       // +
+	Minus      // -
+	Star       // *
+	Slash      // /
+	Percent    // %
+	Amp        // &
+	AmpAmp     // &&
+	Pipe       // |
+	PipePipe   // ||
+	Caret      // ^
+	TildeCaret // ~^ and ^~
+	TildeAmp   // ~&
+	TildePipe  // ~|
+	Tilde      // ~
+	Bang       // !
+	Eq         // ==
+	Neq        // !=
+	CaseEq     // ===
+	CaseNeq    // !==
+	Lt         // <
+	Leq        // <= (also non-blocking assign; parser disambiguates)
+	Gt         // >
+	Geq        // >=
+	Shl        // <<
+	Shr        // >>
+	AShl       // <<<
+	AShr       // >>>
+	PlusColon  // +:
+	MinusColon // -:
+
+	// Keywords.
+	KwModule
+	KwEndmodule
+	KwInput
+	KwOutput
+	KwInout
+	KwWire
+	KwReg
+	KwInteger
+	KwGenvar
+	KwParameter
+	KwLocalparam
+	KwAssign
+	KwAlways
+	KwInitial
+	KwBegin
+	KwEnd
+	KwIf
+	KwElse
+	KwCase
+	KwCasez
+	KwCasex
+	KwEndcase
+	KwDefault
+	KwPosedge
+	KwNegedge
+	KwOr
+	KwFor
+	KwSigned
+)
+
+var kindNames = map[Kind]string{
+	Illegal:      "ILLEGAL",
+	EOF:          "EOF",
+	Ident:        "IDENT",
+	Number:       "NUMBER",
+	SysID:        "SYSID",
+	LParen:       "(",
+	RParen:       ")",
+	LBrack:       "[",
+	RBrack:       "]",
+	LBrace:       "{",
+	RBrace:       "}",
+	Comma:        ",",
+	Semi:         ";",
+	Colon:        ":",
+	Dot:          ".",
+	Hash:         "#",
+	At:           "@",
+	Question:     "?",
+	Assign:       "=",
+	Plus:         "+",
+	Minus:        "-",
+	Star:         "*",
+	Slash:        "/",
+	Percent:      "%",
+	Amp:          "&",
+	AmpAmp:       "&&",
+	Pipe:         "|",
+	PipePipe:     "||",
+	Caret:        "^",
+	TildeCaret:   "~^",
+	TildeAmp:     "~&",
+	TildePipe:    "~|",
+	Tilde:        "~",
+	Bang:         "!",
+	Eq:           "==",
+	Neq:          "!=",
+	CaseEq:       "===",
+	CaseNeq:      "!==",
+	Lt:           "<",
+	Leq:          "<=",
+	Gt:           ">",
+	Geq:          ">=",
+	Shl:          "<<",
+	Shr:          ">>",
+	AShl:         "<<<",
+	AShr:         ">>>",
+	PlusColon:    "+:",
+	MinusColon:   "-:",
+	KwModule:     "module",
+	KwEndmodule:  "endmodule",
+	KwInput:      "input",
+	KwOutput:     "output",
+	KwInout:      "inout",
+	KwWire:       "wire",
+	KwReg:        "reg",
+	KwInteger:    "integer",
+	KwGenvar:     "genvar",
+	KwParameter:  "parameter",
+	KwLocalparam: "localparam",
+	KwAssign:     "assign",
+	KwAlways:     "always",
+	KwInitial:    "initial",
+	KwBegin:      "begin",
+	KwEnd:        "end",
+	KwIf:         "if",
+	KwElse:       "else",
+	KwCase:       "case",
+	KwCasez:      "casez",
+	KwCasex:      "casex",
+	KwEndcase:    "endcase",
+	KwDefault:    "default",
+	KwPosedge:    "posedge",
+	KwNegedge:    "negedge",
+	KwOr:         "or",
+	KwFor:        "for",
+	KwSigned:     "signed",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "Kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+var keywords = map[string]Kind{
+	"module":     KwModule,
+	"endmodule":  KwEndmodule,
+	"input":      KwInput,
+	"output":     KwOutput,
+	"inout":      KwInout,
+	"wire":       KwWire,
+	"reg":        KwReg,
+	"integer":    KwInteger,
+	"genvar":     KwGenvar,
+	"parameter":  KwParameter,
+	"localparam": KwLocalparam,
+	"assign":     KwAssign,
+	"always":     KwAlways,
+	"initial":    KwInitial,
+	"begin":      KwBegin,
+	"end":        KwEnd,
+	"if":         KwIf,
+	"else":       KwElse,
+	"case":       KwCase,
+	"casez":      KwCasez,
+	"casex":      KwCasex,
+	"endcase":    KwEndcase,
+	"default":    KwDefault,
+	"posedge":    KwPosedge,
+	"negedge":    KwNegedge,
+	"or":         KwOr,
+	"for":        KwFor,
+	"signed":     KwSigned,
+}
+
+// Lookup maps an identifier to its keyword kind, or Ident if it is not a
+// keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return Ident
+}
+
+// IsKeyword reports whether the string is a reserved word of the subset.
+func IsKeyword(s string) bool {
+	_, ok := keywords[s]
+	return ok
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string {
+	return strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Col)
+}
+
+// Token is a single lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	if t.Kind == Ident || t.Kind == Number || t.Kind == SysID {
+		return t.Kind.String() + "(" + t.Text + ")"
+	}
+	return t.Kind.String()
+}

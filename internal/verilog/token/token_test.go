@@ -1,0 +1,56 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	if Lookup("module") != KwModule {
+		t.Error("module should be a keyword")
+	}
+	if Lookup("Module") != Ident {
+		t.Error("keywords are case-sensitive")
+	}
+	if Lookup("foo") != Ident {
+		t.Error("foo should be an identifier")
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	for _, kw := range []string{"module", "endmodule", "posedge", "casez", "signed", "genvar"} {
+		if !IsKeyword(kw) {
+			t.Errorf("IsKeyword(%q) = false", kw)
+		}
+	}
+	if IsKeyword("top_module") {
+		t.Error("top_module is not a keyword")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KwModule.String() != "module" {
+		t.Errorf("KwModule = %q", KwModule.String())
+	}
+	if Leq.String() != "<=" {
+		t.Errorf("Leq = %q", Leq.String())
+	}
+	if Kind(9999).String() != "Kind(9999)" {
+		t.Errorf("unknown kind = %q", Kind(9999).String())
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: Ident, Text: "clk"}
+	if tok.String() != "IDENT(clk)" {
+		t.Errorf("got %q", tok.String())
+	}
+	tok = Token{Kind: Semi}
+	if tok.String() != ";" {
+		t.Errorf("got %q", tok.String())
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := Pos{Line: 3, Col: 14}
+	if p.String() != "3:14" {
+		t.Errorf("got %q", p.String())
+	}
+}
