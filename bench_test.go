@@ -14,6 +14,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/exp"
 	"repro/internal/llm"
+	"repro/internal/sim"
 	"repro/internal/testbench"
 	"repro/internal/verilog/parser"
 )
@@ -30,15 +31,19 @@ func benchTasks(stride int) []eval.Task {
 
 // --- Paper artifacts -----------------------------------------------------------
 
-// BenchmarkTable1 regenerates a reduced Table I (one model, 1 run, n=20,
-// every 6th task) per iteration.
-func BenchmarkTable1(b *testing.B) {
+// benchTable1 regenerates a reduced Table I (one model, 1 run, n=20, every
+// 6th task) per iteration on the given simulation backend. The compiled
+// variant exercises the elaboration cache the way real experiments do:
+// duplicate candidates recur across variants and runs.
+func benchTable1(b *testing.B, backend testbench.Backend) {
+	b.Helper()
 	cfg := exp.Table1Config{
 		Models:  []string{"deepseek-r1"},
 		Tasks:   benchTasks(6),
 		Samples: 20,
 		Runs:    1,
 		Seed:    1,
+		Backend: backend,
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -48,14 +53,25 @@ func BenchmarkTable1(b *testing.B) {
 	}
 }
 
-// BenchmarkFig3 regenerates a reduced Fig. 3 panel set per iteration.
-func BenchmarkFig3(b *testing.B) {
+// BenchmarkTable1Compiled is the paper-artifact bench on the default
+// (compiled) backend, named for side-by-side comparison with the
+// interpreter row.
+func BenchmarkTable1Compiled(b *testing.B) { benchTable1(b, testbench.BackendCompiled) }
+
+// BenchmarkTable1Interpreter runs the same reduced Table I on the original
+// AST-walking engine.
+func BenchmarkTable1Interpreter(b *testing.B) { benchTable1(b, testbench.BackendInterpreter) }
+
+// benchFig3 regenerates a reduced Fig. 3 panel set per iteration.
+func benchFig3(b *testing.B, backend testbench.Backend) {
+	b.Helper()
 	cfg := exp.Fig3Config{
 		Models:  []string{"deepseek-r1", "o3-mini-medium"},
 		Tasks:   benchTasks(6),
 		Samples: 20,
 		Bins:    10,
 		Seed:    1,
+		Backend: backend,
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -64,6 +80,13 @@ func BenchmarkFig3(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFig3Compiled is the paper-artifact bench on the default
+// (compiled) backend.
+func BenchmarkFig3Compiled(b *testing.B) { benchFig3(b, testbench.BackendCompiled) }
+
+// BenchmarkFig3Interpreter runs the same reduced Fig. 3 on the interpreter.
+func BenchmarkFig3Interpreter(b *testing.B) { benchFig3(b, testbench.BackendInterpreter) }
 
 // BenchmarkFig4 regenerates a reduced Fig. 4 sweep per iteration.
 func BenchmarkFig4(b *testing.B) {
@@ -212,9 +235,10 @@ func BenchmarkParser(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorComb measures an exhaustive combinational trace run.
-func BenchmarkSimulatorComb(b *testing.B) {
-	task := benchTasks(1)[44] // a k-map / mid-suite combinational task
+// benchSimulator measures a dense verification trace run on one backend.
+func benchSimulator(b *testing.B, taskIdx int, backend testbench.Backend) {
+	b.Helper()
+	task := benchTasks(1)[taskIdx]
 	src, err := parser.Parse(task.Golden)
 	if err != nil {
 		b.Fatal(err)
@@ -222,27 +246,65 @@ func BenchmarkSimulatorComb(b *testing.B) {
 	st := testbench.NewGenerator(3).Verification(task.Ifc)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tr := testbench.Run(src, eval.TopModule, st)
+		tr := testbench.RunBackend(src, eval.TopModule, st, backend)
 		if tr.Err != nil {
 			b.Fatal(tr.Err)
 		}
 	}
 }
 
-// BenchmarkSimulatorSeq measures a clocked multi-case trace run.
-func BenchmarkSimulatorSeq(b *testing.B) {
+// BenchmarkSimulatorComb measures an exhaustive combinational trace run on
+// the interpreter (the pre-compilation baseline).
+func BenchmarkSimulatorComb(b *testing.B) { benchSimulator(b, 44, testbench.BackendInterpreter) }
+
+// BenchmarkSimulatorCombCompiled is the same trace run on the compiled
+// backend (steady-state: the design is already in the elaboration cache).
+func BenchmarkSimulatorCombCompiled(b *testing.B) { benchSimulator(b, 44, testbench.BackendCompiled) }
+
+// BenchmarkSimulatorSeq measures a clocked multi-case trace run on the
+// interpreter, which re-elaborates per test case.
+func BenchmarkSimulatorSeq(b *testing.B) { benchSimulator(b, 120, testbench.BackendInterpreter) }
+
+// BenchmarkSimulatorSeqCompiled is the same clocked run on the compiled
+// backend, which re-instantiates per test case with a snapshot copy.
+func BenchmarkSimulatorSeqCompiled(b *testing.B) { benchSimulator(b, 120, testbench.BackendCompiled) }
+
+// BenchmarkCompile measures a cold Compile (elaborate + lower) of a
+// representative sequential golden.
+func BenchmarkCompile(b *testing.B) {
 	task := benchTasks(1)[120]
 	src, err := parser.Parse(task.Golden)
 	if err != nil {
 		b.Fatal(err)
 	}
-	st := testbench.NewGenerator(3).Verification(task.Ifc)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tr := testbench.Run(src, eval.TopModule, st)
-		if tr.Err != nil {
-			b.Fatal(tr.Err)
+		if _, err := sim.Compile(src, eval.TopModule); err != nil {
+			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCompileCacheHit measures the steady-state cost of CompileCached
+// on a warm cache (canonical hash + LRU lookup) plus engine instantiation —
+// the per-candidate overhead duplicate candidates pay.
+func BenchmarkCompileCacheHit(b *testing.B) {
+	task := benchTasks(1)[120]
+	src, err := parser.Parse(task.Golden)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := sim.NewCompileCache(8)
+	if _, err := cache.Get(src, eval.TopModule); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := cache.Get(src, eval.TopModule)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.NewEngine()
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/exp"
+	"repro/internal/testbench"
 )
 
 func main() {
@@ -39,9 +40,20 @@ func run(args []string) error {
 		models  = fs.String("models", "", "comma-separated model list (default: paper's)")
 		runs    = fs.Int("runs", 0, "override run count (0 = paper defaults)")
 		samples = fs.Int("samples", 0, "override sample count n (0 = paper defaults)")
+		backend = fs.String("backend", "compiled", "simulation backend: compiled|interpreter")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var be testbench.Backend
+	switch *backend {
+	case "compiled":
+		be = testbench.BackendCompiled
+	case "interpreter":
+		be = testbench.BackendInterpreter
+	default:
+		return fmt.Errorf("unknown backend %q (want compiled|interpreter)", *backend)
 	}
 
 	var modelList []string
@@ -65,6 +77,7 @@ func run(args []string) error {
 			Samples: pick(*samples, 50, 20, *quick),
 			Runs:    pick(*runs, 5, 1, *quick),
 			Seed:    *seed,
+			Backend: be,
 		}
 		start := time.Now()
 		res, err := exp.RunTable1(ctx, cfg)
@@ -82,6 +95,7 @@ func run(args []string) error {
 			Samples: pick(*samples, 50, 20, *quick),
 			Bins:    10,
 			Seed:    *seed,
+			Backend: be,
 		}
 		start := time.Now()
 		res, err := exp.RunFig3(ctx, cfg)
@@ -103,6 +117,7 @@ func run(args []string) error {
 			SampleSizes: sizes,
 			Runs:        pick(*runs, 10, 2, *quick),
 			Seed:        *seed,
+			Backend:     be,
 		}
 		start := time.Now()
 		res, err := exp.RunFig4(ctx, cfg)

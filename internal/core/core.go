@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/eval"
@@ -108,6 +109,10 @@ type Config struct {
 	SelectSeed int64
 	// Sleeper, when non-nil, replaces time.Sleep during retry backoff.
 	Sleeper func(time.Duration)
+	// Backend selects the simulation engine for ranking and refinement
+	// runs. The zero value is the compiled backend; the interpreter stays
+	// available for differential testing.
+	Backend testbench.Backend
 }
 
 // DefaultConfig returns the paper's settings for a variant and model.
@@ -241,19 +246,45 @@ func (p *Pipeline) sleep(d time.Duration) {
 	time.Sleep(d)
 }
 
+// validateMemo caches parse + semantic-check results by candidate text. The
+// same completion recurs across pipeline variants and runs (candidate
+// generation is deterministic), and parsing is a measurable slice of a
+// pipeline run. Parsed ASTs are treated as immutable everywhere downstream,
+// so sharing them across candidates is safe — and makes the simulator's
+// pointer-keyed canonical-hash memo more effective. Cleared wholesale at the
+// cap so it stays bounded.
+var (
+	validateMu   sync.Mutex
+	validateMemo = make(map[string]validated)
+)
+
+const validateMemoCap = 4096
+
+type validated struct {
+	src *ast.Source
+	ok  bool
+}
+
 // validate parses and semantically checks candidate code.
 func validate(code string) (*ast.Source, bool) {
-	src, err := parser.Parse(code)
-	if err != nil {
-		return nil, false
+	validateMu.Lock()
+	if v, hit := validateMemo[code]; hit {
+		validateMu.Unlock()
+		return v.src, v.ok
 	}
-	if src.FindModule(eval.TopModule) == nil {
-		return nil, false
+	validateMu.Unlock()
+	v := validated{}
+	if src, err := parser.Parse(code); err == nil &&
+		src.FindModule(eval.TopModule) != nil && !sem.Check(src).HasErrors() {
+		v = validated{src: src, ok: true}
 	}
-	if res := sem.Check(src); res.HasErrors() {
-		return nil, false
+	validateMu.Lock()
+	if len(validateMemo) >= validateMemoCap {
+		validateMemo = make(map[string]validated, validateMemoCap)
 	}
-	return src, true
+	validateMemo[code] = v
+	validateMu.Unlock()
+	return v.src, v.ok
 }
 
 // generateOne samples one candidate. Retry policy depends on the variant:

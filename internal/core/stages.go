@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/llm"
+	"repro/internal/sim"
 	"repro/internal/testbench"
 )
 
@@ -99,7 +100,9 @@ func (p *Pipeline) densityFilter(res *Result) {
 
 // rank simulates every usable candidate under the generated printing
 // testbench and clusters by strict full-trace agreement, scoring clusters by
-// size (the paper's Eq. 2-3).
+// size (the paper's Eq. 2-3). Candidates whose source is canonically
+// identical (same printed code, common under n-sample generation) share a
+// single simulation run.
 func (p *Pipeline) rank(res *Result) error {
 	gen := testbench.NewGenerator(p.cfg.TBSeed + int64(res.Task.Index))
 	gen.Imperfection = p.cfg.TBImperfection
@@ -107,13 +110,20 @@ func (p *Pipeline) rank(res *Result) error {
 	res.rankingStimulus = st
 
 	byFP := make(map[uint64]*Cluster)
+	byKey := make(map[string]*testbench.Trace)
 	for i := range res.Candidates {
 		c := &res.Candidates[i]
 		if !c.Valid || c.Filtered {
 			continue
 		}
-		c.Trace = testbench.Run(c.Source, eval.TopModule, st)
-		res.Stats.SimRuns++
+		key := sim.CanonicalKey(c.Source)
+		tr, dup := byKey[key]
+		if !dup {
+			tr = testbench.RunBackend(c.Source, eval.TopModule, st, p.cfg.Backend)
+			res.Stats.SimRuns++
+			byKey[key] = tr
+		}
+		c.Trace = tr
 		if c.Trace.Err != nil {
 			continue // runtime failures agree with nobody
 		}
@@ -323,7 +333,7 @@ func (p *Pipeline) admitRefined(res *Result, ci int, code string) {
 		return
 	}
 	st := res.rankingStimulus
-	tr := testbench.Run(src, eval.TopModule, st)
+	tr := testbench.RunBackend(src, eval.TopModule, st, p.cfg.Backend)
 	res.Stats.SimRuns++
 	if tr.Err != nil {
 		return
@@ -356,7 +366,7 @@ func (p *Pipeline) admitRefinedInter(res *Result, code string) {
 		return
 	}
 	st := res.rankingStimulus
-	tr := testbench.Run(src, eval.TopModule, st)
+	tr := testbench.RunBackend(src, eval.TopModule, st, p.cfg.Backend)
 	res.Stats.SimRuns++
 	if tr.Err != nil {
 		return

@@ -11,6 +11,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/testbench"
 	"repro/internal/verilog/parser"
 	"repro/internal/verilog/sem"
 )
@@ -31,6 +32,8 @@ type Fig3Config struct {
 	Seed int64
 	// Workers bounds parallelism.
 	Workers int
+	// Backend selects the simulation engine (zero value: compiled).
+	Backend testbench.Backend
 }
 
 // Fig3Series is one model's panel.
@@ -74,6 +77,7 @@ func RunFig3(ctx context.Context, cfg Fig3Config) (*Fig3Result, error) {
 		cfg.Models = []string{"deepseek-r1", "o3-mini-high", "qwq-32b", "o3-mini-medium"}
 	}
 	oracle := NewOracle(cfg.Tasks, cfg.Seed+7)
+	oracle.Backend = cfg.Backend
 	res := &Fig3Result{Config: cfg}
 	for _, model := range cfg.Models {
 		series, err := runFig3Model(ctx, cfg, oracle, model)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/testbench"
 )
 
 // Fig4Config parameterizes the Fig. 4 reproduction: pass@1 versus the number
@@ -28,6 +29,8 @@ type Fig4Config struct {
 	Seed int64
 	// Workers bounds parallelism.
 	Workers int
+	// Backend selects the simulation engine (zero value: compiled).
+	Backend testbench.Backend
 }
 
 // Fig4Point is one (model, n) measurement: mean ± std over runs for the
@@ -73,6 +76,7 @@ func RunFig4(ctx context.Context, cfg Fig4Config) (*Fig4Result, error) {
 		cfg.Models = []string{"deepseek-r1", "o3-mini-high", "qwq-32b"}
 	}
 	oracle := NewOracle(cfg.Tasks, cfg.Seed+7)
+	oracle.Backend = cfg.Backend
 	res := &Fig4Result{Config: cfg}
 	for _, model := range cfg.Models {
 		series, err := runFig4Model(ctx, cfg, oracle, model)
@@ -163,6 +167,7 @@ func fig4Task(ctx context.Context, cfg Fig4Config, oracle *Oracle, profile llm.P
 		pcfg.TBSeed = cfg.Seed + int64(run)*31
 		pcfg.SelectSeed = cfg.Seed + int64(run)*47
 		pcfg.RetryBaseDelay = 0
+		pcfg.Backend = cfg.Backend
 		return core.New(client, pcfg).Run(ctx, task)
 	}
 

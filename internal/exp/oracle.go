@@ -15,6 +15,9 @@ import (
 	"repro/internal/verilog/parser"
 )
 
+// oracleBackend note: golden traces and candidate traces always run on the
+// same backend, so verification compares like with like.
+
 // ErrExperiment wraps experiment-level failures.
 var ErrExperiment = errors.New("experiment failed")
 
@@ -24,6 +27,8 @@ var ErrExperiment = errors.New("experiment failed")
 // The oracle is safe for concurrent use.
 type Oracle struct {
 	seed int64
+	// Backend selects the simulation engine (zero value: compiled).
+	Backend testbench.Backend
 
 	mu       sync.Mutex
 	tasks    map[string]eval.Task
@@ -72,7 +77,7 @@ func (o *Oracle) prepare(taskID string) (*testbench.Stimulus, *testbench.Trace, 
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: golden parse: %v", ErrExperiment, err)
 	}
-	tr := testbench.Run(src, eval.TopModule, st)
+	tr := testbench.RunBackend(src, eval.TopModule, st, o.Backend)
 	if tr.Err != nil {
 		return nil, nil, fmt.Errorf("%w: golden simulation: %v", ErrExperiment, tr.Err)
 	}
@@ -98,7 +103,7 @@ func (o *Oracle) Verify(taskID, code string) (bool, error) {
 	}
 	verdict := false
 	if src, perr := parser.Parse(code); perr == nil && src.FindModule(eval.TopModule) != nil {
-		tr := testbench.Run(src, eval.TopModule, st)
+		tr := testbench.RunBackend(src, eval.TopModule, st, o.Backend)
 		verdict = tr.Err == nil && testbench.Agrees(tr, goldenTrace)
 	}
 	o.mu.Lock()

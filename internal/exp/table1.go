@@ -12,6 +12,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/testbench"
 )
 
 // Table1Config parameterizes the Table I reproduction.
@@ -28,6 +29,9 @@ type Table1Config struct {
 	Seed int64
 	// Workers bounds parallelism (defaults to GOMAXPROCS).
 	Workers int
+	// Backend selects the simulation engine (zero value: compiled; the
+	// interpreter remains selectable for differential benchmarking).
+	Backend testbench.Backend
 }
 
 // Table1Row is one (model, dataset) row of Table I.
@@ -80,6 +84,7 @@ func RunTable1(ctx context.Context, cfg Table1Config) (*Table1Result, error) {
 
 	res := &Table1Result{Config: cfg}
 	oracle := NewOracle(cfg.Tasks, cfg.Seed+7)
+	oracle.Backend = cfg.Backend
 
 	for _, model := range cfg.Models {
 		outcomes, err := runModelOutcomes(ctx, cfg, oracle, model)
@@ -165,6 +170,7 @@ func evalTaskRun(ctx context.Context, cfg Table1Config, oracle *Oracle, profile 
 		pcfg.TBSeed = cfg.Seed + int64(run)*31
 		pcfg.SelectSeed = cfg.Seed + int64(run)*47
 		pcfg.RetryBaseDelay = 0
+		pcfg.Backend = cfg.Backend
 		pipe := core.New(client, pcfg)
 		return pipe.Run(ctx, task)
 	}

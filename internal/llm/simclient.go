@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"repro/internal/eval"
 	"repro/internal/mutate"
@@ -24,6 +25,19 @@ type SimClient struct {
 	seed    int64
 	tasks   map[string]eval.Task
 	golden  map[string]*ast.Source
+
+	// genMemo caches Generate responses by request identity. Generation is
+	// a deterministic function of (seed, profile, request), and experiment
+	// drivers replay the identical request stream once per pipeline variant,
+	// so the memo turns three of every four completions into map hits.
+	genMu   sync.Mutex
+	genMemo map[string]genOutcome
+}
+
+// genOutcome is a memoized Generate result.
+type genOutcome struct {
+	resp Response
+	err  error
 }
 
 var _ Client = (*SimClient)(nil)
@@ -86,11 +100,32 @@ func (c *SimClient) canonicalProb(taskID string) float64 {
 	return c.profile.CanonicalProb * 1.3
 }
 
-// Generate implements Client.
+// Generate implements Client. Results are memoized: the client is
+// deterministic, so identical requests always produce identical responses
+// (including simulated transient failures).
 func (c *SimClient) Generate(ctx context.Context, req GenerateRequest) (Response, error) {
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
 	}
+	key := req.TaskID + "|" + itoa(req.SampleIndex) + "|" + itoa(req.Attempt)
+	c.genMu.Lock()
+	if out, hit := c.genMemo[key]; hit {
+		c.genMu.Unlock()
+		return out.resp, out.err
+	}
+	c.genMu.Unlock()
+	resp, err := c.generate(req)
+	c.genMu.Lock()
+	if c.genMemo == nil {
+		c.genMemo = make(map[string]genOutcome)
+	}
+	c.genMemo[key] = genOutcome{resp: resp, err: err}
+	c.genMu.Unlock()
+	return resp, err
+}
+
+// generate computes one completion (the uncached Generate body).
+func (c *SimClient) generate(req GenerateRequest) (Response, error) {
 	task, ok := c.tasks[req.TaskID]
 	if !ok {
 		return Response{}, fmt.Errorf("%w: %q", ErrUnknownTask, req.TaskID)

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/verilog/ast"
+	"repro/internal/verilog/printer"
+)
+
+// canonicalKeyMemo caches CanonicalKey by AST identity: printing a design is
+// comparable in cost to compiling it, and the same parsed candidate is keyed
+// several times per pipeline run (dedup, ranking, refinement checks). The
+// memo is cleared wholesale when it exceeds its cap so it cannot pin an
+// unbounded number of ASTs against the garbage collector.
+var (
+	keyMemoMu sync.Mutex
+	keyMemo   = make(map[*ast.Source]string)
+)
+
+const keyMemoCap = 4096
+
+// CanonicalKey returns a canonical content hash of a design: the SHA-256 of
+// its printed source. Two ASTs that print identically — same code modulo the
+// formatting and comments the printer normalizes away — share a key, so
+// duplicate candidates (common under the paper's n-sample generation) can be
+// recognized before any simulation work. ASTs are assumed immutable once
+// handed to the simulator, so the key is memoized per AST.
+func CanonicalKey(src *ast.Source) string {
+	keyMemoMu.Lock()
+	if k, ok := keyMemo[src]; ok {
+		keyMemoMu.Unlock()
+		return k
+	}
+	keyMemoMu.Unlock()
+	sum := sha256.Sum256([]byte(printer.Print(src)))
+	k := hex.EncodeToString(sum[:])
+	keyMemoMu.Lock()
+	if len(keyMemo) >= keyMemoCap {
+		keyMemo = make(map[*ast.Source]string, keyMemoCap)
+	}
+	keyMemo[src] = k
+	keyMemoMu.Unlock()
+	return k
+}
+
+// CompileCache memoizes Compile results keyed by (CanonicalKey, top module).
+// It is safe for concurrent use and concurrent requests for the same design
+// share a single compilation. A bounded LRU keeps memory in check; failed
+// compilations are cached too (invalid candidates recur just as often).
+type CompileCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[cacheKey]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheKey struct {
+	hash string
+	top  string
+}
+
+type cacheItem struct {
+	key   cacheKey
+	entry *cacheEntry
+}
+
+type cacheEntry struct {
+	once    sync.Once
+	compile func() (*Design, error)
+	d       *Design
+	err     error
+}
+
+// resolve runs the compilation exactly once (whichever caller gets here
+// first does the work; the rest block until it is done) and returns it.
+func (e *cacheEntry) resolve() (*Design, error) {
+	e.once.Do(func() {
+		e.d, e.err = e.compile()
+		e.compile = nil
+	})
+	return e.d, e.err
+}
+
+// NewCompileCache returns a cache bounded to capacity designs (minimum 1).
+func NewCompileCache(capacity int) *CompileCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &CompileCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// Get returns the compiled design for src/top, compiling at most once per
+// canonical source even under concurrent callers.
+func (c *CompileCache) Get(src *ast.Source, top string) (*Design, error) {
+	key := cacheKey{hash: CanonicalKey(src), top: top}
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheItem).entry
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e.resolve()
+	}
+	e := &cacheEntry{compile: func() (*Design, error) { return Compile(src, top) }}
+	el := c.ll.PushFront(&cacheItem{key: key, entry: e})
+	c.m[key] = el
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheItem).key)
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return e.resolve()
+}
+
+// Stats reports cumulative cache hits and misses.
+func (c *CompileCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of cached designs.
+func (c *CompileCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// defaultCacheCapacity bounds the process-wide cache. Designs are small
+// (closures plus a value snapshot), and the experiment drivers churn through
+// thousands of candidates, most of them duplicates.
+const defaultCacheCapacity = 1024
+
+// DefaultCache is the process-wide compile cache used by CompileCached.
+var DefaultCache = NewCompileCache(defaultCacheCapacity)
+
+// CompileCached is Compile through the process-wide elaboration cache:
+// repeated evaluations of identical (or cosmetically different but
+// canonically equal) candidates skip elaboration and compilation entirely.
+func CompileCached(src *ast.Source, top string) (*Design, error) {
+	return DefaultCache.Get(src, top)
+}

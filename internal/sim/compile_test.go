@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/verilog/parser"
+)
+
+func mustCompile(t *testing.T, src, top string) *Design {
+	t.Helper()
+	parsed, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := Compile(parsed, top)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return d
+}
+
+// TestCompiledHierarchyAndParams differentially checks a parameterized
+// two-level hierarchy: instance port binding crosses scopes in both
+// directions and parameter overrides resolve at compile time.
+func TestCompiledHierarchyAndParams(t *testing.T) {
+	src := `
+module adder (
+    input [W-1:0] x,
+    output [W-1:0] s
+);
+    parameter W = 4;
+    parameter BIAS = 1;
+    assign s = x + BIAS;
+endmodule
+
+module top_module (
+    input [7:0] a,
+    output [7:0] y,
+    output [3:0] small
+);
+    wire [7:0] mid;
+    adder #(.W(8), .BIAS(3)) u0 (.x(a), .s(mid));
+    adder #(.W(8)) u1 (.x(mid), .s(y));
+    adder u2 (.x(a[3:0]), .s(small));
+endmodule
+`
+	dp := newDiffPair(t, src, "top_module")
+	rng := rand.New(rand.NewSource(11))
+	for vec := 0; vec < 16; vec++ {
+		dp.drive(t, "a", NewKnown(8, rng.Uint64()&0xFF))
+		dp.settle(t, src)
+		dp.compareOutputs(t, fmt.Sprintf("vec %d", vec), src)
+	}
+	// Four-state input propagates through the hierarchy identically.
+	dp.drive(t, "a", randFourState(rng, 8, 0.4))
+	dp.settle(t, src)
+	dp.compareOutputs(t, "xvec", src)
+}
+
+// TestCompiledLValueForms differentially checks bit/part/concat lvalues,
+// including a variable bit index and an indexed (+:) part-select.
+func TestCompiledLValueForms(t *testing.T) {
+	src := `
+module top_module (
+    input [7:0] a,
+    input [2:0] sel,
+    output reg [7:0] y,
+    output reg [7:0] w,
+    output reg [3:0] hi,
+    output reg [3:0] lo
+);
+    always @(*) begin
+        y = 8'd0;
+        y[sel] = a[0];
+        y[7:6] = a[1:0];
+        w = 8'd0;
+        w[sel +: 2] = a[3:2];
+        {hi, lo} = a;
+    end
+endmodule
+`
+	dp := newDiffPair(t, src, "top_module")
+	rng := rand.New(rand.NewSource(22))
+	for vec := 0; vec < 24; vec++ {
+		dp.drive(t, "a", NewKnown(8, rng.Uint64()&0xFF))
+		dp.drive(t, "sel", NewKnown(3, rng.Uint64()&0x7))
+		dp.settle(t, src)
+		dp.compareOutputs(t, fmt.Sprintf("vec %d", vec), src)
+	}
+	// X index: both backends must drop the write identically.
+	dp.drive(t, "a", NewKnown(8, 0xFF))
+	dp.drive(t, "sel", NewX(3))
+	dp.settle(t, src)
+	dp.compareOutputs(t, "x-index", src)
+}
+
+// TestCompiledCaseZ differentially checks casez/casex wildcard matching.
+func TestCompiledCaseZ(t *testing.T) {
+	src := `
+module top_module (
+    input [3:0] a,
+    output reg [1:0] y
+);
+    always @(*) begin
+        casez (a)
+            4'b1???: y = 2'd3;
+            4'b01??: y = 2'd2;
+            4'b001?: y = 2'd1;
+            default: y = 2'd0;
+        endcase
+    end
+endmodule
+`
+	dp := newDiffPair(t, src, "top_module")
+	for v := uint64(0); v < 16; v++ {
+		dp.drive(t, "a", NewKnown(4, v))
+		dp.settle(t, src)
+		dp.compareOutputs(t, fmt.Sprintf("v=%d", v), src)
+	}
+	rng := rand.New(rand.NewSource(33))
+	for vec := 0; vec < 8; vec++ {
+		dp.drive(t, "a", randFourState(rng, 4, 0.5))
+		dp.settle(t, src)
+		dp.compareOutputs(t, fmt.Sprintf("xvec %d", vec), src)
+	}
+}
+
+// TestCompiledLSBOffsetRange differentially checks nets declared with a
+// nonzero LSB.
+func TestCompiledLSBOffsetRange(t *testing.T) {
+	src := `
+module top_module (
+    input [11:4] a,
+    output [11:4] y,
+    output [3:0] nib
+);
+    assign y = a + 8'd1;
+    assign nib = a[7:4];
+endmodule
+`
+	dp := newDiffPair(t, src, "top_module")
+	rng := rand.New(rand.NewSource(44))
+	for vec := 0; vec < 16; vec++ {
+		dp.drive(t, "a", NewKnown(8, rng.Uint64()&0xFF))
+		dp.settle(t, src)
+		dp.compareOutputs(t, fmt.Sprintf("vec %d", vec), src)
+	}
+}
+
+// TestCompiledInitialBlock checks that initial-block state lands in the
+// compiled snapshot.
+func TestCompiledInitialBlock(t *testing.T) {
+	src := `
+module top_module (
+    input [7:0] a,
+    output [7:0] y
+);
+    reg [7:0] base;
+    initial base = 8'd42;
+    assign y = a + base;
+endmodule
+`
+	dp := newDiffPair(t, src, "top_module")
+	dp.drive(t, "a", NewKnown(8, 1))
+	dp.settle(t, src)
+	dp.compareOutputs(t, "init", src)
+	v, err := dp.compiled.Output("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u, ok := v.Uint64(); !ok || u != 43 {
+		t.Fatalf("y = %s, want 43", v)
+	}
+}
+
+// TestCompileRejectsUnknownIdent documents the intended strictness
+// difference: Compile rejects unknown identifiers up front.
+func TestCompileRejectsUnknownIdent(t *testing.T) {
+	src := `
+module top_module (
+    input clk,
+    output reg y
+);
+    always @(posedge clk)
+        y <= ghost;
+endmodule
+`
+	parsed, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(parsed, "top_module"); err == nil {
+		t.Fatal("Compile accepted a design with an unknown identifier")
+	}
+}
+
+// TestCompileCacheDedup verifies that canonically identical sources — even
+// when formatted differently — share one compilation.
+func TestCompileCacheDedup(t *testing.T) {
+	cache := NewCompileCache(16)
+	a := "module top_module (input x, output y);\n    assign y = ~x;\nendmodule\n"
+	b := "module top_module(input x,output y); assign y = ~ x; endmodule"
+	pa, err := parser.Parse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := parser.Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonicalKey(pa) != CanonicalKey(pb) {
+		t.Fatal("cosmetically different sources should share a canonical key")
+	}
+	da, err := cache.Get(pa, "top_module")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := cache.Get(pb, "top_module")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da != db {
+		t.Fatal("cache returned distinct designs for canonically equal sources")
+	}
+	hits, misses := cache.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// TestCompileCacheEviction verifies the LRU bound.
+func TestCompileCacheEviction(t *testing.T) {
+	cache := NewCompileCache(2)
+	for i := 0; i < 3; i++ {
+		src := fmt.Sprintf("module top_module(input x, output [7:0] y); assign y = {7'd0, x} + 8'd%d; endmodule", i)
+		p, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cache.Get(p, "top_module"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cache.Len(); got != 2 {
+		t.Fatalf("cache len = %d, want 2", got)
+	}
+}
+
+// TestCompiledConcurrentEngines is the race-mode smoke test for the compiled
+// engine: one shared Design driven by many concurrent Engines, while other
+// goroutines hammer the same source through a shared cache. Run with -race.
+func TestCompiledConcurrentEngines(t *testing.T) {
+	src := `
+module top_module (
+    input clk,
+    input reset,
+    input [7:0] d,
+    output reg [7:0] q,
+    output [7:0] inv
+);
+    always @(posedge clk) begin
+        if (reset)
+            q <= 8'd0;
+        else
+            q <= q + d;
+    end
+    assign inv = ~q;
+endmodule
+`
+	parsed, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCompileCache(8)
+	d, err := cache.Get(parsed, "top_module")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			en := d.NewEngine()
+			if err := en.SetInputUint("clk", 0); err != nil {
+				errs <- err
+				return
+			}
+			if err := en.SetInputUint("reset", 1); err != nil {
+				errs <- err
+				return
+			}
+			if err := en.Tick("clk"); err != nil {
+				errs <- err
+				return
+			}
+			if err := en.SetInputUint("reset", 0); err != nil {
+				errs <- err
+				return
+			}
+			var sum uint64
+			for i := 0; i < 50; i++ {
+				dv := rng.Uint64() & 0xFF
+				sum = (sum + dv) & 0xFF
+				if err := en.SetInputUint("d", dv); err != nil {
+					errs <- err
+					return
+				}
+				if err := en.Tick("clk"); err != nil {
+					errs <- err
+					return
+				}
+			}
+			q, err := en.Output("q")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if u, ok := q.Uint64(); !ok || u != sum {
+				errs <- fmt.Errorf("worker %d: q=%s want %d", seed, q, sum)
+			}
+		}(int64(w))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := cache.Get(parsed, "top_module"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

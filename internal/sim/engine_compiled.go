@@ -1,0 +1,276 @@
+package sim
+
+import "fmt"
+
+// Instance is the common stimulus interface of both simulation backends: the
+// AST-walking Simulator and the compiled Engine.
+type Instance interface {
+	Inputs() []PortInfo
+	Outputs() []PortInfo
+	SetInput(name string, v Value) error
+	SetInputUint(name string, x uint64) error
+	Output(name string) (Value, error)
+	Settle() error
+	Tick(clock string) error
+}
+
+var (
+	_ Instance = (*Simulator)(nil)
+	_ Instance = (*Engine)(nil)
+)
+
+// Engine executes a compiled Design. It holds only per-run mutable state
+// (net values and scheduler queues); many Engines can run one Design
+// concurrently. An individual Engine is not safe for concurrent use.
+type Engine struct {
+	d       *Design
+	vals    []Value
+	queued  []bool
+	active  []int32
+	changed []echange
+	nba     []enbaWrite
+	current int32 // behavioral process being run, -1 outside
+
+	// Spare buffers double-buffer the scheduler queues so steady-state
+	// settling allocates nothing.
+	activeSpare  []int32
+	changedSpare []echange
+	nbaSpare     []enbaWrite
+}
+
+type echange struct {
+	net      int32
+	old, new Value
+	byProc   int32
+}
+
+type enbaWrite struct {
+	net int32
+	lo  int
+	val Value
+}
+
+// NewEngine returns a fresh instance of the design, already in its
+// post-initial settled state (the snapshot Compile captured), so
+// instantiation costs one value-slice copy instead of a re-elaboration.
+func (d *Design) NewEngine() *Engine {
+	en := &Engine{
+		d:       d,
+		vals:    make([]Value, len(d.initVals)),
+		queued:  make([]bool, len(d.procs)),
+		current: -1,
+	}
+	copy(en.vals, d.initVals)
+	return en
+}
+
+// Design returns the compiled design this engine executes.
+func (en *Engine) Design() *Design { return en.d }
+
+// Inputs returns the top module's input ports in declaration order.
+func (en *Engine) Inputs() []PortInfo { return append([]PortInfo(nil), en.d.inputs...) }
+
+// Outputs returns the top module's output ports in declaration order.
+func (en *Engine) Outputs() []PortInfo { return append([]PortInfo(nil), en.d.outputs...) }
+
+// SetInput drives a top-level input port. The new value takes effect at the
+// next Settle call.
+func (en *Engine) SetInput(name string, v Value) error {
+	idx, ok := en.d.inputIdx[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotInput, name)
+	}
+	en.writeNet(idx, 0, v.Resize(en.d.nets[idx].width))
+	return nil
+}
+
+// SetInputUint drives an input port with a known integer value.
+func (en *Engine) SetInputUint(name string, x uint64) error {
+	idx, ok := en.d.topIdx[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNet, name)
+	}
+	if x <= 1 {
+		// Clock/reset toggles dominate this path; reuse the design's
+		// premade constants (values are immutable, sharing is safe).
+		if pair, has := en.d.in01[idx]; has {
+			en.writeNet(idx, 0, pair[x])
+			return nil
+		}
+	}
+	return en.SetInput(name, NewKnown(en.d.nets[idx].width, x))
+}
+
+// Output reads any top-level net (usually an output port).
+func (en *Engine) Output(name string) (Value, error) {
+	idx, ok := en.d.topIdx[name]
+	if !ok {
+		return Value{}, fmt.Errorf("%w: %q", ErrUnknownNet, name)
+	}
+	return en.vals[idx], nil
+}
+
+// Settle runs delta cycles until no activity remains, or fails with
+// ErrNoConverge.
+func (en *Engine) Settle() error {
+	for iter := 0; ; iter++ {
+		if iter > maxDeltas {
+			return ErrNoConverge
+		}
+		if len(en.changed) > 0 {
+			en.dispatchChanges()
+			continue
+		}
+		if len(en.active) > 0 {
+			if err := en.runActive(); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(en.nba) > 0 {
+			en.applyNBA()
+			continue
+		}
+		return nil
+	}
+}
+
+// Tick performs one full clock cycle on the named clock input.
+func (en *Engine) Tick(clock string) error {
+	if err := en.SetInputUint(clock, 1); err != nil {
+		return err
+	}
+	if err := en.Settle(); err != nil {
+		return err
+	}
+	if err := en.SetInputUint(clock, 0); err != nil {
+		return err
+	}
+	return en.Settle()
+}
+
+// --- Scheduler internals -----------------------------------------------------
+
+func (en *Engine) enqueue(pid int32) {
+	if en.queued[pid] {
+		return
+	}
+	en.queued[pid] = true
+	en.active = append(en.active, pid)
+}
+
+// writeNet stores v into net idx at storage offset lo and records the change
+// for fanout dispatch, mirroring Simulator.writeNet. Nets with no fanout at
+// all (e.g. pure output ports) skip the change record: dispatching them is a
+// no-op by construction.
+func (en *Engine) writeNet(idx int32, lo int, v Value) {
+	old := en.vals[idx]
+	var updated Value
+	if lo == 0 && v.Width() == en.d.nets[idx].width {
+		updated = v
+	} else {
+		updated = old.WriteBits(lo, v)
+	}
+	if old.Equal(updated) {
+		return
+	}
+	en.vals[idx] = updated
+	if len(en.d.levelFan[idx]) == 0 && len(en.d.edgeFan[idx]) == 0 {
+		return
+	}
+	en.changed = append(en.changed, echange{net: idx, old: old, new: updated, byProc: en.current})
+}
+
+func (en *Engine) dispatchChanges() {
+	batch := en.changed
+	en.changed = en.changedSpare[:0]
+	for _, ch := range batch {
+		for _, pid := range en.d.levelFan[ch.net] {
+			if pid == ch.byProc {
+				continue // processes miss events raised during their own run
+			}
+			en.enqueue(pid)
+		}
+		for _, sub := range en.d.edgeFan[ch.net] {
+			if sub.proc == ch.byProc {
+				continue
+			}
+			if edgeFired(sub.edge, ch.old, ch.new) {
+				en.enqueue(sub.proc)
+			}
+		}
+	}
+	en.changedSpare = batch[:0]
+}
+
+func (en *Engine) runActive() error {
+	batch := en.active
+	en.active = en.activeSpare[:0]
+	for _, pid := range batch {
+		en.queued[pid] = false
+		if err := en.runProcess(pid); err != nil {
+			en.activeSpare = batch[:0]
+			return err
+		}
+	}
+	en.activeSpare = batch[:0]
+	return nil
+}
+
+func (en *Engine) applyNBA() {
+	batch := en.nba
+	en.nba = en.nbaSpare[:0]
+	for _, w := range batch {
+		en.writeNet(w.net, w.lo, w.val)
+	}
+	en.nbaSpare = batch[:0]
+}
+
+func (en *Engine) runProcess(pid int32) error {
+	p := &en.d.procs[pid]
+	if p.cont {
+		// Continuous assignments observe their own changes (that is what
+		// makes a zero-delay combinational loop oscillate, not freeze).
+		return p.run(en)
+	}
+	prev := en.current
+	en.current = pid
+	err := p.run(en)
+	en.current = prev
+	return err
+}
+
+// assignLV distributes v across the lvalue's resolved targets MSB-first,
+// mirroring Simulator.assign.
+func (en *Engine) assignLV(lv *clval, v Value, blocking bool) error {
+	targets, totalWidth, err := lv.resolve(en)
+	if err != nil {
+		return err
+	}
+	v = v.Resize(totalWidth)
+	// Fast path: a single non-skipped full-width target takes v whole —
+	// SliceBits(0, w) of a w-bit value is an identical copy.
+	if len(targets) == 1 && !targets[0].skip && targets[0].width == totalWidth {
+		t := targets[0]
+		if blocking {
+			en.writeNet(t.idx, t.lo, v)
+		} else {
+			en.nba = append(en.nba, enbaWrite{net: t.idx, lo: t.lo, val: v})
+		}
+		return nil
+	}
+	pos := totalWidth
+	for _, t := range targets {
+		pos -= t.width
+		part := v.SliceBits(pos, t.width)
+		if t.skip {
+			continue
+		}
+		if blocking {
+			en.writeNet(t.idx, t.lo, part)
+		} else {
+			en.nba = append(en.nba, enbaWrite{net: t.idx, lo: t.lo, val: part})
+		}
+	}
+	return nil
+}

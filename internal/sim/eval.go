@@ -220,21 +220,7 @@ func (s *Simulator) lvalueWidth(lhs ast.Expr, sc *scope) (int, error) {
 		if errA != nil || errB != nil {
 			return 1, nil
 		}
-		switch x.Kind {
-		case ast.SelConst:
-			a, ok1 := av.Uint64()
-			b, ok2 := bv.Uint64()
-			if ok1 && ok2 && a >= b {
-				return int(a-b) + 1, nil
-			}
-			return 1, nil
-		default:
-			w, ok := bv.Uint64()
-			if ok && w > 0 {
-				return int(w), nil
-			}
-			return 1, nil
-		}
+		return partSelLvalueWidthVals(x.Kind, av, bv), nil
 	case *ast.Concat:
 		total := 0
 		for _, p := range x.Parts {
@@ -484,7 +470,33 @@ func (s *Simulator) partSelBounds(x *ast.PartSel, n *net, sc *scope) (int, int, 
 	if err != nil {
 		return 0, 0, false, err
 	}
-	switch x.Kind {
+	return partSelBoundsVals(x.Kind, av, bv, n.lsb)
+}
+
+// partSelLvalueWidthVals is the pure lvalue-width estimate for a part-select
+// (errors and unknown bounds degrade to width 1), shared by both backends.
+func partSelLvalueWidthVals(kind ast.SelKind, av, bv Value) int {
+	switch kind {
+	case ast.SelConst:
+		a, ok1 := av.Uint64()
+		b, ok2 := bv.Uint64()
+		if ok1 && ok2 && a >= b {
+			return int(a-b) + 1
+		}
+		return 1
+	default:
+		w, ok := bv.Uint64()
+		if ok && w > 0 {
+			return int(w)
+		}
+		return 1
+	}
+}
+
+// partSelBoundsVals is the pure part-select bounds computation shared by the
+// interpreter and the compiled backend, so both resolve selects identically.
+func partSelBoundsVals(kind ast.SelKind, av, bv Value, lsb int) (int, int, bool, error) {
+	switch kind {
 	case ast.SelConst:
 		a, ok1 := av.Uint64()
 		b, ok2 := bv.Uint64()
@@ -495,7 +507,7 @@ func (s *Simulator) partSelBounds(x *ast.PartSel, n *net, sc *scope) (int, int, 
 			return 0, 0, false, fmt.Errorf("%w: reversed part-select [%d:%d]", ErrRuntime, a, b)
 		}
 		w := int(a-b) + 1
-		return int(b) - n.lsb, w, true, nil
+		return int(b) - lsb, w, true, nil
 	case ast.SelPlus:
 		wv, okw := bv.Uint64()
 		if !okw || wv == 0 {
@@ -505,7 +517,7 @@ func (s *Simulator) partSelBounds(x *ast.PartSel, n *net, sc *scope) (int, int, 
 		if !okb {
 			return 0, int(wv), false, nil
 		}
-		return int(base) - n.lsb, int(wv), true, nil
+		return int(base) - lsb, int(wv), true, nil
 	case ast.SelMinus:
 		wv, okw := bv.Uint64()
 		if !okw || wv == 0 {
@@ -515,7 +527,7 @@ func (s *Simulator) partSelBounds(x *ast.PartSel, n *net, sc *scope) (int, int, 
 		if !okb {
 			return 0, int(wv), false, nil
 		}
-		return int(base) - int(wv) + 1 - n.lsb, int(wv), true, nil
+		return int(base) - int(wv) + 1 - lsb, int(wv), true, nil
 	default:
 		return 0, 0, false, fmt.Errorf("%w: unknown part-select kind", ErrRuntime)
 	}
@@ -543,15 +555,7 @@ func (s *Simulator) evalCtx(e ast.Expr, sc *scope, ctx int) (Value, error) {
 		}
 		return Value{}, fmt.Errorf("%w: unknown identifier %q", ErrRuntime, x.Name)
 	case *ast.Number:
-		w := x.Width
-		if w <= 0 {
-			w = 32
-			if len(x.Val)*64 > 32 {
-				// Wide unsized literal: keep its natural storage width.
-				w = len(x.Val) * 64
-			}
-		}
-		return NewFromPlanes(w, x.Val, x.XZ), nil
+		return numberValue(x), nil
 	case *ast.Unary:
 		switch x.Op {
 		case ast.UnaryPlus, ast.UnaryMinus, ast.BitNot:
@@ -729,6 +733,19 @@ func (s *Simulator) evalPartSel(x *ast.PartSel, sc *scope) (Value, error) {
 		return NewX(w), nil
 	}
 	return base.SliceBits(lo, w), nil
+}
+
+// numberValue materializes a literal, shared by both backends.
+func numberValue(x *ast.Number) Value {
+	w := x.Width
+	if w <= 0 {
+		w = 32
+		if len(x.Val)*64 > 32 {
+			// Wide unsized literal: keep its natural storage width.
+			w = len(x.Val) * 64
+		}
+	}
+	return NewFromPlanes(w, x.Val, x.XZ)
 }
 
 func evalUnary(op ast.UnaryOp, v Value) Value {

@@ -8,10 +8,7 @@
 // X and with val=1 is Z.
 package sim
 
-import (
-	"fmt"
-	"strings"
-)
+import "strconv"
 
 // Value is an arbitrary-width four-state logic vector. Values are immutable
 // by convention: operations return new Values.
@@ -182,12 +179,14 @@ func (v Value) Equal(o Value) bool {
 
 // String renders the value as a binary literal, e.g. "4'b10x1".
 func (v Value) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d'b", v.width)
+	prefix := strconv.Itoa(v.width)
+	out := make([]byte, 0, len(prefix)+2+v.width)
+	out = append(out, prefix...)
+	out = append(out, '\'', 'b')
 	for i := v.width - 1; i >= 0; i-- {
-		b.WriteByte(v.Bit(i))
+		out = append(out, v.Bit(i))
 	}
-	return b.String()
+	return string(out)
 }
 
 // Bool3 is the three-valued truth of the value: (true, known) if any bit is

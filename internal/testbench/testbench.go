@@ -67,6 +67,29 @@ func (ifc *Interface) DataInputs() []PortSpec {
 // tick), then record all outputs.
 type Step struct {
 	Inputs map[string]sim.Value
+
+	// sortedNames caches the deterministic drive order (generator-built
+	// stimuli fill it once; hand-built steps fall back to sorting per run).
+	sortedNames []string
+}
+
+// driveOrder returns the input names in deterministic (sorted) order.
+func (st *Step) driveOrder() []string {
+	if st.sortedNames != nil {
+		return st.sortedNames
+	}
+	names := make([]string, 0, len(st.Inputs))
+	for name := range st.Inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// finalize precomputes the drive order (called by the generator, which owns
+// the stimulus before any concurrent use).
+func (st *Step) finalize() {
+	st.sortedNames = st.driveOrder()
 }
 
 // Case is one test case: a single vector for combinational circuits or a
@@ -142,9 +165,14 @@ func (g *Generator) generate(ifc Interface, maxComb, seqCases, seqSteps int) *St
 		for c := 0; c < seqCases; c++ {
 			st.Cases = append(st.Cases, g.seqCase(ifc, seqSteps, c == 0))
 		}
-		return st
+	} else {
+		st.Cases = g.combCases(ifc, maxComb)
 	}
-	st.Cases = g.combCases(ifc, maxComb)
+	for ci := range st.Cases {
+		for si := range st.Cases[ci].Steps {
+			st.Cases[ci].Steps[si].finalize()
+		}
+	}
 	return st
 }
 
@@ -356,19 +384,60 @@ func (t *Trace) String() string {
 	return b.String()
 }
 
-// Run executes the stimulus against a design and captures its trace. Each
-// sequential test case elaborates a fresh simulator so cases are
-// independent; combinational interfaces reuse one simulator across cases
-// (deterministic for both golden and candidates, so comparisons stay
-// apples-to-apples even for buggy candidates with accidental state). A
-// runtime error is recorded in the trace rather than returned: a failing
-// candidate is simply one that agrees with nobody.
+// Backend selects the simulation engine used to execute a stimulus.
+type Backend int
+
+// Available backends. The zero value is the compiled engine, so every
+// caller that does not ask for the interpreter gets the fast path.
+const (
+	// BackendCompiled flattens the design to an index-addressed netlist via
+	// sim.CompileCached: elaboration and compilation are skipped entirely
+	// for repeated (or canonically identical) designs, and per-case
+	// instantiation is a value-snapshot copy.
+	BackendCompiled Backend = iota
+	// BackendInterpreter is the original AST-walking engine, retained for
+	// differential testing against the compiled backend.
+	BackendInterpreter
+)
+
+// String names the backend for bench/CLI labels.
+func (b Backend) String() string {
+	if b == BackendInterpreter {
+		return "interpreter"
+	}
+	return "compiled"
+}
+
+// Run executes the stimulus against a design with the default (compiled)
+// backend and captures its trace.
 func Run(src *ast.Source, top string, st *Stimulus) *Trace {
+	return RunBackend(src, top, st, BackendCompiled)
+}
+
+// RunBackend executes the stimulus against a design on the chosen backend
+// and captures its trace. Each sequential test case gets a fresh simulator
+// instance so cases are independent; combinational interfaces reuse one
+// instance across cases (deterministic for both golden and candidates, so
+// comparisons stay apples-to-apples even for buggy candidates with
+// accidental state). A runtime error is recorded in the trace rather than
+// returned: a failing candidate is simply one that agrees with nobody.
+func RunBackend(src *ast.Source, top string, st *Stimulus, backend Backend) *Trace {
 	tr := &Trace{Ifc: st.Ifc}
-	var shared *sim.Simulator
+	var newInstance func() (sim.Instance, error)
+	if backend == BackendInterpreter {
+		newInstance = func() (sim.Instance, error) { return sim.New(src, top) }
+	} else {
+		d, err := sim.CompileCached(src, top)
+		if err != nil {
+			tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
+			return tr
+		}
+		newInstance = func() (sim.Instance, error) { return d.NewEngine(), nil }
+	}
+	var shared sim.Instance
 	if st.Ifc.Clock == "" {
 		var err error
-		shared, err = sim.New(src, top)
+		shared, err = newInstance()
 		if err != nil {
 			tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
 			return tr
@@ -378,7 +447,7 @@ func Run(src *ast.Source, top string, st *Stimulus) *Trace {
 		s := shared
 		if s == nil {
 			var err error
-			s, err = sim.New(src, top)
+			s, err = newInstance()
 			if err != nil {
 				tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
 				return tr
@@ -392,12 +461,7 @@ func Run(src *ast.Source, top string, st *Stimulus) *Trace {
 		}
 		var ct CaseTrace
 		for _, step := range c.Steps {
-			names := make([]string, 0, len(step.Inputs))
-			for name := range step.Inputs {
-				names = append(names, name)
-			}
-			sort.Strings(names)
-			for _, name := range names {
+			for _, name := range step.driveOrder() {
 				if err := s.SetInput(name, step.Inputs[name]); err != nil {
 					tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
 					return tr

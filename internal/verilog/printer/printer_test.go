@@ -1,4 +1,4 @@
-package printer
+package printer_test
 
 import (
 	"strings"
@@ -7,6 +7,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/verilog/ast"
 	"repro/internal/verilog/parser"
+	"repro/internal/verilog/printer"
 )
 
 // TestRoundTripSuite is the key printer property: for every golden design in
@@ -19,12 +20,12 @@ func TestRoundTripSuite(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: golden parse: %v", task.ID, err)
 		}
-		printed := Print(src)
+		printed := printer.Print(src)
 		re, err := parser.Parse(printed)
 		if err != nil {
 			t.Fatalf("%s: printed output does not parse: %v\n%s", task.ID, err, printed)
 		}
-		printed2 := Print(re)
+		printed2 := printer.Print(re)
 		if printed != printed2 {
 			t.Errorf("%s: printer is not a fixpoint", task.ID)
 		}
@@ -49,7 +50,7 @@ endmodule
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := Print(s)
+	out := printer.Print(s)
 	if !strings.Contains(out, "assign x = a | b & c;") {
 		t.Errorf("x printed with redundant parens:\n%s", out)
 	}
@@ -72,7 +73,7 @@ endmodule
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := Print(s)
+	out := printer.Print(s)
 	re, err := parser.Parse(out)
 	if err != nil {
 		t.Fatalf("round trip failed: %v\n%s", err, out)
@@ -102,7 +103,7 @@ endmodule
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := Print(s)
+	out := printer.Print(s)
 	re, rerr := parser.Parse(out)
 	if rerr != nil {
 		t.Fatalf("round trip: %v\n%s", rerr, out)
@@ -133,7 +134,7 @@ endmodule
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := Print(s)
+	out := printer.Print(s)
 	if !strings.Contains(out, "else if (") {
 		t.Errorf("else-if chain not flattened:\n%s", out)
 	}
@@ -144,11 +145,11 @@ endmodule
 
 func TestPrintStmtAndExpr(t *testing.T) {
 	e := &ast.Binary{Op: ast.Add, X: &ast.Ident{Name: "a"}, Y: &ast.Ident{Name: "b"}}
-	if got := PrintExpr(e); got != "a + b" {
+	if got := printer.PrintExpr(e); got != "a + b" {
 		t.Errorf("PrintExpr = %q", got)
 	}
 	st := &ast.AssignStmt{LHS: &ast.Ident{Name: "q"}, RHS: e, Blocking: false}
-	if got := strings.TrimSpace(PrintStmt(st, 0)); got != "q <= a + b;" {
+	if got := strings.TrimSpace(printer.PrintStmt(st, 0)); got != "q <= a + b;" {
 		t.Errorf("PrintStmt = %q", got)
 	}
 }
