@@ -308,6 +308,51 @@ func BenchmarkCompileCacheHit(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineTick measures raw steady-state clock-cycle throughput of
+// the register-file engine on a representative sequential golden. With the
+// destination-passing kernels this reports 0 allocs/op — the regression
+// tests in internal/sim/alloc_test.go enforce it.
+func BenchmarkEngineTick(b *testing.B) {
+	task := benchTasks(1)[120]
+	src, err := parser.Parse(task.Golden)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := sim.Compile(src, eval.TopModule)
+	if err != nil {
+		b.Fatal(err)
+	}
+	en := d.NewEngine()
+	if task.Ifc.Reset != "" {
+		rv := uint64(1)
+		if task.Ifc.ResetActiveLow {
+			rv = 0
+		}
+		if err := en.SetInputUint(task.Ifc.Reset, rv); err != nil {
+			b.Fatal(err)
+		}
+		if err := en.Tick(task.Ifc.Clock); err != nil {
+			b.Fatal(err)
+		}
+		if err := en.SetInputUint(task.Ifc.Reset, 1-rv); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ins := task.Ifc.DataInputs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range ins {
+			if err := en.SetInputUint(in.Name, uint64(i)*0x9E3779B9); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := en.Tick(task.Ifc.Clock); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPipelineVFocus measures one full VFocus run on one task.
 func BenchmarkPipelineVFocus(b *testing.B) {
 	task := benchTasks(1)[100]
@@ -322,6 +367,32 @@ func BenchmarkPipelineVFocus(b *testing.B) {
 	cfg := core.DefaultConfig(core.VariantVFocus, profile.Name)
 	cfg.Samples = 20
 	cfg.RetryBaseDelay = 0
+	pipe := core.New(client, cfg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.Run(context.Background(), task); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineVFocusWorkers is the same VFocus run with the ranking
+// stage's simulate-and-fingerprint loop spread over every core (results are
+// bit-identical to the sequential run; see core.TestRankWorkersDeterministic).
+func BenchmarkPipelineVFocusWorkers(b *testing.B) {
+	task := benchTasks(1)[100]
+	profile, err := llm.ProfileByName("deepseek-r1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := llm.NewSimClient(profile, 5, []eval.Task{task})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig(core.VariantVFocus, profile.Name)
+	cfg.Samples = 20
+	cfg.RetryBaseDelay = 0
+	cfg.Workers = core.DefaultWorkers()
 	pipe := core.New(client, cfg)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

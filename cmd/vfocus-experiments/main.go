@@ -16,9 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/exp"
 	"repro/internal/testbench"
@@ -41,9 +44,37 @@ func run(args []string) error {
 		runs    = fs.Int("runs", 0, "override run count (0 = paper defaults)")
 		samples = fs.Int("samples", 0, "override sample count n (0 = paper defaults)")
 		backend = fs.String("backend", "compiled", "simulation backend: compiled|interpreter")
+		workers = fs.Int("workers", core.DefaultWorkers(), "task-level worker pool size")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "vfocus-experiments: memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	var be testbench.Backend
@@ -77,6 +108,7 @@ func run(args []string) error {
 			Samples: pick(*samples, 50, 20, *quick),
 			Runs:    pick(*runs, 5, 1, *quick),
 			Seed:    *seed,
+			Workers: *workers,
 			Backend: be,
 		}
 		start := time.Now()
@@ -95,6 +127,7 @@ func run(args []string) error {
 			Samples: pick(*samples, 50, 20, *quick),
 			Bins:    10,
 			Seed:    *seed,
+			Workers: *workers,
 			Backend: be,
 		}
 		start := time.Now()
@@ -117,6 +150,7 @@ func run(args []string) error {
 			SampleSizes: sizes,
 			Runs:        pick(*runs, 10, 2, *quick),
 			Seed:        *seed,
+			Workers:     *workers,
 			Backend:     be,
 		}
 		start := time.Now()

@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -113,7 +114,19 @@ type Config struct {
 	// runs. The zero value is the compiled backend; the interpreter stays
 	// available for differential testing.
 	Backend testbench.Backend
+	// Workers bounds the concurrency of the ranking stage's
+	// simulate-and-fingerprint loop. Results are bit-identical for any
+	// value. Zero or one runs sequentially; set DefaultWorkers() to use
+	// every core (the experiment drivers already parallelize across tasks,
+	// so they keep per-pipeline ranking sequential).
+	Workers int
 }
+
+// DefaultWorkers is the worker-pool size used when a config leaves Workers
+// unset: one worker per available CPU. It is the single source of the
+// default shared by the experiment drivers (Table I, Fig. 3, Fig. 4) and
+// the CLI.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // DefaultConfig returns the paper's settings for a variant and model.
 func DefaultConfig(v Variant, model string) Config {

@@ -8,13 +8,28 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/eval"
 	"repro/internal/llm"
 	"repro/internal/sim"
 	"repro/internal/testbench"
+	"repro/internal/verilog/ast"
 )
+
+// workerCount bounds the ranking pool: never more goroutines than jobs, and
+// one (inline, no goroutines) when the config leaves Workers unset.
+func (p *Pipeline) workerCount(jobs int) int {
+	w := p.cfg.Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > jobs {
+		w = jobs
+	}
+	return w
+}
 
 // rngFor derives a deterministic RNG for selection decisions.
 func (p *Pipeline) rngFor(taskID, role string) *rand.Rand {
@@ -102,28 +117,72 @@ func (p *Pipeline) densityFilter(res *Result) {
 // testbench and clusters by strict full-trace agreement, scoring clusters by
 // size (the paper's Eq. 2-3). Candidates whose source is canonically
 // identical (same printed code, common under n-sample generation) share a
-// single simulation run.
+// single simulation run; the unique designs are simulated concurrently on a
+// Workers-bounded pool (the compiled Design is shared, each run gets its own
+// pooled Engine), and clustering stays sequential in candidate order so the
+// result is bit-identical for any worker count.
 func (p *Pipeline) rank(res *Result) error {
 	gen := testbench.NewGenerator(p.cfg.TBSeed + int64(res.Task.Index))
 	gen.Imperfection = p.cfg.TBImperfection
 	st := gen.Ranking(res.Task.Ifc)
 	res.rankingStimulus = st
 
-	byFP := make(map[uint64]*Cluster)
-	byKey := make(map[string]*testbench.Trace)
+	// Pass 1: dedup canonically identical candidates, first-seen order.
+	jobOf := make([]int, len(res.Candidates))
+	jobIdx := make(map[string]int)
+	var jobs []*ast.Source
 	for i := range res.Candidates {
 		c := &res.Candidates[i]
 		if !c.Valid || c.Filtered {
 			continue
 		}
 		key := sim.CanonicalKey(c.Source)
-		tr, dup := byKey[key]
+		j, dup := jobIdx[key]
 		if !dup {
-			tr = testbench.RunBackend(c.Source, eval.TopModule, st, p.cfg.Backend)
-			res.Stats.SimRuns++
-			byKey[key] = tr
+			j = len(jobs)
+			jobIdx[key] = j
+			jobs = append(jobs, c.Source)
 		}
-		c.Trace = tr
+		jobOf[i] = j
+	}
+
+	// Pass 2: simulate each unique design, in parallel when configured.
+	traces := make([]*testbench.Trace, len(jobs))
+	simulate := func(j int) {
+		traces[j] = testbench.RunBackend(jobs[j], eval.TopModule, st, p.cfg.Backend)
+	}
+	if workers := p.workerCount(len(jobs)); workers <= 1 {
+		for j := range jobs {
+			simulate(j)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range next {
+					simulate(j)
+				}
+			}()
+		}
+		for j := range jobs {
+			next <- j
+		}
+		close(next)
+		wg.Wait()
+	}
+	res.Stats.SimRuns += len(jobs)
+
+	// Pass 3: cluster sequentially in candidate order (deterministic).
+	byFP := make(map[uint64]*Cluster)
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		if !c.Valid || c.Filtered {
+			continue
+		}
+		c.Trace = traces[jobOf[i]]
 		if c.Trace.Err != nil {
 			continue // runtime failures agree with nobody
 		}

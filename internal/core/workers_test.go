@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/llm"
+)
+
+// runWithWorkers runs one VFocus pipeline on one task with the given
+// ranking-pool size and returns the full result.
+func runWithWorkers(t *testing.T, task eval.Task, workers int) *Result {
+	t.Helper()
+	profile, err := llm.ProfileByName("qwq-32b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := llm.NewSimClient(profile, 11, []eval.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(VariantVFocus, profile.Name)
+	cfg.Samples = 20
+	cfg.RetryBaseDelay = 0
+	cfg.Workers = workers
+	res, err := New(client, cfg).Run(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRankWorkersDeterministic is the acceptance gate for the parallel
+// ranking stage: the entire pipeline result — clustering, scores, refined
+// candidates, the final pick — must be bit-identical whether the
+// simulate-and-fingerprint loop runs sequentially or on a full worker pool.
+func TestRankWorkersDeterministic(t *testing.T) {
+	tasks := eval.Suite()
+	for _, idx := range []int{10, 60, 120} {
+		task := tasks[idx]
+		ref := runWithWorkers(t, task, 1)
+		for _, workers := range []int{4, 16} {
+			got := runWithWorkers(t, task, workers)
+			if got.Final != ref.Final || got.FinalIndex != ref.FinalIndex {
+				t.Fatalf("task %s: final pick diverges with Workers=%d", task.ID, workers)
+			}
+			if !reflect.DeepEqual(got.Clusters, ref.Clusters) {
+				t.Fatalf("task %s: clusters diverge with Workers=%d\nref: %+v\ngot: %+v",
+					task.ID, workers, ref.Clusters, got.Clusters)
+			}
+			if got.Stats != ref.Stats {
+				t.Fatalf("task %s: stats diverge with Workers=%d: %+v vs %+v",
+					task.ID, workers, ref.Stats, got.Stats)
+			}
+		}
+	}
+}
+
+// TestRankWorkersSharedDesignRace exercises the concurrency contract under
+// the race detector: several pipelines with Workers > 1 rank the same task
+// concurrently, so many goroutines drive pooled engines of the same cached
+// compiled Design (duplicate candidates guarantee cache hits).
+func TestRankWorkersSharedDesignRace(t *testing.T) {
+	task := eval.Suite()[30]
+	profile, err := llm.ProfileByName("qwq-32b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	var wg sync.WaitGroup
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		client, err := llm.NewSimClient(profile, 11, []eval.Task{task})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(VariantVFocus, profile.Name)
+		cfg.Samples = 20
+		cfg.RetryBaseDelay = 0
+		cfg.Workers = 8
+		pipe := New(client, cfg)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = pipe.Run(context.Background(), task)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent run %d: %v", i, errs[i])
+		}
+		if results[i].Final != results[0].Final {
+			t.Fatalf("concurrent run %d picked a different final", i)
+		}
+	}
+}

@@ -3,11 +3,11 @@ package exp
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/llm"
 	"repro/internal/metrics"
@@ -30,7 +30,7 @@ type Fig3Config struct {
 	Bins int
 	// Seed drives all randomness.
 	Seed int64
-	// Workers bounds parallelism.
+	// Workers bounds task-level parallelism (defaults to core.DefaultWorkers()).
 	Workers int
 	// Backend selects the simulation engine (zero value: compiled).
 	Backend testbench.Backend
@@ -71,7 +71,7 @@ func RunFig3(ctx context.Context, cfg Fig3Config) (*Fig3Result, error) {
 		cfg.Bins = 10
 	}
 	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
+		cfg.Workers = core.DefaultWorkers()
 	}
 	if len(cfg.Models) == 0 {
 		cfg.Models = []string{"deepseek-r1", "o3-mini-high", "qwq-32b", "o3-mini-medium"}

@@ -3,7 +3,6 @@ package exp
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"strings"
 	"sync"
 
@@ -27,7 +26,7 @@ type Fig4Config struct {
 	Runs int
 	// Seed drives all randomness.
 	Seed int64
-	// Workers bounds parallelism.
+	// Workers bounds task-level parallelism (defaults to core.DefaultWorkers()).
 	Workers int
 	// Backend selects the simulation engine (zero value: compiled).
 	Backend testbench.Backend
@@ -70,7 +69,7 @@ func RunFig4(ctx context.Context, cfg Fig4Config) (*Fig4Result, error) {
 		cfg.Runs = 10
 	}
 	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
+		cfg.Workers = core.DefaultWorkers()
 	}
 	if len(cfg.Models) == 0 {
 		cfg.Models = []string{"deepseek-r1", "o3-mini-high", "qwq-32b"}

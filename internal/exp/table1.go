@@ -3,7 +3,6 @@ package exp
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -27,7 +26,7 @@ type Table1Config struct {
 	Runs int
 	// Seed drives all randomness.
 	Seed int64
-	// Workers bounds parallelism (defaults to GOMAXPROCS).
+	// Workers bounds task-level parallelism (defaults to core.DefaultWorkers()).
 	Workers int
 	// Backend selects the simulation engine (zero value: compiled; the
 	// interpreter remains selectable for differential benchmarking).
@@ -76,7 +75,7 @@ func RunTable1(ctx context.Context, cfg Table1Config) (*Table1Result, error) {
 		cfg.Runs = 5
 	}
 	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
+		cfg.Workers = core.DefaultWorkers()
 	}
 	if len(cfg.Models) == 0 {
 		cfg.Models = []string{"deepseek-r1", "o3-mini-high", "qwq-32b"}

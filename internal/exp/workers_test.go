@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+// TestTable1WorkersEquivalence pins the acceptance criterion for the
+// parallel ranking/driver pools: a reduced Table I must produce identical
+// rows whether the task pool runs on one worker or many (per-task outcomes
+// are aggregated in sorted order, and per-pipeline ranking is deterministic
+// by construction).
+func TestTable1WorkersEquivalence(t *testing.T) {
+	all := eval.Suite()
+	var tasks []eval.Task
+	for i := 0; i < len(all); i += 24 {
+		tasks = append(tasks, all[i])
+	}
+	run := func(workers int) []Table1Row {
+		res, err := RunTable1(context.Background(), Table1Config{
+			Models:  []string{"qwq-32b"},
+			Tasks:   tasks,
+			Samples: 10,
+			Runs:    1,
+			Seed:    5,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Rows
+	}
+	r1 := run(1)
+	rN := run(8)
+	if !reflect.DeepEqual(r1, rN) {
+		t.Fatalf("Table I rows diverge between Workers=1 and Workers=8\nw1: %+v\nw8: %+v", r1, rN)
+	}
+}

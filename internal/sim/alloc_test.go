@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/verilog/parser"
+)
+
+// compileMust compiles src for tests.
+func compileMust(t *testing.T, src, top string) *Design {
+	t.Helper()
+	parsed, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := Compile(parsed, top)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return d
+}
+
+// allocComb is a combinational design touching the major kernel families:
+// arithmetic (incl. multi-delta ripple through wires), muxing, comparison,
+// reduction, concatenation, and shifts.
+const allocComb = `
+module top_module (
+    input [63:0] a,
+    input [63:0] b,
+    output [63:0] y,
+    output [63:0] z,
+    output p
+);
+    wire [63:0] s = a + b;
+    wire [63:0] m = a * b;
+    wire [63:0] q = (a[0]) ? s ^ m : s - m;
+    assign y = {q[31:0], q[63:32]} >> b[4:0];
+    assign z = (a < b) ? ~q : q | 64'hDEAD_BEEF;
+    assign p = ^y & |z;
+endmodule
+`
+
+// allocSeq is a clocked design with non-blocking assignments, a case mux, a
+// for loop, and partial-bit writes — the paths that stress the NBA arena and
+// partial stores.
+const allocSeq = `
+module top_module (
+    input clk,
+    input reset,
+    input [31:0] d,
+    output reg [31:0] q,
+    output reg [7:0] cnt
+);
+    integer i;
+    reg [31:0] acc;
+    always @(posedge clk) begin
+        if (reset) begin
+            q <= 32'd0;
+            cnt <= 8'd0;
+        end else begin
+            acc = 32'd0;
+            for (i = 0; i < 4; i = i + 1)
+                acc[7:0] = acc[7:0] + d[7:0];
+            case (d[1:0])
+                2'd0: q <= q + acc;
+                2'd1: q <= q ^ d;
+                default: q <= {q[15:0], d[15:0]};
+            endcase
+            cnt <= cnt + 8'd1;
+        end
+    end
+endmodule
+`
+
+// TestSettleZeroAlloc asserts the tentpole invariant: steady-state Settle on
+// the register-file engine allocates nothing, so the zero-allocation win
+// cannot silently rot.
+func TestSettleZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs sync.Pool and allocation accounting")
+	}
+	d := compileMust(t, allocComb, "top_module")
+	if got := d.BoxedProcs(); got != 0 {
+		t.Fatalf("BoxedProcs() = %d, want 0 (design should lower fully to the register file)", got)
+	}
+	en := d.NewEngine()
+	step := func(i uint64) {
+		if err := en.SetInputUint("a", 0x0123_4567_89AB_CDEF^i); err != nil {
+			t.Fatal(err)
+		}
+		if err := en.SetInputUint("b", 0xFEDC_BA98_7654_3210+i); err != nil {
+			t.Fatal(err)
+		}
+		if err := en.Settle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up the scheduler's double buffers, then measure.
+	for i := uint64(0); i < 8; i++ {
+		step(i)
+	}
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		i++
+		step(i)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SetInput+Settle allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestTickZeroAlloc is the sequential counterpart: a full clock cycle
+// (posedge settle + negedge settle) with NBA traffic allocates nothing.
+func TestTickZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs sync.Pool and allocation accounting")
+	}
+	d := compileMust(t, allocSeq, "top_module")
+	if got := d.BoxedProcs(); got != 0 {
+		t.Fatalf("BoxedProcs() = %d, want 0", got)
+	}
+	en := d.NewEngine()
+	if err := en.SetInputUint("reset", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := en.Tick("clk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := en.SetInputUint("reset", 0); err != nil {
+		t.Fatal(err)
+	}
+	step := func(i uint64) {
+		if err := en.SetInputUint("d", 0x1357_9BDF^i); err != nil {
+			t.Fatal(err)
+		}
+		if err := en.Tick("clk"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 8; i++ {
+		step(i)
+	}
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		i++
+		step(i)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SetInput+Tick allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestAcquireReleaseZeroAlloc asserts that cycling a pooled engine (the
+// per-testbench-case pattern) settles to zero allocations: reset is two
+// plane copies, not a reallocation.
+func TestAcquireReleaseZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs sync.Pool and allocation accounting")
+	}
+	d := compileMust(t, allocSeq, "top_module")
+	run := func() {
+		en := d.AcquireEngine()
+		if err := en.SetInputUint("reset", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := en.Tick("clk"); err != nil {
+			t.Fatal(err)
+		}
+		d.ReleaseEngine(en)
+	}
+	for i := 0; i < 4; i++ {
+		run()
+	}
+	allocs := testing.AllocsPerRun(100, run)
+	if allocs != 0 {
+		t.Fatalf("acquire/tick/release allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestEngineResetMatchesFresh checks that a recycled engine is
+// indistinguishable from a new one, including after a run that left NBA and
+// scheduler state behind.
+func TestEngineResetMatchesFresh(t *testing.T) {
+	d := compileMust(t, allocSeq, "top_module")
+
+	trace := func(en *Engine) []string {
+		t.Helper()
+		var out []string
+		if err := en.SetInputUint("reset", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := en.Tick("clk"); err != nil {
+			t.Fatal(err)
+		}
+		if err := en.SetInputUint("reset", 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 6; i++ {
+			if err := en.SetInputUint("d", i*0x1111); err != nil {
+				t.Fatal(err)
+			}
+			if err := en.Tick("clk"); err != nil {
+				t.Fatal(err)
+			}
+			q, err := en.Output("q")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cnt, err := en.Output("cnt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, q.String()+"|"+cnt.String())
+		}
+		return out
+	}
+
+	fresh := d.NewEngine()
+	want := trace(fresh)
+
+	// Dirty an engine (mid-flight state), release, reacquire, and re-trace.
+	en := d.AcquireEngine()
+	_ = en.SetInputUint("d", 42)
+	_ = en.SetInputUint("clk", 1) // posedge queued but never settled
+	d.ReleaseEngine(en)
+	en2 := d.AcquireEngine()
+	got := trace(en2)
+	d.ReleaseEngine(en2)
+
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recycled engine diverges at step %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}

@@ -1,31 +1,65 @@
 // Compiled simulation backend: Compile flattens an elaborated design into an
-// index-addressed netlist (nets become slice slots, processes become
-// pre-linearized closure trees over net indices) so repeated evaluation skips
-// all AST dispatch and scope-map lookups. A Design is immutable and safe for
-// concurrent use; each concurrent evaluation gets its own cheap Engine.
+// index-addressed netlist whose entire mutable state lives in two flat
+// per-Engine []uint64 planes (val/xz). Every net owns a contiguous word range
+// in the planes, and every intermediate expression of every process owns a
+// scratch word range assigned at compile time, so compiled processes are
+// destination-passing kernels that read operand slots and write their result
+// slot in place: steady-state evaluation performs zero heap allocations.
+// Boxed Values survive only at the API boundary (SetInput/Output) and in the
+// boxed fallback path below. A Design is immutable and safe for concurrent
+// use; each concurrent evaluation gets its own cheap Engine (pooled via
+// AcquireEngine/ReleaseEngine).
 //
-// The compiler deliberately mirrors the interpreter (eval.go) construct by
+// Two lowering strategies share this file's Design:
+//
+//   - The register-file path (regfile.go) statically sizes every slot. It
+//     handles every construct whose result width has a compile-time bound —
+//     in practice all real designs.
+//   - The boxed path below (the PR-1 compiler, kept verbatim in semantics)
+//     lowers processes the register-file path cannot bound statically:
+//     part-selects with non-constant [a:b] bounds or non-constant indexed
+//     widths, replications with non-constant counts, and pathologically wide
+//     intermediates. It evaluates immutable Values exactly like the
+//     interpreter and converts to/from the flat planes at net accesses.
+//
+// Both compilers deliberately mirror the interpreter (eval.go) construct by
 // construct — width contexts, X-propagation, part-select bounds, event
-// semantics — and the two backends are held together by differential tests
-// (random_expr_test.go) rather than trust. One intended difference: the
-// interpreter reports unknown identifiers and unsupported constructs lazily
-// at first execution, while Compile rejects them up front.
+// semantics — and the backends are held together by differential tests
+// (random_expr_test.go, kernel_width_test.go) rather than trust. One
+// intended difference: the interpreter reports unknown identifiers and
+// unsupported constructs lazily at first execution, while Compile rejects
+// them up front.
 package sim
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/verilog/ast"
 )
 
-// cnet is one compiled net slot (static metadata; values live in the Engine).
+// maxRegCap bounds the static bit capacity of a register-file slot. A node
+// whose width bound exceeds it (e.g. nested replications) drops the whole
+// process to the boxed path rather than reserving absurd frame space.
+const maxRegCap = 1 << 16
+
+// errNoRegfile is the internal signal that a process cannot be lowered to
+// the register-file form and should fall back to the boxed compiler. It is
+// never returned to callers.
+var errNoRegfile = errors.New("regfile: dynamic width")
+
+// cnet is one compiled net slot (static metadata; values live in the
+// Engine's planes at [off, off+nw)).
 type cnet struct {
 	name  string
 	width int
 	lsb   int
+	off   int32 // word offset in the frame
+	nw    int32 // words(width)
 }
 
-// cproc is one compiled process: a closure over net indices.
+// cproc is one compiled process: a closure over frame offsets.
 type cproc struct {
 	run  func(en *Engine) error
 	cont bool
@@ -40,9 +74,15 @@ type cedgeSub struct {
 // Design is a compiled, elaborated design. It is immutable after Compile and
 // safe for concurrent use: all mutable simulation state lives in Engines.
 type Design struct {
-	top      string
-	nets     []cnet
-	initVals []Value // state snapshot after initial blocks + first settle
+	top        string
+	nets       []cnet
+	stateWords int32 // words holding net state (prefix of the frame)
+	frameWords int32 // total frame size: state + constant pool + scratch
+	// initVal/initXZ are the frame snapshot after initial blocks + first
+	// settle: net state, then compile-time constants, then zeroed scratch.
+	initVal []uint64
+	initXZ  []uint64
+
 	procs    []cproc
 	levelFan [][]int32
 	edgeFan  [][]cedgeSub
@@ -50,7 +90,10 @@ type Design struct {
 	outputs  []PortInfo
 	topIdx   map[string]int32 // top-scope local name -> net index
 	inputIdx map[string]int32 // top-level input port name -> net index
-	in01     map[int32][2]Value // premade 0/1 values for input nets (clock toggles)
+
+	boxedProcs int // processes lowered via the boxed fallback (observability)
+
+	pool sync.Pool // recycled Engines (AcquireEngine/ReleaseEngine)
 }
 
 // Top returns the top module name the design was compiled for.
@@ -59,47 +102,79 @@ func (d *Design) Top() string { return d.top }
 // NumNets returns the number of flattened nets.
 func (d *Design) NumNets() int { return len(d.nets) }
 
+// FrameWords returns the per-Engine state size in 64-bit words (net state,
+// constant pool, and expression scratch).
+func (d *Design) FrameWords() int { return int(d.frameWords) }
+
+// BoxedProcs returns how many processes could not be lowered to the
+// zero-allocation register-file form and use the boxed fallback.
+func (d *Design) BoxedProcs() int { return d.boxedProcs }
+
 // Compile elaborates src with the given top module and compiles it. The
 // initial state (initial blocks executed, combinational logic settled) is
-// computed once here; NewEngine then only copies a value snapshot.
+// computed once here; NewEngine then only copies the frame snapshot.
 func Compile(src *ast.Source, top string) (*Design, error) {
 	s, err := New(src, top)
 	if err != nil {
 		return nil, err
 	}
-	return compileFrom(s)
+	return compileFrom(s, false)
 }
 
 // compiler carries the cross-references needed while lowering processes.
 type compiler struct {
-	netIdx map[*net]int32
+	netIdx     map[*net]int32
+	d          *Design
+	frameWords int32
+	consts     []constPatch
+	forceBoxed bool
 }
 
-func compileFrom(s *Simulator) (*Design, error) {
+type constPatch struct {
+	off int32
+	v   Value
+}
+
+// alloc reserves nwords words of frame space and returns their offset.
+func (c *compiler) alloc(nwords int) int32 {
+	off := c.frameWords
+	c.frameWords += int32(nwords)
+	return off
+}
+
+// allocConst interns a constant Value in the frame's constant pool.
+func (c *compiler) allocConst(v Value) int32 {
+	off := c.alloc(words(v.Width()))
+	c.consts = append(c.consts, constPatch{off: off, v: v})
+	return off
+}
+
+func compileFrom(s *Simulator, forceBoxed bool) (*Design, error) {
 	d := &Design{
 		top:     s.topName,
 		inputs:  append([]PortInfo(nil), s.inputs...),
 		outputs: append([]PortInfo(nil), s.outputs...),
 		topIdx:  make(map[string]int32, len(s.topScope.nets)),
 	}
-	c := &compiler{netIdx: make(map[*net]int32, len(s.nets))}
+	c := &compiler{
+		netIdx:     make(map[*net]int32, len(s.nets)),
+		d:          d,
+		forceBoxed: forceBoxed,
+	}
 	d.nets = make([]cnet, len(s.nets))
-	d.initVals = make([]Value, len(s.nets))
 	for i, n := range s.nets {
 		c.netIdx[n] = int32(i)
-		d.nets[i] = cnet{name: n.name, width: n.width, lsb: n.lsb}
-		d.initVals[i] = n.value
+		nw := int32(words(n.width))
+		d.nets[i] = cnet{name: n.name, width: n.width, lsb: n.lsb, off: c.alloc(int(nw)), nw: nw}
 	}
+	d.stateWords = c.frameWords
 	for name, n := range s.topScope.nets {
 		d.topIdx[name] = c.netIdx[n]
 	}
 	d.inputIdx = make(map[string]int32, len(d.inputs))
-	d.in01 = make(map[int32][2]Value, len(d.inputs))
 	for _, in := range d.inputs {
 		if idx, ok := d.topIdx[in.Name]; ok {
 			d.inputIdx[in.Name] = idx
-			w := d.nets[idx].width
-			d.in01[idx] = [2]Value{NewKnown(w, 0), NewKnown(w, 1)}
 		}
 	}
 
@@ -132,10 +207,48 @@ func compileFrom(s *Simulator) (*Design, error) {
 			}
 		}
 	}
+
+	// Assemble the frame snapshot: net state from the settled simulator,
+	// then interned constants, then zeroed scratch.
+	d.frameWords = c.frameWords
+	d.initVal = make([]uint64, d.frameWords)
+	d.initXZ = make([]uint64, d.frameWords)
+	for i, n := range s.nets {
+		cn := &d.nets[i]
+		copy(d.initVal[cn.off:cn.off+cn.nw], n.value.val)
+		copy(d.initXZ[cn.off:cn.off+cn.nw], n.value.xz)
+	}
+	for _, cp := range c.consts {
+		copy(d.initVal[cp.off:], cp.v.val)
+		copy(d.initXZ[cp.off:], cp.v.xz)
+	}
 	return d, nil
 }
 
+// compileProcess lowers one process, preferring the register-file form and
+// falling back to the boxed compiler for dynamically sized constructs. A
+// failed register-file attempt rolls back the scratch/constant allocations
+// it made before hitting the unsupported construct, so the fallback leaves
+// no dead words in every Engine's frame.
 func (c *compiler) compileProcess(p *process) (cproc, error) {
+	if !c.forceBoxed {
+		frameMark, constMark := c.frameWords, len(c.consts)
+		cp, err := c.compileProcessRegfile(p)
+		if err == nil {
+			return cp, nil
+		}
+		if !errors.Is(err, errNoRegfile) {
+			return cproc{}, err
+		}
+		c.frameWords, c.consts = frameMark, c.consts[:constMark]
+	}
+	c.d.boxedProcs++
+	return c.compileProcessBoxed(p)
+}
+
+// --- Boxed fallback path (PR-1 semantics over flat storage) ------------------
+
+func (c *compiler) compileProcessBoxed(p *process) (cproc, error) {
 	if p.cont {
 		rsc := p.rhsScope
 		if rsc == nil {
@@ -611,7 +724,7 @@ func (c *compiler) compileExpr(e ast.Expr, sc *scope) (cexpr, error) {
 		}
 		if n, ok := sc.lookupNet(x.Name); ok {
 			idx := c.netIdx[n]
-			return func(en *Engine, ctx int) (Value, error) { return en.vals[idx], nil }, nil
+			return func(en *Engine, ctx int) (Value, error) { return en.netValue(idx), nil }, nil
 		}
 		return nil, fmt.Errorf("%w: unknown identifier %q", ErrElab, x.Name)
 	case *ast.Number:

@@ -1,6 +1,11 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/verilog/ast"
+)
 
 // Instance is the common stimulus interface of both simulation backends: the
 // AST-walking Simulator and the compiled Engine.
@@ -19,17 +24,31 @@ var (
 	_ Instance = (*Engine)(nil)
 )
 
-// Engine executes a compiled Design. It holds only per-run mutable state
-// (net values and scheduler queues); many Engines can run one Design
+// Engine executes a compiled Design. All mutable state is a pair of flat
+// val/xz word planes (net state, constant pool, expression scratch) plus the
+// scheduler queues; steady-state Settle/Tick touch only preallocated storage
+// and perform zero heap allocations. Many Engines can run one Design
 // concurrently. An individual Engine is not safe for concurrent use.
 type Engine struct {
 	d       *Design
-	vals    []Value
+	val, xz []uint64
 	queued  []bool
 	active  []int32
 	changed []echange
 	nba     []enbaWrite
 	current int32 // behavioral process being run, -1 outside
+
+	// nbaVal/nbaXZ arena the pending values of non-blocking assignments
+	// (the RHS scratch slot is long overwritten by the time NBAs apply).
+	nbaVal, nbaXZ []uint64
+
+	// wstack holds produced widths of in-flight concat parts.
+	wstack []int32
+
+	// targets buffers resolved dynamic lvalue targets so an assignment
+	// resolves every target before storing any (assignments never nest, so
+	// one buffer suffices).
+	targets []rtarget
 
 	// Spare buffers double-buffer the scheduler queues so steady-state
 	// settling allocates nothing.
@@ -38,30 +57,80 @@ type Engine struct {
 	nbaSpare     []enbaWrite
 }
 
+// echange records one net transition for fanout dispatch. Only the 4-state
+// code of bit 0 before/after is kept: edge detection looks at nothing else,
+// and level fanout needs no value at all.
 type echange struct {
-	net      int32
-	old, new Value
-	byProc   int32
+	net    int32
+	byProc int32
+	oldB   uint8 // 0:'0' 1:'1' 2:'x' 3:'z'
+	newB   uint8
 }
 
 type enbaWrite struct {
-	net int32
-	lo  int
-	val Value
+	net     int32
+	lo      int
+	width   int
+	dataOff int // word offset into the NBA arena
 }
 
 // NewEngine returns a fresh instance of the design, already in its
 // post-initial settled state (the snapshot Compile captured), so
-// instantiation costs one value-slice copy instead of a re-elaboration.
+// instantiation costs one frame copy instead of a re-elaboration.
 func (d *Design) NewEngine() *Engine {
 	en := &Engine{
 		d:       d,
-		vals:    make([]Value, len(d.initVals)),
+		val:     make([]uint64, d.frameWords),
+		xz:      make([]uint64, d.frameWords),
 		queued:  make([]bool, len(d.procs)),
 		current: -1,
 	}
-	copy(en.vals, d.initVals)
+	copy(en.val, d.initVal)
+	copy(en.xz, d.initXZ)
 	return en
+}
+
+// AcquireEngine returns an engine reset to the design's initial state,
+// recycling a previously released one when possible. The reset is two plane
+// memcpys, so acquire/release cycles through testbench cases cost no
+// allocation in steady state.
+func (d *Design) AcquireEngine() *Engine {
+	if v := d.pool.Get(); v != nil {
+		en := v.(*Engine)
+		en.reset()
+		return en
+	}
+	return d.NewEngine()
+}
+
+// ReleaseEngine returns an engine to the design's pool. The engine must not
+// be used after release. Engines belonging to other designs are ignored.
+func (d *Design) ReleaseEngine(en *Engine) {
+	if en == nil || en.d != d {
+		return
+	}
+	d.pool.Put(en)
+}
+
+// reset restores the post-initial snapshot and empties the scheduler, so a
+// recycled engine is indistinguishable from a fresh one (even after an
+// errored run left queues half-full). The queued flags are cleared
+// wholesale: a mid-batch process error leaves the unprocessed tail of the
+// batch flagged but parked outside en.active, so clearing only en.active
+// would permanently suppress those processes on the recycled engine.
+func (en *Engine) reset() {
+	copy(en.val, en.d.initVal)
+	copy(en.xz, en.d.initXZ)
+	for i := range en.queued {
+		en.queued[i] = false
+	}
+	en.active = en.active[:0]
+	en.changed = en.changed[:0]
+	en.nba = en.nba[:0]
+	en.nbaVal = en.nbaVal[:0]
+	en.nbaXZ = en.nbaXZ[:0]
+	en.wstack = en.wstack[:0]
+	en.current = -1
 }
 
 // Design returns the compiled design this engine executes.
@@ -73,6 +142,13 @@ func (en *Engine) Inputs() []PortInfo { return append([]PortInfo(nil), en.d.inpu
 // Outputs returns the top module's output ports in declaration order.
 func (en *Engine) Outputs() []PortInfo { return append([]PortInfo(nil), en.d.outputs...) }
 
+// netValue boxes the current value of net idx (API boundary and boxed
+// fallback path only — the hot path never materializes Values).
+func (en *Engine) netValue(idx int32) Value {
+	n := &en.d.nets[idx]
+	return NewFromPlanes(n.width, en.val[n.off:n.off+n.nw], en.xz[n.off:n.off+n.nw])
+}
+
 // SetInput drives a top-level input port. The new value takes effect at the
 // next Settle call.
 func (en *Engine) SetInput(name string, v Value) error {
@@ -80,25 +156,26 @@ func (en *Engine) SetInput(name string, v Value) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotInput, name)
 	}
-	en.writeNet(idx, 0, v.Resize(en.d.nets[idx].width))
+	// Writing exactly the net's width from v's planes is Resize semantics:
+	// guarded reads zero-extend, the width bound truncates.
+	en.storeNet(idx, 0, v.val, v.xz, 0, en.d.nets[idx].width)
 	return nil
 }
 
-// SetInputUint drives an input port with a known integer value.
+// SetInputUint drives an input port with a known integer value. Non-input
+// nets are rejected exactly like the interpreter: unknown names report
+// ErrUnknownNet, known non-input nets ErrNotInput.
 func (en *Engine) SetInputUint(name string, x uint64) error {
-	idx, ok := en.d.topIdx[name]
+	idx, ok := en.d.inputIdx[name]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownNet, name)
-	}
-	if x <= 1 {
-		// Clock/reset toggles dominate this path; reuse the design's
-		// premade constants (values are immutable, sharing is safe).
-		if pair, has := en.d.in01[idx]; has {
-			en.writeNet(idx, 0, pair[x])
-			return nil
+		if _, isNet := en.d.topIdx[name]; !isNet {
+			return fmt.Errorf("%w: %q", ErrUnknownNet, name)
 		}
+		return fmt.Errorf("%w: %q", ErrNotInput, name)
 	}
-	return en.SetInput(name, NewKnown(en.d.nets[idx].width, x))
+	sv := [1]uint64{x}
+	en.storeNet(idx, 0, sv[:], nil, 0, en.d.nets[idx].width)
+	return nil
 }
 
 // Output reads any top-level net (usually an output port).
@@ -107,7 +184,37 @@ func (en *Engine) Output(name string) (Value, error) {
 	if !ok {
 		return Value{}, fmt.Errorf("%w: %q", ErrUnknownNet, name)
 	}
-	return en.vals[idx], nil
+	return en.netValue(idx), nil
+}
+
+// AppendOutput appends the binary rendering of a top-level net at the given
+// width (identical to Output(name).Resize(width).String()) to dst, without
+// boxing a Value. Trace capture is the hottest consumer of outputs; this
+// keeps it at one allocation per recorded string.
+func (en *Engine) AppendOutput(dst []byte, name string, width int) ([]byte, error) {
+	idx, ok := en.d.topIdx[name]
+	if !ok {
+		return dst, fmt.Errorf("%w: %q", ErrUnknownNet, name)
+	}
+	cn := &en.d.nets[idx]
+	sv := en.val[cn.off : cn.off+cn.nw]
+	sx := en.xz[cn.off : cn.off+cn.nw]
+	dst = strconv.AppendInt(dst, int64(width), 10)
+	dst = append(dst, '\'', 'b')
+	for i := width - 1; i >= 0; i-- {
+		// Bits beyond the net width read as known 0 (Resize zero-extension).
+		switch kbit(sv, sx, cn.width, i) {
+		case 0:
+			dst = append(dst, '0')
+		case 1:
+			dst = append(dst, '1')
+		case 2:
+			dst = append(dst, 'x')
+		default:
+			dst = append(dst, 'z')
+		}
+	}
+	return dst, nil
 }
 
 // Settle runs delta cycles until no activity remains, or fails with
@@ -159,26 +266,102 @@ func (en *Engine) enqueue(pid int32) {
 	en.active = append(en.active, pid)
 }
 
-// writeNet stores v into net idx at storage offset lo and records the change
-// for fanout dispatch, mirroring Simulator.writeNet. Nets with no fanout at
-// all (e.g. pure output ports) skip the change record: dispatching them is a
-// no-op by construction.
-func (en *Engine) writeNet(idx int32, lo int, v Value) {
-	old := en.vals[idx]
-	var updated Value
-	if lo == 0 && v.Width() == en.d.nets[idx].width {
-		updated = v
+// storeNet writes n bits read from (sv, sx) starting at bit spos into net
+// idx at bit offset lo, in place. Bits landing outside the net are dropped
+// (WriteBits semantics) and an unchanged store is a no-op. Changes are
+// recorded for fanout dispatch, mirroring Simulator.writeNet; nets with no
+// fanout at all (e.g. pure output ports) skip the record, since dispatching
+// them is a no-op by construction.
+func (en *Engine) storeNet(idx int32, lo int, sv, sx []uint64, spos, n int) {
+	cn := &en.d.nets[idx]
+	cnt := n
+	s := spos
+	dpos := lo
+	if dpos < 0 {
+		s -= dpos
+		cnt += dpos
+		dpos = 0
+	}
+	if max := cn.width - dpos; cnt > max {
+		cnt = max
+	}
+	if cnt <= 0 {
+		return
+	}
+	dv := en.val[cn.off : cn.off+cn.nw]
+	dx := en.xz[cn.off : cn.off+cn.nw]
+	hasFan := len(en.d.levelFan[idx]) > 0 || len(en.d.edgeFan[idx]) > 0
+	var oldB uint8
+	if hasFan {
+		oldB = uint8(dv[0]&1) | uint8(dx[0]&1)<<1
+	}
+	changed := false
+	for cnt > 0 {
+		wi, b := dpos/64, dpos%64
+		take := 64 - b
+		if take > cnt {
+			take = cnt
+		}
+		m := maskN(take) << uint(b)
+		nv := dv[wi]&^m | kread64(sv, s)<<uint(b)&m
+		nx := dx[wi]&^m | kread64(sx, s)<<uint(b)&m
+		if nv != dv[wi] || nx != dx[wi] {
+			changed = true
+			dv[wi] = nv
+			dx[wi] = nx
+		}
+		dpos += take
+		s += take
+		cnt -= take
+	}
+	if !changed || !hasFan {
+		return
+	}
+	newB := uint8(dv[0]&1) | uint8(dx[0]&1)<<1
+	en.changed = append(en.changed, echange{net: idx, byProc: en.current, oldB: oldB, newB: newB})
+}
+
+// queueNBA copies n bits of the RHS (starting at spos) into the NBA arena
+// and schedules the write. The arena is reused across deltas, so after
+// warmup this allocates nothing.
+func (en *Engine) queueNBA(idx int32, lo int, sv, sx []uint64, spos, n int) {
+	nw := words(n)
+	off := len(en.nbaVal)
+	need := off + nw
+	if need > cap(en.nbaVal) {
+		grown := make([]uint64, need, 2*need)
+		copy(grown, en.nbaVal)
+		en.nbaVal = grown
+		grownX := make([]uint64, need, 2*need)
+		copy(grownX, en.nbaXZ)
+		en.nbaXZ = grownX
 	} else {
-		updated = old.WriteBits(lo, v)
+		en.nbaVal = en.nbaVal[:need]
+		en.nbaXZ = en.nbaXZ[:need]
 	}
-	if old.Equal(updated) {
-		return
+	for i := off; i < need; i++ {
+		en.nbaVal[i], en.nbaXZ[i] = 0, 0
 	}
-	en.vals[idx] = updated
-	if len(en.d.levelFan[idx]) == 0 && len(en.d.edgeFan[idx]) == 0 {
-		return
+	kblit(en.nbaVal[off:need], en.nbaXZ[off:need], 0, sv, sx, spos, n)
+	en.nba = append(en.nba, enbaWrite{net: idx, lo: lo, width: n, dataOff: off})
+}
+
+// edgeFiredCode implements LRM edge semantics on the LSB codes: posedge
+// fires on transitions toward 1 (0→1, 0→x/z, x/z→1), negedge mirrors toward
+// 0. Codes: 0:'0' 1:'1' 2:'x' 3:'z' (the code equivalent of edgeFired in
+// eval.go).
+func edgeFiredCode(edge ast.EdgeKind, oldB, newB uint8) bool {
+	if oldB == newB {
+		return false
 	}
-	en.changed = append(en.changed, echange{net: idx, old: old, new: updated, byProc: en.current})
+	switch edge {
+	case ast.EdgePos:
+		return (oldB == 0 && newB != 0) || (oldB != 1 && newB == 1)
+	case ast.EdgeNeg:
+		return (oldB == 1 && newB != 1) || (oldB != 0 && newB == 0)
+	default:
+		return false
+	}
 }
 
 func (en *Engine) dispatchChanges() {
@@ -195,7 +378,7 @@ func (en *Engine) dispatchChanges() {
 			if sub.proc == ch.byProc {
 				continue
 			}
-			if edgeFired(sub.edge, ch.old, ch.new) {
+			if edgeFiredCode(sub.edge, ch.oldB, ch.newB) {
 				en.enqueue(sub.proc)
 			}
 		}
@@ -221,9 +404,11 @@ func (en *Engine) applyNBA() {
 	batch := en.nba
 	en.nba = en.nbaSpare[:0]
 	for _, w := range batch {
-		en.writeNet(w.net, w.lo, w.val)
+		en.storeNet(w.net, w.lo, en.nbaVal[w.dataOff:], en.nbaXZ[w.dataOff:], 0, w.width)
 	}
 	en.nbaSpare = batch[:0]
+	en.nbaVal = en.nbaVal[:0]
+	en.nbaXZ = en.nbaXZ[:0]
 }
 
 func (en *Engine) runProcess(pid int32) error {
@@ -241,35 +426,24 @@ func (en *Engine) runProcess(pid int32) error {
 }
 
 // assignLV distributes v across the lvalue's resolved targets MSB-first,
-// mirroring Simulator.assign.
+// mirroring Simulator.assign (boxed fallback path).
 func (en *Engine) assignLV(lv *clval, v Value, blocking bool) error {
 	targets, totalWidth, err := lv.resolve(en)
 	if err != nil {
 		return err
 	}
-	v = v.Resize(totalWidth)
-	// Fast path: a single non-skipped full-width target takes v whole —
-	// SliceBits(0, w) of a w-bit value is an identical copy.
-	if len(targets) == 1 && !targets[0].skip && targets[0].width == totalWidth {
-		t := targets[0]
-		if blocking {
-			en.writeNet(t.idx, t.lo, v)
-		} else {
-			en.nba = append(en.nba, enbaWrite{net: t.idx, lo: t.lo, val: v})
-		}
-		return nil
-	}
+	// Reading bit ranges of v with guarded loads is Resize(totalWidth)
+	// semantics: zero-extension beyond v's width, truncation past total.
 	pos := totalWidth
 	for _, t := range targets {
 		pos -= t.width
-		part := v.SliceBits(pos, t.width)
 		if t.skip {
 			continue
 		}
 		if blocking {
-			en.writeNet(t.idx, t.lo, part)
+			en.storeNet(t.idx, t.lo, v.val, v.xz, pos, t.width)
 		} else {
-			en.nba = append(en.nba, enbaWrite{net: t.idx, lo: t.lo, val: part})
+			en.queueNBA(t.idx, t.lo, v.val, v.xz, pos, t.width)
 		}
 	}
 	return nil

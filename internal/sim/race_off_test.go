@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector is active (it perturbs
+// sync.Pool and allocation behavior, so the alloc-regression tests skip).
+const raceEnabled = false

@@ -314,17 +314,21 @@ endmodule
 
 // --- Interpreter vs compiled differential harness ---------------------------------
 //
-// Every design generated below runs through BOTH backends under identical
-// stimulus, and every output must agree bit-exactly in all four states
-// (compared via Value.String, which encodes width and each 0/1/x/z bit).
+// Every design generated below runs through all THREE engines — the
+// AST-walking interpreter, the PR-1 boxed compiler (forced via the
+// compileFrom fallback switch), and the register-file kernels — under
+// identical stimulus, and every output must agree bit-exactly in all four
+// states (compared via Value.String, which encodes width and each 0/1/x/z
+// bit).
 
-// diffPair holds one design elaborated on both backends.
+// diffPair holds one design elaborated on all backends.
 type diffPair struct {
 	interp   *Simulator
-	compiled *Engine
+	compiled *Engine // register-file lowering
+	boxed    *Engine // forced PR-1 boxed lowering
 }
 
-// newDiffPair elaborates src under both backends, failing the test if either
+// newDiffPair elaborates src under every backend, failing the test if any
 // rejects the design.
 func newDiffPair(t *testing.T, src, top string) *diffPair {
 	t.Helper()
@@ -340,47 +344,75 @@ func newDiffPair(t *testing.T, src, top string) *diffPair {
 	if err != nil {
 		t.Fatalf("compile: %v\n%s", err, src)
 	}
-	return &diffPair{interp: s, compiled: d.NewEngine()}
+	sb, err := New(parsed, top)
+	if err != nil {
+		t.Fatalf("boxed elaborate: %v\n%s", err, src)
+	}
+	db, err := compileFrom(sb, true)
+	if err != nil {
+		t.Fatalf("boxed compile: %v\n%s", err, src)
+	}
+	return &diffPair{interp: s, compiled: d.NewEngine(), boxed: db.NewEngine()}
 }
 
-// drive applies one input to both backends.
+// backends lists the engines with their labels, interpreter first (it is
+// the reference the others are compared against).
+func (dp *diffPair) backends() []struct {
+	name string
+	ins  Instance
+} {
+	return []struct {
+		name string
+		ins  Instance
+	}{
+		{"interp", dp.interp},
+		{"compiled", dp.compiled},
+		{"boxed", dp.boxed},
+	}
+}
+
+// drive applies one input to every backend.
 func (dp *diffPair) drive(t *testing.T, name string, v Value) {
 	t.Helper()
-	if err := dp.interp.SetInput(name, v); err != nil {
-		t.Fatalf("interp SetInput(%s): %v", name, err)
-	}
-	if err := dp.compiled.SetInput(name, v); err != nil {
-		t.Fatalf("compiled SetInput(%s): %v", name, err)
+	for _, b := range dp.backends() {
+		if err := b.ins.SetInput(name, v); err != nil {
+			t.Fatalf("%s SetInput(%s): %v", b.name, name, err)
+		}
 	}
 }
 
-// settle settles both backends; both must agree on convergence.
+// settle settles every backend; all must agree on convergence.
 func (dp *diffPair) settle(t *testing.T, src string) {
 	t.Helper()
 	errI := dp.interp.Settle()
-	errC := dp.compiled.Settle()
-	if (errI == nil) != (errC == nil) {
-		t.Fatalf("settle divergence: interp=%v compiled=%v\n%s", errI, errC, src)
+	for _, b := range dp.backends()[1:] {
+		errC := b.ins.Settle()
+		if (errI == nil) != (errC == nil) {
+			t.Fatalf("settle divergence: interp=%v %s=%v\n%s", errI, b.name, errC, src)
+		}
 	}
 	if errI != nil {
 		t.Fatalf("settle: %v\n%s", errI, src)
 	}
 }
 
-// tick runs one clock cycle on both backends.
+// tick runs one clock cycle on every backend.
 func (dp *diffPair) tick(t *testing.T, clock, src string) {
 	t.Helper()
 	errI := dp.interp.Tick(clock)
-	errC := dp.compiled.Tick(clock)
-	if (errI == nil) != (errC == nil) {
-		t.Fatalf("tick divergence: interp=%v compiled=%v\n%s", errI, errC, src)
+	for _, b := range dp.backends()[1:] {
+		errC := b.ins.Tick(clock)
+		if (errI == nil) != (errC == nil) {
+			t.Fatalf("tick divergence: interp=%v %s=%v\n%s", errI, b.name, errC, src)
+		}
 	}
 	if errI != nil {
 		t.Fatalf("tick: %v\n%s", errI, src)
 	}
 }
 
-// compareOutputs asserts bit-exact four-state equality of every output.
+// compareOutputs asserts bit-exact four-state three-way equality of every
+// output.
 func (dp *diffPair) compareOutputs(t *testing.T, label, src string) {
 	t.Helper()
 	for _, out := range dp.interp.Outputs() {
@@ -388,13 +420,15 @@ func (dp *diffPair) compareOutputs(t *testing.T, label, src string) {
 		if err != nil {
 			t.Fatalf("interp Output(%s): %v", out.Name, err)
 		}
-		vc, err := dp.compiled.Output(out.Name)
-		if err != nil {
-			t.Fatalf("compiled Output(%s): %v", out.Name, err)
-		}
-		if vi.String() != vc.String() {
-			t.Fatalf("%s: output %s diverges: interp=%s compiled=%s\n%s",
-				label, out.Name, vi, vc, src)
+		for _, b := range dp.backends()[1:] {
+			vc, err := b.ins.Output(out.Name)
+			if err != nil {
+				t.Fatalf("%s Output(%s): %v", b.name, out.Name, err)
+			}
+			if vi.String() != vc.String() {
+				t.Fatalf("%s: output %s diverges: interp=%s %s=%s\n%s",
+					label, out.Name, vi, b.name, vc, src)
+			}
 		}
 	}
 }

@@ -1,0 +1,66 @@
+package testbench
+
+import (
+	"testing"
+
+	"repro/internal/verilog/parser"
+)
+
+// TestRunBackendAllocBudget caps the allocation cost of one full testbench
+// run on the compiled backend (warm compile cache, pooled engines). With the
+// zero-allocation engine, what remains is the unavoidable trace-capture
+// boundary: one string per recorded output plus per-case bookkeeping. The
+// budget asserts we stay within a small constant factor of that floor, so
+// engine-side allocations cannot silently creep back in.
+func TestRunBackendAllocBudget(t *testing.T) {
+	const src = `
+module top_module (
+    input clk,
+    input reset,
+    input [15:0] d,
+    output reg [15:0] q,
+    output [15:0] inv
+);
+    always @(posedge clk) begin
+        if (reset) q <= 16'd0;
+        else q <= q + d;
+    end
+    assign inv = ~q;
+endmodule
+`
+	parsed, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifc := Interface{
+		Inputs: []PortSpec{
+			{Name: "clk", Width: 1}, {Name: "reset", Width: 1}, {Name: "d", Width: 16},
+		},
+		Outputs: []PortSpec{{Name: "q", Width: 16}, {Name: "inv", Width: 16}},
+		Clock:   "clk",
+		Reset:   "reset",
+	}
+	st := NewGenerator(9).Verification(ifc)
+
+	run := func() {
+		tr := RunBackend(parsed, "top_module", st, BackendCompiled)
+		if tr.Err != nil {
+			t.Fatal(tr.Err)
+		}
+	}
+	run() // warm the compile cache and engine pool
+
+	recorded := 0
+	for _, c := range st.Cases {
+		recorded += len(c.Steps) * len(ifc.Outputs)
+	}
+	// Floor: 1 string per recorded output. Bookkeeping (per-case slices,
+	// trace assembly, fingerprint scratch) rides within the 2x factor.
+	budget := float64(2*recorded + 16*len(st.Cases) + 64)
+	allocs := testing.AllocsPerRun(10, run)
+	t.Logf("full run: %.0f allocs for %d recorded outputs over %d cases (budget %.0f)",
+		allocs, recorded, len(st.Cases), budget)
+	if allocs > budget {
+		t.Fatalf("one testbench run allocates %.0f objects, budget %.0f", allocs, budget)
+	}
+}

@@ -424,6 +424,7 @@ func Run(src *ast.Source, top string, st *Stimulus) *Trace {
 func RunBackend(src *ast.Source, top string, st *Stimulus, backend Backend) *Trace {
 	tr := &Trace{Ifc: st.Ifc}
 	var newInstance func() (sim.Instance, error)
+	release := func(sim.Instance) {}
 	if backend == BackendInterpreter {
 		newInstance = func() (sim.Instance, error) { return sim.New(src, top) }
 	} else {
@@ -432,7 +433,14 @@ func RunBackend(src *ast.Source, top string, st *Stimulus, backend Backend) *Tra
 			tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
 			return tr
 		}
-		newInstance = func() (sim.Instance, error) { return d.NewEngine(), nil }
+		// Pooled engines: per-case instantiation is a frame memcpy, and the
+		// engine (with its warmed-up queue buffers) is recycled afterwards.
+		newInstance = func() (sim.Instance, error) { return d.AcquireEngine(), nil }
+		release = func(ins sim.Instance) {
+			if en, ok := ins.(*sim.Engine); ok {
+				d.ReleaseEngine(en)
+			}
+		}
 	}
 	var shared sim.Instance
 	if st.Ifc.Clock == "" {
@@ -442,6 +450,7 @@ func RunBackend(src *ast.Source, top string, st *Stimulus, backend Backend) *Tra
 			tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
 			return tr
 		}
+		defer release(shared)
 	}
 	for _, c := range st.Cases {
 		s := shared
@@ -453,45 +462,77 @@ func RunBackend(src *ast.Source, top string, st *Stimulus, backend Backend) *Tra
 				return tr
 			}
 		}
-		if st.Ifc.Clock != "" {
-			if err := s.SetInputUint(st.Ifc.Clock, 0); err != nil {
-				tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
-				return tr
-			}
+		ct, err := runCase(s, st, &c)
+		if s != shared {
+			// Release per case so the next case recycles this engine.
+			release(s)
 		}
-		var ct CaseTrace
-		for _, step := range c.Steps {
-			for _, name := range step.driveOrder() {
-				if err := s.SetInput(name, step.Inputs[name]); err != nil {
-					tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
-					return tr
-				}
-			}
-			if st.Ifc.Clock != "" {
-				if err := s.Tick(st.Ifc.Clock); err != nil {
-					tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
-					return tr
-				}
-			} else {
-				if err := s.Settle(); err != nil {
-					tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
-					return tr
-				}
-			}
-			rec := StepRecord{Outputs: make([]string, len(st.Ifc.Outputs))}
-			for i, out := range st.Ifc.Outputs {
-				v, err := s.Output(out.Name)
-				if err != nil {
-					tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
-					return tr
-				}
-				rec.Outputs[i] = v.Resize(out.Width).String()
-			}
-			ct.Steps = append(ct.Steps, rec)
+		if err != nil {
+			tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
+			return tr
 		}
 		tr.Cases = append(tr.Cases, ct)
 	}
 	return tr
+}
+
+// outputAppender is the zero-boxing trace-capture fast path the compiled
+// engine provides: rendering an output directly from its storage planes
+// costs one allocation (the recorded string) instead of boxing a Value.
+type outputAppender interface {
+	AppendOutput(dst []byte, name string, width int) ([]byte, error)
+}
+
+// runCase drives one test case on one instance and records its outputs.
+func runCase(s sim.Instance, st *Stimulus, c *Case) (CaseTrace, error) {
+	var ct CaseTrace
+	if st.Ifc.Clock != "" {
+		if err := s.SetInputUint(st.Ifc.Clock, 0); err != nil {
+			return ct, err
+		}
+	}
+	appender, _ := s.(outputAppender)
+	nOuts := len(st.Ifc.Outputs)
+	steps := make([]StepRecord, 0, len(c.Steps))
+	flat := make([]string, len(c.Steps)*nOuts)
+	var scratch []byte
+	for _, step := range c.Steps {
+		for _, name := range step.driveOrder() {
+			if err := s.SetInput(name, step.Inputs[name]); err != nil {
+				return ct, err
+			}
+		}
+		if st.Ifc.Clock != "" {
+			if err := s.Tick(st.Ifc.Clock); err != nil {
+				return ct, err
+			}
+		} else {
+			if err := s.Settle(); err != nil {
+				return ct, err
+			}
+		}
+		rec := StepRecord{Outputs: flat[:nOuts:nOuts]}
+		flat = flat[nOuts:]
+		for i, out := range st.Ifc.Outputs {
+			if appender != nil {
+				var err error
+				scratch, err = appender.AppendOutput(scratch[:0], out.Name, out.Width)
+				if err != nil {
+					return ct, err
+				}
+				rec.Outputs[i] = string(scratch)
+				continue
+			}
+			v, err := s.Output(out.Name)
+			if err != nil {
+				return ct, err
+			}
+			rec.Outputs[i] = v.Resize(out.Width).String()
+		}
+		steps = append(steps, rec)
+	}
+	ct.Steps = steps
+	return ct, nil
 }
 
 // Verify runs the stimulus on both a candidate and a reference design and
