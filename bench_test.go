@@ -35,15 +35,16 @@ func benchTasks(stride int) []eval.Task {
 // 6th task) per iteration on the given simulation backend. The compiled
 // variant exercises the elaboration cache the way real experiments do:
 // duplicate candidates recur across variants and runs.
-func benchTable1(b *testing.B, backend testbench.Backend) {
+func benchTable1(b *testing.B, backend testbench.Backend, legacyTraces bool) {
 	b.Helper()
 	cfg := exp.Table1Config{
-		Models:  []string{"deepseek-r1"},
-		Tasks:   benchTasks(6),
-		Samples: 20,
-		Runs:    1,
-		Seed:    1,
-		Backend: backend,
+		Models:       []string{"deepseek-r1"},
+		Tasks:        benchTasks(6),
+		Samples:      20,
+		Runs:         1,
+		Seed:         1,
+		Backend:      backend,
+		LegacyTraces: legacyTraces,
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -54,13 +55,20 @@ func benchTable1(b *testing.B, backend testbench.Backend) {
 }
 
 // BenchmarkTable1Compiled is the paper-artifact bench on the default
-// (compiled) backend, named for side-by-side comparison with the
-// interpreter row.
-func BenchmarkTable1Compiled(b *testing.B) { benchTable1(b, testbench.BackendCompiled) }
+// (compiled) backend and the default streaming fingerprint path, named for
+// side-by-side comparison with the interpreter and legacy rows.
+func BenchmarkTable1Compiled(b *testing.B) { benchTable1(b, testbench.BackendCompiled, false) }
+
+// BenchmarkTable1CompiledLegacyTraces runs the same reduced Table I on the
+// retained printed-trace path (PR 2 behavior), isolating what streaming
+// fingerprints buy end to end.
+func BenchmarkTable1CompiledLegacyTraces(b *testing.B) {
+	benchTable1(b, testbench.BackendCompiled, true)
+}
 
 // BenchmarkTable1Interpreter runs the same reduced Table I on the original
 // AST-walking engine.
-func BenchmarkTable1Interpreter(b *testing.B) { benchTable1(b, testbench.BackendInterpreter) }
+func BenchmarkTable1Interpreter(b *testing.B) { benchTable1(b, testbench.BackendInterpreter, false) }
 
 // benchFig3 regenerates a reduced Fig. 3 panel set per iteration.
 func benchFig3(b *testing.B, backend testbench.Backend) {

@@ -33,7 +33,6 @@ import (
 	"repro/internal/llm"
 	"repro/internal/testbench"
 	"repro/internal/verilog/ast"
-	"repro/internal/verilog/parser"
 	"repro/internal/verilog/sem"
 )
 
@@ -120,6 +119,14 @@ type Config struct {
 	// every core (the experiment drivers already parallelize across tasks,
 	// so they keep per-pipeline ranking sequential).
 	Workers int
+	// LegacyTraces forces the ranking stage onto the retained string-trace
+	// path: every candidate keeps a full printed Trace and clustering
+	// re-derives fingerprints from it. The default (false) streams
+	// per-case fingerprints during simulation and never materializes trace
+	// strings except for the few representatives refinement actually
+	// inspects. Both paths produce bit-identical results; the legacy path
+	// is kept as the differential referee.
+	LegacyTraces bool
 }
 
 // DefaultWorkers is the worker-pool size used when a config leaves Workers
@@ -168,10 +175,25 @@ type Candidate struct {
 	NormLen float64
 	// Filtered marks candidates removed by Density-guided Filtering.
 	Filtered bool
-	// Trace is the ranking-testbench trace (nil when invalid).
+	// Trace is the full printed ranking-testbench trace. On the default
+	// fingerprint path it stays nil unless refinement lazily materialized
+	// it for a cluster representative; with Config.LegacyTraces every
+	// ranked candidate carries one.
 	Trace *testbench.Trace
+	// FPTrace is the streaming fingerprint record of the ranking run (nil
+	// when invalid, filtered, or on the legacy path).
+	FPTrace *testbench.FPTrace
 	// Refined marks candidates produced by post-ranking refinement.
 	Refined bool
+}
+
+// SimOK reports whether the candidate's ranking simulation ran to
+// completion, on whichever representation the configured path produced.
+func (c *Candidate) SimOK() bool {
+	if c.FPTrace != nil {
+		return c.FPTrace.Err == nil
+	}
+	return c.Trace != nil && c.Trace.Err == nil
 }
 
 // Cluster is a strict-agreement behavioral cluster.
@@ -287,7 +309,10 @@ func validate(code string) (*ast.Source, bool) {
 	}
 	validateMu.Unlock()
 	v := validated{}
-	if src, err := parser.Parse(code); err == nil &&
+	// ParseCached shares one AST per distinct text with the oracle and the
+	// simulated clients, which also concentrates the simulator's
+	// pointer-keyed canonical-hash memo.
+	if src, err := eval.ParseCached(code); err == nil &&
 		src.FindModule(eval.TopModule) != nil && !sem.Check(src).HasErrors() {
 		v = validated{src: src, ok: true}
 	}
@@ -369,7 +394,12 @@ const Guidelines = `You are an expert Verilog designer. Follow these rules:
 
 // Run executes the configured variant on one task.
 func (p *Pipeline) Run(ctx context.Context, task eval.Task) (*Result, error) {
-	res := &Result{Task: task, FinalIndex: -1}
+	res := &Result{
+		Task:       task,
+		FinalIndex: -1,
+		// Sized for the sample pool; refinement may append a few extras.
+		Candidates: make([]Candidate, 0, p.cfg.Samples),
+	}
 
 	// Stage 1: sampling (+ validity retry for VFocus-grade variants).
 	for i := 0; i < p.cfg.Samples; i++ {

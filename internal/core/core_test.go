@@ -121,7 +121,7 @@ func TestVRankClusters(t *testing.T) {
 	}
 	valid := 0
 	for _, c := range res.Candidates {
-		if c.Valid && c.Trace != nil && c.Trace.Err == nil {
+		if c.Valid && c.SimOK() {
 			valid++
 		}
 	}
@@ -192,8 +192,8 @@ func TestVFocusRefinesAndStaysSound(t *testing.T) {
 		}
 		refines += res.Stats.RefineCalls + res.Stats.JudgeCalls
 		for _, c := range res.Candidates {
-			if c.Refined && (c.Trace == nil || c.Trace.Err != nil) {
-				t.Errorf("%s: admitted refined candidate without clean trace", task.ID)
+			if c.Refined && !c.SimOK() {
+				t.Errorf("%s: admitted refined candidate without clean simulation", task.ID)
 			}
 		}
 	}
@@ -430,19 +430,43 @@ func containsFold(s, sub string) bool {
 }
 
 func TestTraceAgreementSymmetry(t *testing.T) {
-	// Ranking uses strict agreement; spot-check the testbench helper from
-	// the pipeline's perspective on a real task.
+	// Ranking uses strict agreement; spot-check the agreement helpers from
+	// the pipeline's perspective on a real task, on both the streaming
+	// fingerprint path and the legacy retained-trace path.
 	task := pickTask(t, "cmb_add_03_add8")
-	pipe := newPipeline(t, VariantVRank, "deepseek-r1", []eval.Task{task}, 12)
-	res, err := pipe.Run(context.Background(), task)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, cl := range res.Clusters {
-		first := res.Candidates[cl.Members[0]].Trace
-		for _, m := range cl.Members[1:] {
-			if !testbench.Agrees(first, res.Candidates[m].Trace) {
-				t.Error("cluster members disagree")
+	for _, legacy := range []bool{false, true} {
+		profile, err := llm.ProfileByName("deepseek-r1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := llm.NewSimClient(profile, 11, []eval.Task{task})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(VariantVRank, profile.Name)
+		cfg.Samples = 12
+		cfg.RetryBaseDelay = 0
+		cfg.LegacyTraces = legacy
+		res, err := New(client, cfg).Run(context.Background(), task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cl := range res.Clusters {
+			first := &res.Candidates[cl.Members[0]]
+			if legacy && (first.Trace == nil || first.FPTrace != nil) {
+				t.Fatal("legacy path must retain traces and skip fingerprint records")
+			}
+			if !legacy && (first.FPTrace == nil || first.Trace != nil) {
+				t.Fatal("fingerprint path must not retain ranking traces")
+			}
+			for _, m := range cl.Members[1:] {
+				other := &res.Candidates[m]
+				if legacy && !testbench.Agrees(first.Trace, other.Trace) {
+					t.Error("legacy cluster members disagree")
+				}
+				if !legacy && !testbench.FPAgrees(first.FPTrace, other.FPTrace) {
+					t.Error("fingerprint cluster members disagree")
+				}
 			}
 		}
 	}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/testbench"
+)
+
+// runPath runs one pipeline configured for either the streaming fingerprint
+// path or the legacy retained-trace path.
+func runPath(t *testing.T, task eval.Task, v Variant, model string, samples, workers int,
+	backend testbench.Backend, legacy bool) *Result {
+	t.Helper()
+	profile, err := llm.ProfileByName(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := llm.NewSimClient(profile, 11, []eval.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(v, profile.Name)
+	cfg.Samples = samples
+	cfg.RetryBaseDelay = 0
+	cfg.Backend = backend
+	cfg.Workers = workers
+	cfg.LegacyTraces = legacy
+	res, err := New(client, cfg).Run(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// assertSameDecisions requires every pipeline decision — filtering,
+// clustering, refinement admissions, judge votes, and the final pick — to be
+// identical between the two results. Simulation-run counts are deliberately
+// excluded: the fingerprint path re-simulates representatives lazily, which
+// changes how much work ran, never what was decided.
+func assertSameDecisions(t *testing.T, label string, legacy, fp *Result) {
+	t.Helper()
+	if legacy.Final != fp.Final || legacy.FinalIndex != fp.FinalIndex {
+		t.Fatalf("%s: final pick diverges (legacy idx %d, fingerprint idx %d)",
+			label, legacy.FinalIndex, fp.FinalIndex)
+	}
+	if legacy.EarlyExit != fp.EarlyExit || legacy.JudgeVoted != fp.JudgeVoted ||
+		legacy.RefinedUsed != fp.RefinedUsed {
+		t.Fatalf("%s: refinement flags diverge: legacy=%+v fingerprint=%+v",
+			label, *legacy, *fp)
+	}
+	if !reflect.DeepEqual(legacy.Clusters, fp.Clusters) {
+		t.Fatalf("%s: clusters diverge\nlegacy: %+v\nfingerprint: %+v",
+			label, legacy.Clusters, fp.Clusters)
+	}
+	if len(legacy.Candidates) != len(fp.Candidates) {
+		t.Fatalf("%s: candidate pool sizes diverge: %d vs %d",
+			label, len(legacy.Candidates), len(fp.Candidates))
+	}
+	for i := range legacy.Candidates {
+		lc, fc := &legacy.Candidates[i], &fp.Candidates[i]
+		if lc.Code != fc.Code || lc.Valid != fc.Valid || lc.Filtered != fc.Filtered ||
+			lc.Refined != fc.Refined || lc.NormLen != fc.NormLen {
+			t.Fatalf("%s: candidate %d bookkeeping diverges", label, i)
+		}
+		if lc.Trace != nil && fc.FPTrace != nil {
+			if lc.Trace.Fingerprint() != fc.FPTrace.Fingerprint() {
+				t.Fatalf("%s: candidate %d fingerprint value diverges between representations", label, i)
+			}
+		}
+	}
+	if legacy.Stats.GenerateCalls != fp.Stats.GenerateCalls ||
+		legacy.Stats.RefineCalls != fp.Stats.RefineCalls ||
+		legacy.Stats.JudgeCalls != fp.Stats.JudgeCalls {
+		t.Fatalf("%s: model-call stats diverge: legacy=%+v fingerprint=%+v",
+			label, legacy.Stats, fp.Stats)
+	}
+}
+
+// TestFingerprintPathMatchesLegacyTraces is the differential referee for the
+// streaming ranking path: across task families, models, variants, worker
+// counts, and both simulation backends, the fingerprint path must make
+// bit-identical decisions to the retained string-trace path.
+func TestFingerprintPathMatchesLegacyTraces(t *testing.T) {
+	all := eval.Suite()
+	// A spread covering combinational and sequential families, including the
+	// tasks whose cluster structure exercises judging and focused refinement.
+	for _, tc := range []struct {
+		taskIdx int
+		model   string
+		variant Variant
+		workers int
+	}{
+		{0, "deepseek-r1", VariantVFocus, 1},
+		{30, "qwq-32b", VariantVFocus, 1},
+		{60, "qwq-32b", VariantVFocus, 4},
+		{90, "o3-mini-high", VariantVFocus, 1},
+		{120, "qwq-32b", VariantVFocus, 4},
+		{150, "deepseek-r1", VariantVFocus, 1},
+		{45, "qwq-32b", VariantVRank, 1},
+		{100, "qwq-32b", VariantPreVRank, 4},
+	} {
+		task := all[tc.taskIdx]
+		label := task.ID + "/" + tc.model + "/" + tc.variant.String()
+		legacy := runPath(t, task, tc.variant, tc.model, 20, tc.workers, testbench.BackendCompiled, true)
+		fp := runPath(t, task, tc.variant, tc.model, 20, tc.workers, testbench.BackendCompiled, false)
+		assertSameDecisions(t, label, legacy, fp)
+	}
+}
+
+// TestFingerprintPathMatchesLegacyInterpreter repeats the differential on
+// the interpreter backend (which lacks the streaming HashOutput fast path,
+// exercising the Value-rendering fallback in RunFingerprint).
+func TestFingerprintPathMatchesLegacyInterpreter(t *testing.T) {
+	all := eval.Suite()
+	for _, idx := range []int{30, 120} {
+		task := all[idx]
+		legacy := runPath(t, task, VariantVFocus, "qwq-32b", 12, 1, testbench.BackendInterpreter, true)
+		fp := runPath(t, task, VariantVFocus, "qwq-32b", 12, 1, testbench.BackendInterpreter, false)
+		assertSameDecisions(t, task.ID+"/interpreter", legacy, fp)
+	}
+}

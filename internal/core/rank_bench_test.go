@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/llm"
+)
+
+// benchRankStage isolates stage 2: candidates are generated once outside the
+// timed loop, and each iteration re-runs only simulate-and-cluster on a
+// fresh copy of the pool. This is the stage the streaming fingerprint path
+// targets; the legacy sub-benchmark measures the retained string-trace path
+// on identical candidates.
+func benchRankStage(b *testing.B, legacy bool, workers int) {
+	b.Helper()
+	task := eval.Suite()[120] // sequential golden: multi-case, multi-step traces
+	profile, err := llm.ProfileByName("qwq-32b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := llm.NewSimClient(profile, 11, []eval.Task{task})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(VariantVRank, profile.Name)
+	cfg.Samples = 30
+	cfg.RetryBaseDelay = 0
+	cfg.LegacyTraces = legacy
+	cfg.Workers = workers
+	pipe := New(client, cfg)
+
+	cands := make([]Candidate, 0, cfg.Samples)
+	for i := 0; i < cfg.Samples; i++ {
+		c, err := pipe.generateOne(context.Background(), task, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cands = append(cands, c)
+	}
+
+	// Warm the shared compile cache and engine pools so sub-benchmarks
+	// measure steady state rather than who ran first.
+	{
+		pool := make([]Candidate, len(cands))
+		copy(pool, cands)
+		if err := pipe.rank(&Result{Task: task, FinalIndex: -1, Candidates: pool}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := make([]Candidate, len(cands))
+		copy(pool, cands)
+		res := &Result{Task: task, FinalIndex: -1, Candidates: pool}
+		if err := pipe.rank(res); err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Clusters) == 0 {
+			b.Fatal("ranking produced no clusters")
+		}
+	}
+}
+
+// BenchmarkRankStage measures the ranking stage on the default streaming
+// fingerprint path and on the legacy retained-trace path, sequentially and
+// on a worker pool.
+func BenchmarkRankStage(b *testing.B) {
+	b.Run("fingerprint", func(b *testing.B) { benchRankStage(b, false, 1) })
+	b.Run("legacy", func(b *testing.B) { benchRankStage(b, true, 1) })
+	b.Run("fingerprint-workers", func(b *testing.B) { benchRankStage(b, false, DefaultWorkers()) })
+}

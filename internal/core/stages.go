@@ -121,16 +121,22 @@ func (p *Pipeline) densityFilter(res *Result) {
 // Workers-bounded pool (the compiled Design is shared, each run gets its own
 // pooled Engine), and clustering stays sequential in candidate order so the
 // result is bit-identical for any worker count.
+//
+// By default each run streams straight to a per-case fingerprint record
+// (testbench.RunFingerprint): no trace string is ever built, and the only
+// per-candidate retention is a handful of uint64s. Config.LegacyTraces
+// restores the retained-Trace path; both cluster on the same fingerprint
+// values, so every downstream decision is identical.
 func (p *Pipeline) rank(res *Result) error {
-	gen := testbench.NewGenerator(p.cfg.TBSeed + int64(res.Task.Index))
-	gen.Imperfection = p.cfg.TBImperfection
-	st := gen.Ranking(res.Task.Ifc)
+	// Cached: every variant of a (task, run) pair re-derives this exact
+	// stimulus, and it is read-only from here on.
+	st := testbench.RankingCached(p.cfg.TBSeed+int64(res.Task.Index), p.cfg.TBImperfection, res.Task.Ifc)
 	res.rankingStimulus = st
 
 	// Pass 1: dedup canonically identical candidates, first-seen order.
 	jobOf := make([]int, len(res.Candidates))
-	jobIdx := make(map[string]int)
-	var jobs []*ast.Source
+	jobIdx := make(map[string]int, len(res.Candidates))
+	jobs := make([]*ast.Source, 0, len(res.Candidates))
 	for i := range res.Candidates {
 		c := &res.Candidates[i]
 		if !c.Valid || c.Filtered {
@@ -147,13 +153,25 @@ func (p *Pipeline) rank(res *Result) error {
 	}
 
 	// Pass 2: simulate each unique design, in parallel when configured.
-	traces := make([]*testbench.Trace, len(jobs))
-	simulate := func(j int) {
-		traces[j] = testbench.RunBackend(jobs[j], eval.TopModule, st, p.cfg.Backend)
+	var (
+		traces []*testbench.Trace
+		fps    []*testbench.FPTrace
+		run    func(j int)
+	)
+	if p.cfg.LegacyTraces {
+		traces = make([]*testbench.Trace, len(jobs))
+		run = func(j int) {
+			traces[j] = testbench.RunBackend(jobs[j], eval.TopModule, st, p.cfg.Backend)
+		}
+	} else {
+		fps = make([]*testbench.FPTrace, len(jobs))
+		run = func(j int) {
+			fps[j] = testbench.RunFingerprint(jobs[j], eval.TopModule, st, p.cfg.Backend)
+		}
 	}
 	if workers := p.workerCount(len(jobs)); workers <= 1 {
 		for j := range jobs {
-			simulate(j)
+			run(j)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -163,7 +181,7 @@ func (p *Pipeline) rank(res *Result) error {
 			go func() {
 				defer wg.Done()
 				for j := range next {
-					simulate(j)
+					run(j)
 				}
 			}()
 		}
@@ -175,29 +193,56 @@ func (p *Pipeline) rank(res *Result) error {
 	}
 	res.Stats.SimRuns += len(jobs)
 
-	// Pass 3: cluster sequentially in candidate order (deterministic).
-	byFP := make(map[uint64]*Cluster)
+	// Pass 3a: attach results in candidate order and count cluster sizes,
+	// so member slices below allocate exactly once at final size.
+	fpOf := make([]uint64, len(res.Candidates))
+	okOf := make([]bool, len(res.Candidates))
+	counts := make(map[uint64]int, len(jobs))
 	for i := range res.Candidates {
 		c := &res.Candidates[i]
 		if !c.Valid || c.Filtered {
 			continue
 		}
-		c.Trace = traces[jobOf[i]]
-		if c.Trace.Err != nil {
-			continue // runtime failures agree with nobody
+		if p.cfg.LegacyTraces {
+			c.Trace = traces[jobOf[i]]
+			if c.Trace.Err != nil {
+				continue // runtime failures agree with nobody
+			}
+			fpOf[i] = c.Trace.Fingerprint()
+		} else {
+			c.FPTrace = fps[jobOf[i]]
+			if c.FPTrace.Err != nil {
+				continue
+			}
+			fpOf[i] = c.FPTrace.Fingerprint()
 		}
-		fp := c.Trace.Fingerprint()
-		cl, ok := byFP[fp]
-		if !ok {
-			cl = &Cluster{Fingerprint: fp}
+		okOf[i] = true
+		counts[fpOf[i]]++
+	}
+
+	// Pass 3b: cluster sequentially in candidate order (deterministic; the
+	// final (score, fingerprint) sort is a total order, so insertion order
+	// never shows through).
+	byFP := make(map[uint64]*Cluster, len(counts))
+	res.Clusters = make([]Cluster, 0, len(counts))
+	for i := range res.Candidates {
+		if !okOf[i] {
+			continue
+		}
+		fp := fpOf[i]
+		cl := byFP[fp]
+		if cl == nil {
+			res.Clusters = append(res.Clusters, Cluster{
+				Fingerprint: fp,
+				Members:     make([]int, 0, counts[fp]),
+			})
+			cl = &res.Clusters[len(res.Clusters)-1]
 			byFP[fp] = cl
 		}
 		cl.Members = append(cl.Members, i)
 	}
-	res.Clusters = res.Clusters[:0]
-	for _, cl := range byFP {
-		cl.Score = len(cl.Members)
-		res.Clusters = append(res.Clusters, *cl)
+	for i := range res.Clusters {
+		res.Clusters[i].Score = len(res.Clusters[i].Members)
 	}
 	sort.Slice(res.Clusters, func(a, b int) bool {
 		if res.Clusters[a].Score != res.Clusters[b].Score {
@@ -280,17 +325,98 @@ func (p *Pipeline) refineIntra(ctx context.Context, res *Result, ci int) error {
 	return nil
 }
 
+// --- Ranked-representation accessors ----------------------------------------------
+//
+// Refinement compares behaviors through per-case fingerprints, which live on
+// FPTrace on the default streaming path and derive (memoized) from the
+// printed strings on the legacy path. These accessors make every agreement
+// decision representation-blind, so both paths take the same branches.
+
+// rankErr returns the candidate's ranking-run failure, if any.
+func (c *Candidate) rankErr() error {
+	if c.FPTrace != nil {
+		return c.FPTrace.Err
+	}
+	if c.Trace != nil {
+		return c.Trace.Err
+	}
+	return nil
+}
+
+// rankCases returns the number of completed ranking test cases.
+func (c *Candidate) rankCases() int {
+	if c.FPTrace != nil {
+		return len(c.FPTrace.CaseFPs)
+	}
+	if c.Trace != nil {
+		return len(c.Trace.Cases)
+	}
+	return 0
+}
+
+// rankCaseFP returns the fingerprint of ranking test case i.
+func (c *Candidate) rankCaseFP(i int) uint64 {
+	if c.FPTrace != nil {
+		return c.FPTrace.CaseFPs[i]
+	}
+	return c.Trace.Cases[i].Fingerprint()
+}
+
+// rankedCaseAgrees mirrors testbench.CaseAgrees over ranked candidates.
+func rankedCaseAgrees(a, b *Candidate, i int) bool {
+	ae, be := a.rankErr(), b.rankErr()
+	if ae != nil || be != nil {
+		return ae != nil && be != nil && ae.Error() == be.Error()
+	}
+	if i >= a.rankCases() || i >= b.rankCases() {
+		return false
+	}
+	return a.rankCaseFP(i) == b.rankCaseFP(i)
+}
+
+// rankedAgrees mirrors testbench.Agrees over ranked candidates.
+func rankedAgrees(a, b *Candidate) bool {
+	ae, be := a.rankErr(), b.rankErr()
+	if ae != nil || be != nil {
+		return ae != nil && be != nil && ae.Error() == be.Error()
+	}
+	if a.rankCases() != b.rankCases() {
+		return false
+	}
+	for i := 0; i < a.rankCases(); i++ {
+		if a.rankCaseFP(i) != b.rankCaseFP(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// repTrace returns a candidate's full printed ranking trace, lazily
+// re-simulating it on the fingerprint path. Prompt construction is the only
+// consumer of trace strings left, and it only ever looks at the ≤TopClusters
+// representatives — so those are the only candidates that ever pay for a
+// printed trace. Simulation is deterministic, so the materialized trace is
+// byte-identical to the one the legacy path retained.
+func (p *Pipeline) repTrace(res *Result, idx int) *testbench.Trace {
+	c := &res.Candidates[idx]
+	if c.Trace == nil {
+		c.Trace = testbench.RunBackend(c.Source, eval.TopModule, res.rankingStimulus, p.cfg.Backend)
+		res.Stats.SimRuns++
+	}
+	return c.Trace
+}
+
 // refineInter resolves the divergence between the top two clusters. For
 // simple-description tasks with small outputs the model judges the expected
 // output on the first disagreeing test case and its vote can overturn the
 // majority; otherwise it falls back to focused cross-cluster refinement.
 func (p *Pipeline) refineInter(ctx context.Context, res *Result) error {
 	c0, c1 := &res.Clusters[0], &res.Clusters[1]
-	t0 := res.Candidates[c0.Members[0]].Trace
-	t1 := res.Candidates[c1.Members[0]].Trace
+	rep0 := &res.Candidates[c0.Members[0]]
+	rep1 := &res.Candidates[c1.Members[0]]
 	caseIdx := -1
-	for i := range t0.Cases {
-		if !testbench.CaseAgrees(t0, t1, i) {
+	for i := 0; i < rep0.rankCases(); i++ {
+		if !rankedCaseAgrees(rep0, rep1, i) {
 			caseIdx = i
 			break
 		}
@@ -319,8 +445,8 @@ func (p *Pipeline) refineInter(ctx context.Context, res *Result) error {
 		res.Stats.JudgeCalls++
 		res.JudgeVoted = true
 		pred := resp.Predicted.Fingerprint()
-		match0 := t0.Cases[caseIdx].Fingerprint() == pred
-		match1 := t1.Cases[caseIdx].Fingerprint() == pred
+		match0 := rep0.rankCaseFP(caseIdx) == pred
+		match1 := rep1.rankCaseFP(caseIdx) == pred
 		// A judge vote for the runner-up overturns the majority when the
 		// clusters are close; a vote for the leader reinforces it.
 		if match1 && !match0 && float64(c1.Score) >= 0.5*float64(c0.Score) {
@@ -329,7 +455,11 @@ func (p *Pipeline) refineInter(ctx context.Context, res *Result) error {
 		return nil
 	}
 
-	// Fallback: focused refinement across the two clusters.
+	// Fallback: focused refinement across the two clusters. Only here do
+	// printed traces exist at all on the streaming path (the prompt quotes
+	// the disagreeing outputs), and only for the two representatives.
+	t0 := p.repTrace(res, c0.Members[0])
+	t1 := p.repTrace(res, c1.Members[0])
 	hint := divergenceHint(res.Task, t0, t1, caseIdx)
 	rng := p.rngFor(res.Task.ID, "inter")
 	a := c0.Members[rng.Intn(len(c0.Members))]
@@ -381,6 +511,21 @@ func writeCase(b *strings.Builder, task eval.Task, ct *testbench.CaseTrace) {
 	}
 }
 
+// simulateRefined runs a refined candidate under the ranking stimulus on
+// the configured representation (fingerprints by default, full trace on the
+// legacy path) and returns it ready for agreement checks.
+func (p *Pipeline) simulateRefined(res *Result, code string, src *ast.Source) Candidate {
+	cand := Candidate{Code: code, Source: src, Valid: true, NormLen: -1, Refined: true}
+	st := res.rankingStimulus
+	if p.cfg.LegacyTraces {
+		cand.Trace = testbench.RunBackend(src, eval.TopModule, st, p.cfg.Backend)
+	} else {
+		cand.FPTrace = testbench.RunFingerprint(src, eval.TopModule, st, p.cfg.Backend)
+	}
+	res.Stats.SimRuns++
+	return cand
+}
+
 // admitRefined validates and simulates a refined candidate for cluster ci.
 // Intra-cluster refinement exists to repair behavior the imperfect ranking
 // testbench does NOT cover, so a trustworthy refined candidate must agree
@@ -391,28 +536,19 @@ func (p *Pipeline) admitRefined(res *Result, ci int, code string) {
 	if !ok {
 		return
 	}
-	st := res.rankingStimulus
-	tr := testbench.RunBackend(src, eval.TopModule, st, p.cfg.Backend)
-	res.Stats.SimRuns++
-	if tr.Err != nil {
+	cand := p.simulateRefined(res, code, src)
+	if cand.rankErr() != nil {
 		return
 	}
-	ref := res.Candidates[res.Clusters[ci].Members[0]].Trace
-	for i := range st.Cases {
-		if !testbench.CaseAgrees(tr, ref, i) {
+	ref := &res.Candidates[res.Clusters[ci].Members[0]]
+	for i := range res.rankingStimulus.Cases {
+		if !rankedCaseAgrees(&cand, ref, i) {
 			return // covered-case divergence: distrust the rewrite
 		}
 	}
 	idx := len(res.Candidates)
-	res.Candidates = append(res.Candidates, Candidate{
-		Index:   idx,
-		Code:    code,
-		Source:  src,
-		Valid:   true,
-		NormLen: -1,
-		Trace:   tr,
-		Refined: true,
-	})
+	cand.Index = idx
+	res.Candidates = append(res.Candidates, cand)
 	res.Clusters[ci].RefinedIdx = append(res.Clusters[ci].RefinedIdx, idx)
 }
 
@@ -424,10 +560,8 @@ func (p *Pipeline) admitRefinedInter(res *Result, code string) {
 	if !ok {
 		return
 	}
-	st := res.rankingStimulus
-	tr := testbench.RunBackend(src, eval.TopModule, st, p.cfg.Backend)
-	res.Stats.SimRuns++
-	if tr.Err != nil {
+	cand := p.simulateRefined(res, code, src)
+	if cand.rankErr() != nil {
 		return
 	}
 	idx := len(res.Candidates)
@@ -437,8 +571,8 @@ func (p *Pipeline) admitRefinedInter(res *Result, code string) {
 		k = len(res.Clusters)
 	}
 	for ci := 0; ci < k; ci++ {
-		ref := res.Candidates[res.Clusters[ci].Members[0]].Trace
-		if testbench.Agrees(tr, ref) {
+		ref := &res.Candidates[res.Clusters[ci].Members[0]]
+		if rankedAgrees(&cand, ref) {
 			res.Clusters[ci].Score++
 			res.Clusters[ci].RefinedIdx = append(res.Clusters[ci].RefinedIdx, idx)
 			added = true
@@ -448,15 +582,8 @@ func (p *Pipeline) admitRefinedInter(res *Result, code string) {
 	if !added {
 		return // agrees with neither top cluster: discard
 	}
-	res.Candidates = append(res.Candidates, Candidate{
-		Index:   idx,
-		Code:    code,
-		Source:  src,
-		Valid:   true,
-		NormLen: -1,
-		Trace:   tr,
-		Refined: true,
-	})
+	cand.Index = idx
+	res.Candidates = append(res.Candidates, cand)
 	// Re-sort in case the boost changed the order.
 	sort.SliceStable(res.Clusters, func(a, b int) bool {
 		return res.Clusters[a].Score > res.Clusters[b].Score

@@ -31,5 +31,23 @@ func TestSuiteGoldensBackendEquivalence(t *testing.T) {
 		if got, want := tc.String(), ti.String(); got != want {
 			t.Errorf("%s: trace divergence\ninterpreter:\n%s\ncompiled:\n%s", task.ID, want, got)
 		}
+		// The streaming fingerprint path must reproduce the printed-trace
+		// fingerprints exactly — per case and whole-run — on both backends.
+		for _, pair := range []struct {
+			name    string
+			tr      *testbench.Trace
+			backend testbench.Backend
+		}{
+			{"interpreter", ti, testbench.BackendInterpreter},
+			{"compiled", tc, testbench.BackendCompiled},
+		} {
+			fp := testbench.RunFingerprint(src, TopModule, st, pair.backend)
+			if fp.Err != nil {
+				t.Fatalf("%s: %s fingerprint run failed: %v", task.ID, pair.name, fp.Err)
+			}
+			if !testbench.FPAgrees(fp, pair.tr.FP()) || fp.Fingerprint() != pair.tr.Fingerprint() {
+				t.Errorf("%s: %s fingerprint path diverges from printed trace", task.ID, pair.name)
+			}
+		}
 	}
 }

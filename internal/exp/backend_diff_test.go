@@ -19,24 +19,33 @@ func TestTable1BackendEquivalence(t *testing.T) {
 	for i := 0; i < len(all); i += 24 {
 		tasks = append(tasks, all[i])
 	}
-	run := func(b testbench.Backend) []Table1Row {
+	run := func(b testbench.Backend, legacy bool) []Table1Row {
 		res, err := RunTable1(context.Background(), Table1Config{
-			Models:  []string{"qwq-32b"},
-			Tasks:   tasks,
-			Samples: 10,
-			Runs:    1,
-			Seed:    5,
-			Backend: b,
+			Models:       []string{"qwq-32b"},
+			Tasks:        tasks,
+			Samples:      10,
+			Runs:         1,
+			Seed:         5,
+			Backend:      b,
+			LegacyTraces: legacy,
 		})
 		if err != nil {
 			t.Fatalf("backend %v: %v", b, err)
 		}
 		return res.Rows
 	}
-	ri := run(testbench.BackendInterpreter)
-	rc := run(testbench.BackendCompiled)
+	ri := run(testbench.BackendInterpreter, false)
+	rc := run(testbench.BackendCompiled, false)
 	if !reflect.DeepEqual(ri, rc) {
 		t.Fatalf("Table I rows diverge between backends\ninterpreter: %+v\ncompiled: %+v", ri, rc)
+	}
+	// The retained-trace path is the differential referee for the streaming
+	// fingerprint path: same rows, bit for bit, on both backends.
+	if rl := run(testbench.BackendCompiled, true); !reflect.DeepEqual(rl, rc) {
+		t.Fatalf("Table I rows diverge between trace paths\nlegacy: %+v\nfingerprint: %+v", rl, rc)
+	}
+	if rli := run(testbench.BackendInterpreter, true); !reflect.DeepEqual(rli, ri) {
+		t.Fatalf("Table I rows diverge between trace paths on the interpreter\nlegacy: %+v\nfingerprint: %+v", rli, ri)
 	}
 }
 
@@ -48,6 +57,9 @@ func TestOracleBackendEquivalence(t *testing.T) {
 	oi.Backend = testbench.BackendInterpreter
 	oc := NewOracle(tasks, 3)
 	oc.Backend = testbench.BackendCompiled
+	ol := NewOracle(tasks, 3)
+	ol.Backend = testbench.BackendCompiled
+	ol.LegacyTraces = true
 	wrong := `
 module top_module (input a, input b, output y);
     assign y = a & b;
@@ -65,6 +77,14 @@ endmodule
 			}
 			if vi != vc {
 				t.Errorf("%s: verdict divergence: interp=%v compiled=%v", task.ID, vi, vc)
+			}
+			vl, err := ol.Verify(task.ID, code)
+			if err != nil {
+				t.Fatalf("%s: legacy verify: %v", task.ID, err)
+			}
+			if vl != vc {
+				t.Errorf("%s: verdict divergence between trace paths: legacy=%v fingerprint=%v",
+					task.ID, vl, vc)
 			}
 		}
 	}

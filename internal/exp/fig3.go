@@ -34,6 +34,9 @@ type Fig3Config struct {
 	Workers int
 	// Backend selects the simulation engine (zero value: compiled).
 	Backend testbench.Backend
+	// LegacyTraces forces verification onto the retained printed-trace
+	// path instead of streaming fingerprints.
+	LegacyTraces bool
 }
 
 // Fig3Series is one model's panel.
@@ -78,6 +81,7 @@ func RunFig3(ctx context.Context, cfg Fig3Config) (*Fig3Result, error) {
 	}
 	oracle := NewOracle(cfg.Tasks, cfg.Seed+7)
 	oracle.Backend = cfg.Backend
+	oracle.LegacyTraces = cfg.LegacyTraces
 	res := &Fig3Result{Config: cfg}
 	for _, model := range cfg.Models {
 		series, err := runFig3Model(ctx, cfg, oracle, model)

@@ -30,6 +30,9 @@ type Fig4Config struct {
 	Workers int
 	// Backend selects the simulation engine (zero value: compiled).
 	Backend testbench.Backend
+	// LegacyTraces forces ranking and verification onto the retained
+	// printed-trace path instead of streaming fingerprints.
+	LegacyTraces bool
 }
 
 // Fig4Point is one (model, n) measurement: mean ± std over runs for the
@@ -76,6 +79,7 @@ func RunFig4(ctx context.Context, cfg Fig4Config) (*Fig4Result, error) {
 	}
 	oracle := NewOracle(cfg.Tasks, cfg.Seed+7)
 	oracle.Backend = cfg.Backend
+	oracle.LegacyTraces = cfg.LegacyTraces
 	res := &Fig4Result{Config: cfg}
 	for _, model := range cfg.Models {
 		series, err := runFig4Model(ctx, cfg, oracle, model)
@@ -167,6 +171,7 @@ func fig4Task(ctx context.Context, cfg Fig4Config, oracle *Oracle, profile llm.P
 		pcfg.SelectSeed = cfg.Seed + int64(run)*47
 		pcfg.RetryBaseDelay = 0
 		pcfg.Backend = cfg.Backend
+		pcfg.LegacyTraces = cfg.LegacyTraces
 		return core.New(client, pcfg).Run(ctx, task)
 	}
 

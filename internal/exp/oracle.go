@@ -12,7 +12,6 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/testbench"
-	"repro/internal/verilog/parser"
 )
 
 // oracleBackend note: golden traces and candidate traces always run on the
@@ -23,17 +22,26 @@ var ErrExperiment = errors.New("experiment failed")
 
 // Oracle scores candidate code against a task's golden design under a dense
 // verification testbench — the role the VerilogEval reference testbenches
-// play in the paper. Golden traces are computed once per task and cached.
-// The oracle is safe for concurrent use.
+// play in the paper. Golden fingerprints are computed once per task and
+// cached. Verification compares fingerprints on the streaming path by
+// default (the dense benches made verification the largest remaining trace
+// producer); LegacyTraces retains full printed traces instead, with
+// identical verdicts. The oracle is safe for concurrent use.
 type Oracle struct {
 	seed int64
 	// Backend selects the simulation engine (zero value: compiled).
 	Backend testbench.Backend
+	// LegacyTraces forces verification onto the retained printed-trace
+	// path (the differential referee for the fingerprint path). Set it
+	// before the first Verify: tasks prepared earlier have no retained
+	// golden trace, so they keep comparing fingerprints (same verdicts).
+	LegacyTraces bool
 
 	mu       sync.Mutex
 	tasks    map[string]eval.Task
 	stimul   map[string]*testbench.Stimulus
-	golden   map[string]*testbench.Trace
+	golden   map[string]*testbench.FPTrace
+	goldenTr map[string]*testbench.Trace
 	verdicts map[verdictKey]bool
 }
 
@@ -51,7 +59,8 @@ func NewOracle(tasks []eval.Task, seed int64) *Oracle {
 		seed:     seed,
 		tasks:    make(map[string]eval.Task, len(tasks)),
 		stimul:   make(map[string]*testbench.Stimulus, len(tasks)),
-		golden:   make(map[string]*testbench.Trace, len(tasks)),
+		golden:   make(map[string]*testbench.FPTrace, len(tasks)),
+		goldenTr: make(map[string]*testbench.Trace, len(tasks)),
 		verdicts: make(map[verdictKey]bool),
 	}
 	for _, t := range tasks {
@@ -60,34 +69,50 @@ func NewOracle(tasks []eval.Task, seed int64) *Oracle {
 	return o
 }
 
-// prepare lazily computes the verification stimulus and golden trace.
-func (o *Oracle) prepare(taskID string) (*testbench.Stimulus, *testbench.Trace, error) {
+// prepare lazily computes the verification stimulus and the golden
+// fingerprints (plus the golden printed trace on the legacy path).
+func (o *Oracle) prepare(taskID string) (*testbench.Stimulus, *testbench.FPTrace, *testbench.Trace, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if st, ok := o.stimul[taskID]; ok {
-		return st, o.golden[taskID], nil
+		return st, o.golden[taskID], o.goldenTr[taskID], nil
 	}
 	task, ok := o.tasks[taskID]
 	if !ok {
-		return nil, nil, fmt.Errorf("%w: unknown task %q", ErrExperiment, taskID)
+		return nil, nil, nil, fmt.Errorf("%w: unknown task %q", ErrExperiment, taskID)
 	}
-	gen := testbench.NewGenerator(o.seed + int64(task.Index))
-	st := gen.Verification(task.Ifc)
-	src, err := parser.Parse(task.Golden)
+	st := testbench.VerificationCached(o.seed+int64(task.Index), task.Ifc)
+	src, err := eval.ParseCached(task.Golden)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: golden parse: %v", ErrExperiment, err)
+		return nil, nil, nil, fmt.Errorf("%w: golden parse: %v", ErrExperiment, err)
 	}
-	tr := testbench.RunBackend(src, eval.TopModule, st, o.Backend)
-	if tr.Err != nil {
-		return nil, nil, fmt.Errorf("%w: golden simulation: %v", ErrExperiment, tr.Err)
+	var golden *testbench.FPTrace
+	var goldenTr *testbench.Trace
+	if o.LegacyTraces {
+		goldenTr = testbench.RunBackend(src, eval.TopModule, st, o.Backend)
+		if goldenTr.Err != nil {
+			return nil, nil, nil, fmt.Errorf("%w: golden simulation: %v", ErrExperiment, goldenTr.Err)
+		}
+		// The cached trace is compared by many goroutines at once, so its
+		// lazy fingerprint memo must be filled before publication.
+		goldenTr.Warm()
+		o.goldenTr[taskID] = goldenTr
+		golden = goldenTr.FP() // same values, no second simulation
+	} else {
+		golden = testbench.RunFingerprint(src, eval.TopModule, st, o.Backend)
+		if golden.Err != nil {
+			return nil, nil, nil, fmt.Errorf("%w: golden simulation: %v", ErrExperiment, golden.Err)
+		}
 	}
+	golden.Fingerprint() // warm the memo before concurrent reads
 	o.stimul[taskID] = st
-	o.golden[taskID] = tr
-	return st, tr, nil
+	o.golden[taskID] = golden
+	return st, golden, goldenTr, nil
 }
 
 // Verify reports whether candidate code is functionally correct for the
-// task: it must parse and match the golden trace on every verification case.
+// task: it must parse and match the golden behavior on every verification
+// case.
 func (o *Oracle) Verify(taskID, code string) (bool, error) {
 	key := verdictKey{taskID: taskID, code: hashCode(code)}
 	o.mu.Lock()
@@ -97,14 +122,19 @@ func (o *Oracle) Verify(taskID, code string) (bool, error) {
 	}
 	o.mu.Unlock()
 
-	st, goldenTrace, err := o.prepare(taskID)
+	st, golden, goldenTr, err := o.prepare(taskID)
 	if err != nil {
 		return false, err
 	}
 	verdict := false
-	if src, perr := parser.Parse(code); perr == nil && src.FindModule(eval.TopModule) != nil {
-		tr := testbench.RunBackend(src, eval.TopModule, st, o.Backend)
-		verdict = tr.Err == nil && testbench.Agrees(tr, goldenTrace)
+	if src, perr := eval.ParseCached(code); perr == nil && src.FindModule(eval.TopModule) != nil {
+		if o.LegacyTraces && goldenTr != nil {
+			tr := testbench.RunBackend(src, eval.TopModule, st, o.Backend)
+			verdict = tr.Err == nil && testbench.Agrees(tr, goldenTr)
+		} else {
+			tr := testbench.RunFingerprint(src, eval.TopModule, st, o.Backend)
+			verdict = tr.Err == nil && testbench.FPAgrees(tr, golden)
+		}
 	}
 	o.mu.Lock()
 	o.verdicts[key] = verdict

@@ -31,6 +31,10 @@ type Table1Config struct {
 	// Backend selects the simulation engine (zero value: compiled; the
 	// interpreter remains selectable for differential benchmarking).
 	Backend testbench.Backend
+	// LegacyTraces forces ranking and verification onto the retained
+	// printed-trace path instead of streaming fingerprints (results are
+	// identical; kept for differential benchmarking).
+	LegacyTraces bool
 }
 
 // Table1Row is one (model, dataset) row of Table I.
@@ -84,6 +88,7 @@ func RunTable1(ctx context.Context, cfg Table1Config) (*Table1Result, error) {
 	res := &Table1Result{Config: cfg}
 	oracle := NewOracle(cfg.Tasks, cfg.Seed+7)
 	oracle.Backend = cfg.Backend
+	oracle.LegacyTraces = cfg.LegacyTraces
 
 	for _, model := range cfg.Models {
 		outcomes, err := runModelOutcomes(ctx, cfg, oracle, model)
@@ -170,6 +175,7 @@ func evalTaskRun(ctx context.Context, cfg Table1Config, oracle *Oracle, profile 
 		pcfg.SelectSeed = cfg.Seed + int64(run)*47
 		pcfg.RetryBaseDelay = 0
 		pcfg.Backend = cfg.Backend
+		pcfg.LegacyTraces = cfg.LegacyTraces
 		pipe := core.New(client, pcfg)
 		return pipe.Run(ctx, task)
 	}

@@ -12,7 +12,6 @@ import (
 	"repro/internal/mutate"
 	"repro/internal/testbench"
 	"repro/internal/verilog/ast"
-	"repro/internal/verilog/parser"
 	"repro/internal/verilog/printer"
 )
 
@@ -52,7 +51,7 @@ func NewSimClient(profile Profile, seed int64, tasks []eval.Task) (*SimClient, e
 		golden:  make(map[string]*ast.Source, len(tasks)),
 	}
 	for _, t := range tasks {
-		src, err := parser.Parse(t.Golden)
+		src, err := eval.ParseCached(t.Golden)
 		if err != nil {
 			return nil, fmt.Errorf("task %s golden: %w", t.ID, err)
 		}

@@ -177,6 +177,42 @@ func TestAcquireReleaseZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestHashOutputZeroAlloc asserts the streaming fingerprint digest allocates
+// nothing: ranking whole candidate pools hashes every output of every step
+// through this path, so a single allocation here would undo the win.
+func TestHashOutputZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs sync.Pool and allocation accounting")
+	}
+	d := compileMust(t, allocComb, "top_module")
+	en := d.NewEngine()
+	if err := en.SetInputUint("a", 0x0123_4567_89AB_CDEF); err != nil {
+		t.Fatal(err)
+	}
+	if err := en.SetInputUint("b", 0xFEDC_BA98_7654_3210); err != nil {
+		t.Fatal(err)
+	}
+	if err := en.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	h := FNVOffset64
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, out := range []struct {
+			name  string
+			width int
+		}{{"y", 64}, {"z", 67}, {"p", 1}} {
+			var err error
+			h, err = en.HashOutput(h, out.name, out.width)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("HashOutput allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
 // TestEngineResetMatchesFresh checks that a recycled engine is
 // indistinguishable from a new one, including after a run that left NBA and
 // scheduler state behind.

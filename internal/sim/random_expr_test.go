@@ -412,7 +412,10 @@ func (dp *diffPair) tick(t *testing.T, clock, src string) {
 }
 
 // compareOutputs asserts bit-exact four-state three-way equality of every
-// output.
+// output, and that each engine's streaming HashOutput digest matches the
+// FNV-1a hash of the printed string — the equivalence the fingerprint
+// ranking path relies on — at the natural width and a wider one (covering
+// the beyond-width zero-extension rule).
 func (dp *diffPair) compareOutputs(t *testing.T, label, src string) {
 	t.Helper()
 	for _, out := range dp.interp.Outputs() {
@@ -429,8 +432,30 @@ func (dp *diffPair) compareOutputs(t *testing.T, label, src string) {
 				t.Fatalf("%s: output %s diverges: interp=%s %s=%s\n%s",
 					label, out.Name, vi, b.name, vc, src)
 			}
+			en, ok := b.ins.(*Engine)
+			if !ok {
+				continue
+			}
+			for _, w := range []int{vc.Width(), vc.Width() + 3} {
+				got, err := en.HashOutput(FNVOffset64, out.Name, w)
+				if err != nil {
+					t.Fatalf("%s HashOutput(%s): %v", b.name, out.Name, err)
+				}
+				if want := fnvTest(FNVOffset64, vc.Resize(w).String()); got != want {
+					t.Fatalf("%s: output %s streaming hash diverges from printed hash at width %d (%s)\n%s",
+						label, out.Name, w, vc.Resize(w), src)
+				}
+			}
 		}
 	}
+}
+
+// fnvTest is the reference FNV-1a fold the streaming digest must match.
+func fnvTest(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 0x100000001b3
+	}
+	return h
 }
 
 // randFourState returns a width-bit value where each bit is 0/1/x/z with the

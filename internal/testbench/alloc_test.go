@@ -64,3 +64,69 @@ endmodule
 		t.Fatalf("one testbench run allocates %.0f objects, budget %.0f", allocs, budget)
 	}
 }
+
+// TestRunFingerprintAllocBudget is the fingerprint-path counterpart: a full
+// run on the compiled backend (warm compile cache, pooled engines) must
+// allocate a small constant — the FPTrace shell and backend closures — and
+// exactly ZERO per step or per recorded output. This is the
+// zero-alloc-per-step regression gate for the streaming ranking path.
+func TestRunFingerprintAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs sync.Pool and allocation accounting")
+	}
+	const src = `
+module top_module (
+    input clk,
+    input reset,
+    input [15:0] d,
+    output reg [15:0] q,
+    output [15:0] inv
+);
+    always @(posedge clk) begin
+        if (reset) q <= 16'd0;
+        else q <= q + d;
+    end
+    assign inv = ~q;
+endmodule
+`
+	parsed, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifc := Interface{
+		Inputs: []PortSpec{
+			{Name: "clk", Width: 1}, {Name: "reset", Width: 1}, {Name: "d", Width: 16},
+		},
+		Outputs: []PortSpec{{Name: "q", Width: 16}, {Name: "inv", Width: 16}},
+		Clock:   "clk",
+		Reset:   "reset",
+	}
+	st := NewGenerator(9).Verification(ifc)
+
+	var last *FPTrace
+	run := func() {
+		last = RunFingerprint(parsed, "top_module", st, BackendCompiled)
+		if last.Err != nil {
+			t.Fatal(last.Err)
+		}
+	}
+	run() // warm the compile cache and engine pool
+	want := RunBackend(parsed, "top_module", st, BackendCompiled)
+	if last.Fingerprint() != want.Fingerprint() {
+		t.Fatal("fingerprint run disagrees with trace run")
+	}
+
+	// Steps and recorded outputs number in the hundreds here; the budget is
+	// a flat constant so any per-step allocation fails loudly.
+	const budget = 8.0
+	allocs := testing.AllocsPerRun(10, run)
+	steps := 0
+	for _, c := range st.Cases {
+		steps += len(c.Steps)
+	}
+	t.Logf("fingerprint run: %.0f allocs over %d cases / %d steps (budget %.0f)",
+		allocs, len(st.Cases), steps, budget)
+	if allocs > budget {
+		t.Fatalf("one fingerprint run allocates %.0f objects, budget %.0f", allocs, budget)
+	}
+}

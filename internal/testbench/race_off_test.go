@@ -1,0 +1,6 @@
+//go:build !race
+
+package testbench
+
+// raceEnabled reports that the race detector is inactive.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package testbench
+
+// raceEnabled reports that the race detector is active (alloc accounting is
+// perturbed by it, so tight allocation budgets skip).
+const raceEnabled = true

@@ -17,10 +17,10 @@ package testbench
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/sim"
 	"repro/internal/verilog/ast"
@@ -159,6 +159,73 @@ func (g *Generator) Verification(ifc Interface) *Stimulus {
 	return g.generate(ifc, 256, 8, 48)
 }
 
+// --- Stimulus cache ----------------------------------------------------------------
+//
+// Stimulus generation is a pure function of (seed, generator parameters,
+// interface), and the experiment drivers regenerate identical stimuli over
+// and over: every pipeline variant re-derives the same ranking stimulus,
+// and every fresh oracle re-derives the same dense verification stimulus.
+// A finalized Stimulus is immutable (runs only read it), so a process-wide
+// memo is safe — the same pattern the compile cache established for
+// elaboration. Cleared wholesale at the cap so it stays bounded.
+
+var (
+	stimMu   sync.Mutex
+	stimMemo = make(map[string]*Stimulus)
+)
+
+const stimMemoCap = 4096
+
+func cachedStimulus(key string, build func() *Stimulus) *Stimulus {
+	stimMu.Lock()
+	if st, hit := stimMemo[key]; hit {
+		stimMu.Unlock()
+		return st
+	}
+	stimMu.Unlock()
+	st := build()
+	stimMu.Lock()
+	if len(stimMemo) >= stimMemoCap {
+		stimMemo = make(map[string]*Stimulus, stimMemoCap)
+	}
+	stimMemo[key] = st
+	stimMu.Unlock()
+	return st
+}
+
+// stimKey identifies a stimulus by everything generation depends on.
+func stimKey(kind string, seed int64, imperfection float64, ifc Interface) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%d|%g|%s|%s|%v", kind, seed, imperfection, ifc.Clock, ifc.Reset, ifc.ResetActiveLow)
+	for _, p := range ifc.Inputs {
+		fmt.Fprintf(&b, "|i:%s:%d", p.Name, p.Width)
+	}
+	for _, p := range ifc.Outputs {
+		fmt.Fprintf(&b, "|o:%s:%d", p.Name, p.Width)
+	}
+	return b.String()
+}
+
+// RankingCached returns the default-parameter ranking stimulus for (seed,
+// imperfection, ifc), generating it at most once per process. The returned
+// stimulus is shared: callers must treat it as read-only.
+func RankingCached(seed int64, imperfection float64, ifc Interface) *Stimulus {
+	return cachedStimulus(stimKey("rank", seed, imperfection, ifc), func() *Stimulus {
+		g := NewGenerator(seed)
+		g.Imperfection = imperfection
+		return g.Ranking(ifc)
+	})
+}
+
+// VerificationCached returns the default-parameter verification stimulus
+// for (seed, ifc), generating it at most once per process. The returned
+// stimulus is shared: callers must treat it as read-only.
+func VerificationCached(seed int64, ifc Interface) *Stimulus {
+	return cachedStimulus(stimKey("verify", seed, 0, ifc), func() *Stimulus {
+		return NewGenerator(seed).Verification(ifc)
+	})
+}
+
 func (g *Generator) generate(ifc Interface, maxComb, seqCases, seqSteps int) *Stimulus {
 	st := &Stimulus{Ifc: ifc}
 	if ifc.Sequential() {
@@ -282,6 +349,43 @@ func splitVector(ins []PortSpec, v uint64) map[string]sim.Value {
 
 // --- Trace capture -----------------------------------------------------------------
 
+// Inline FNV-1a (64-bit), byte-identical to hash/fnv but without boxing a
+// hasher per call. Every fingerprint in this package — printed-trace and
+// streaming alike — is this fold over the same canonical bytes, so the two
+// paths produce interchangeable values. The constants alias sim's: a digest
+// routinely flows through both packages (runCaseFP seeds it, the engine's
+// HashOutput continues it), so there is exactly one definition.
+const (
+	fnvOffset64 = sim.FNVOffset64
+	fnvPrime64  = sim.FNVPrime64
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+// fnvUint64 folds x as 8 little-endian bytes (how case fingerprints combine
+// into a whole-run fingerprint).
+func fnvUint64(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x >> (8 * uint(i)) & 0xFF)) * fnvPrime64
+	}
+	return h
+}
+
+// errFingerprint hashes a runtime failure (same bytes as hashing the string
+// "ERR:" + message).
+func errFingerprint(err error) uint64 {
+	return fnvString(fnvString(fnvOffset64, "ERR:"), err.Error())
+}
+
 // StepRecord holds all printed outputs after one step.
 type StepRecord struct {
 	Outputs []string // aligned with Interface.Outputs order
@@ -290,18 +394,30 @@ type StepRecord struct {
 // CaseTrace is the printed record of one test case.
 type CaseTrace struct {
 	Steps []StepRecord
+
+	// fp memoizes Fingerprint: ranking compares every pair through the
+	// fingerprint, and re-hashing the strings on each comparison was the
+	// dominant CPU cost of clustering. Steps must not be mutated after the
+	// first Fingerprint call.
+	fp   uint64
+	fpOK bool
 }
 
-// Fingerprint returns a stable hash of the case's printed outputs.
+// Fingerprint returns a stable hash of the case's printed outputs, computed
+// once and memoized.
 func (ct *CaseTrace) Fingerprint() uint64 {
-	h := fnv.New64a()
+	if ct.fpOK {
+		return ct.fp
+	}
+	h := fnvOffset64
 	for _, s := range ct.Steps {
 		for _, o := range s.Outputs {
-			_, _ = h.Write([]byte(o))
-			_, _ = h.Write([]byte{'\n'})
+			h = fnvString(h, o)
+			h = fnvByte(h, '\n')
 		}
 	}
-	return h.Sum64()
+	ct.fp, ct.fpOK = h, true
+	return h
 }
 
 // Trace is the full printed record of a stimulus run.
@@ -311,24 +427,125 @@ type Trace struct {
 	// Err records a runtime failure (e.g. combinational loop); candidates
 	// whose trace has Err != nil never match any other candidate.
 	Err error
+
+	// fp memoizes Fingerprint (see CaseTrace).
+	fp   uint64
+	fpOK bool
 }
 
-// Fingerprint hashes the entire trace, including the error state.
+// Fingerprint hashes the entire trace, including the error state. The value
+// is memoized; Cases must not be mutated after the first call.
 func (t *Trace) Fingerprint() uint64 {
-	h := fnv.New64a()
+	if t.fpOK {
+		return t.fp
+	}
+	var h uint64
 	if t.Err != nil {
-		_, _ = h.Write([]byte("ERR:" + t.Err.Error()))
-		return h.Sum64()
-	}
-	for _, c := range t.Cases {
-		var buf [8]byte
-		fp := c.Fingerprint()
-		for i := range buf {
-			buf[i] = byte(fp >> (8 * uint(i)))
+		h = errFingerprint(t.Err)
+	} else {
+		h = fnvOffset64
+		for i := range t.Cases {
+			h = fnvUint64(h, t.Cases[i].Fingerprint())
 		}
-		_, _ = h.Write(buf[:])
 	}
-	return h.Sum64()
+	t.fp, t.fpOK = h, true
+	return h
+}
+
+// Warm precomputes the trace's whole-run and per-case fingerprints. A trace
+// shared by concurrent readers (e.g. a cached golden trace compared against
+// many candidates) must be warmed before publication, since the lazy memo
+// write is not synchronized.
+func (t *Trace) Warm() {
+	t.Fingerprint()
+	for i := range t.Cases {
+		t.Cases[i].Fingerprint()
+	}
+}
+
+// FP derives the fingerprint-only view of a printed trace: the exact values
+// RunFingerprint would have produced for the same run, including the
+// completed-case fingerprints of an errored run (both runners record the
+// cases finished before the failure). Used by the differential tests that
+// referee the streaming path against the retained string path, and by the
+// oracle's legacy path to avoid a second golden simulation.
+func (t *Trace) FP() *FPTrace {
+	f := &FPTrace{Ifc: t.Ifc, Err: t.Err, CaseFPs: make([]uint64, len(t.Cases))}
+	for i := range t.Cases {
+		f.CaseFPs[i] = t.Cases[i].Fingerprint()
+	}
+	return f
+}
+
+// FPTrace is the fingerprint-only record of a stimulus run: one 64-bit
+// digest per test case and nothing else. It is what the ranking stage
+// retains per candidate — strict behavioral agreement (the paper's ℓ_strict)
+// only ever compares hashes, so the printed strings never need to exist.
+// Fingerprints are FNV-1a over the exact bytes the printed trace would hash,
+// so an FPTrace and a Trace of the same run agree on every value (see
+// Trace.FP).
+type FPTrace struct {
+	Ifc Interface
+	// CaseFPs holds one fingerprint per test case, aligned with the
+	// stimulus cases.
+	CaseFPs []uint64
+	// Err records a runtime failure exactly as Trace.Err does; errored runs
+	// agree only with runs failing with the same message.
+	Err error
+
+	fp   uint64
+	fpOK bool
+}
+
+// NumCases returns the number of completed test cases.
+func (t *FPTrace) NumCases() int { return len(t.CaseFPs) }
+
+// Fingerprint returns the whole-run fingerprint, identical to the
+// corresponding Trace.Fingerprint value (memoized).
+func (t *FPTrace) Fingerprint() uint64 {
+	if t.fpOK {
+		return t.fp
+	}
+	var h uint64
+	if t.Err != nil {
+		h = errFingerprint(t.Err)
+	} else {
+		h = fnvOffset64
+		for _, fp := range t.CaseFPs {
+			h = fnvUint64(h, fp)
+		}
+	}
+	t.fp, t.fpOK = h, true
+	return h
+}
+
+// FPCaseAgrees reports whether two fingerprint traces agree on test case i,
+// with FPTrace semantics mirroring CaseAgrees exactly.
+func FPCaseAgrees(a, b *FPTrace, i int) bool {
+	if a.Err != nil || b.Err != nil {
+		return a.Err != nil && b.Err != nil && a.Err.Error() == b.Err.Error()
+	}
+	if i >= len(a.CaseFPs) || i >= len(b.CaseFPs) {
+		return false
+	}
+	return a.CaseFPs[i] == b.CaseFPs[i]
+}
+
+// FPAgrees reports strict behavioral agreement across all test cases,
+// mirroring Agrees exactly.
+func FPAgrees(a, b *FPTrace) bool {
+	if a.Err != nil || b.Err != nil {
+		return a.Err != nil && b.Err != nil && a.Err.Error() == b.Err.Error()
+	}
+	if len(a.CaseFPs) != len(b.CaseFPs) {
+		return false
+	}
+	for i := range a.CaseFPs {
+		if a.CaseFPs[i] != b.CaseFPs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // CaseAgrees reports whether two traces printed identical outputs for test
@@ -414,65 +631,117 @@ func Run(src *ast.Source, top string, st *Stimulus) *Trace {
 	return RunBackend(src, top, st, BackendCompiled)
 }
 
-// RunBackend executes the stimulus against a design on the chosen backend
-// and captures its trace. Each sequential test case gets a fresh simulator
+// instSource resolves backend instances for one run. It is a plain value
+// (not a pair of closures) so the per-candidate ranking loop does not
+// allocate for it. The compiled backend pools engines: per-case
+// instantiation is a frame memcpy, and the engine (with its warmed-up queue
+// buffers) is recycled afterwards.
+type instSource struct {
+	src *ast.Source
+	top string
+	d   *sim.Design // nil selects the interpreter
+}
+
+func newInstSource(src *ast.Source, top string, backend Backend) (instSource, error) {
+	is := instSource{src: src, top: top}
+	if backend == BackendInterpreter {
+		return is, nil
+	}
+	d, err := sim.CompileCached(src, top)
+	if err != nil {
+		return is, err
+	}
+	is.d = d
+	return is, nil
+}
+
+func (is *instSource) acquire() (sim.Instance, error) {
+	if is.d == nil {
+		return sim.New(is.src, is.top)
+	}
+	return is.d.AcquireEngine(), nil
+}
+
+func (is *instSource) release(s sim.Instance) {
+	if is.d == nil {
+		return
+	}
+	if en, ok := s.(*sim.Engine); ok {
+		is.d.ReleaseEngine(en)
+	}
+}
+
+// forEachCase drives the shared per-case instance lifecycle of RunBackend
+// and RunFingerprint: each sequential test case gets a fresh simulator
 // instance so cases are independent; combinational interfaces reuse one
 // instance across cases (deterministic for both golden and candidates, so
 // comparisons stay apples-to-apples even for buggy candidates with
-// accidental state). A runtime error is recorded in the trace rather than
-// returned: a failing candidate is simply one that agrees with nobody.
-func RunBackend(src *ast.Source, top string, st *Stimulus, backend Backend) *Trace {
-	tr := &Trace{Ifc: st.Ifc}
-	var newInstance func() (sim.Instance, error)
-	release := func(sim.Instance) {}
-	if backend == BackendInterpreter {
-		newInstance = func() (sim.Instance, error) { return sim.New(src, top) }
-	} else {
-		d, err := sim.CompileCached(src, top)
-		if err != nil {
-			tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
-			return tr
-		}
-		// Pooled engines: per-case instantiation is a frame memcpy, and the
-		// engine (with its warmed-up queue buffers) is recycled afterwards.
-		newInstance = func() (sim.Instance, error) { return d.AcquireEngine(), nil }
-		release = func(ins sim.Instance) {
-			if en, ok := ins.(*sim.Engine); ok {
-				d.ReleaseEngine(en)
-			}
-		}
+// accidental state). Errors are wrapped with ErrRun.
+func forEachCase(src *ast.Source, top string, st *Stimulus, backend Backend, visit func(s sim.Instance, c *Case) error) error {
+	is, err := newInstSource(src, top, backend)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrRun, err)
 	}
 	var shared sim.Instance
 	if st.Ifc.Clock == "" {
-		var err error
-		shared, err = newInstance()
-		if err != nil {
-			tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
-			return tr
+		if shared, err = is.acquire(); err != nil {
+			return fmt.Errorf("%w: %v", ErrRun, err)
 		}
-		defer release(shared)
+		defer is.release(shared)
 	}
-	for _, c := range st.Cases {
+	for i := range st.Cases {
 		s := shared
 		if s == nil {
-			var err error
-			s, err = newInstance()
-			if err != nil {
-				tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
-				return tr
+			if s, err = is.acquire(); err != nil {
+				return fmt.Errorf("%w: %v", ErrRun, err)
 			}
 		}
-		ct, err := runCase(s, st, &c)
+		verr := visit(s, &st.Cases[i])
 		if s != shared {
 			// Release per case so the next case recycles this engine.
-			release(s)
+			is.release(s)
 		}
+		if verr != nil {
+			return fmt.Errorf("%w: %v", ErrRun, verr)
+		}
+	}
+	return nil
+}
+
+// RunBackend executes the stimulus against a design on the chosen backend
+// and captures its full printed trace. A runtime error is recorded in the
+// trace rather than returned: a failing candidate is simply one that agrees
+// with nobody.
+func RunBackend(src *ast.Source, top string, st *Stimulus, backend Backend) *Trace {
+	tr := &Trace{Ifc: st.Ifc, Cases: make([]CaseTrace, 0, len(st.Cases))}
+	tr.Err = forEachCase(src, top, st, backend, func(s sim.Instance, c *Case) error {
+		ct, err := runCase(s, st, c)
 		if err != nil {
-			tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
-			return tr
+			return err
 		}
 		tr.Cases = append(tr.Cases, ct)
-	}
+		return nil
+	})
+	return tr
+}
+
+// RunFingerprint executes the stimulus exactly like RunBackend but records
+// only per-case fingerprints: no StepRecord strings are ever materialized.
+// On the compiled backend the engine folds output bits straight into the
+// running hash (sim.Engine.HashOutput), so a whole run allocates a small
+// constant independent of case and step counts. Errors fold into the trace
+// exactly as in RunBackend, and every fingerprint equals the one the printed
+// trace of the same run would produce.
+func RunFingerprint(src *ast.Source, top string, st *Stimulus, backend Backend) *FPTrace {
+	tr := &FPTrace{Ifc: st.Ifc, CaseFPs: make([]uint64, 0, len(st.Cases))}
+	tr.Err = forEachCase(src, top, st, backend, func(s sim.Instance, c *Case) error {
+		fp, err := runCaseFP(s, st, c)
+		if err != nil {
+			return err
+		}
+		tr.CaseFPs = append(tr.CaseFPs, fp)
+		return nil
+	})
 	return tr
 }
 
@@ -535,14 +804,68 @@ func runCase(s sim.Instance, st *Stimulus, c *Case) (CaseTrace, error) {
 	return ct, nil
 }
 
+// outputHasher is the streaming-digest fast path the compiled engine
+// provides: folding an output's bits into the running hash costs zero
+// allocations and never touches a string.
+type outputHasher interface {
+	HashOutput(h uint64, name string, width int) (uint64, error)
+}
+
+// runCaseFP drives one test case on one instance and folds its outputs into
+// a fingerprint, hashing exactly the bytes runCase would have recorded.
+func runCaseFP(s sim.Instance, st *Stimulus, c *Case) (uint64, error) {
+	if st.Ifc.Clock != "" {
+		if err := s.SetInputUint(st.Ifc.Clock, 0); err != nil {
+			return 0, err
+		}
+	}
+	hasher, _ := s.(outputHasher)
+	h := fnvOffset64
+	for si := range c.Steps {
+		step := &c.Steps[si]
+		for _, name := range step.driveOrder() {
+			if err := s.SetInput(name, step.Inputs[name]); err != nil {
+				return 0, err
+			}
+		}
+		if st.Ifc.Clock != "" {
+			if err := s.Tick(st.Ifc.Clock); err != nil {
+				return 0, err
+			}
+		} else {
+			if err := s.Settle(); err != nil {
+				return 0, err
+			}
+		}
+		for _, out := range st.Ifc.Outputs {
+			if hasher != nil {
+				var err error
+				if h, err = hasher.HashOutput(h, out.Name, out.Width); err != nil {
+					return 0, err
+				}
+			} else {
+				v, err := s.Output(out.Name)
+				if err != nil {
+					return 0, err
+				}
+				h = fnvString(h, v.Resize(out.Width).String())
+			}
+			h = fnvByte(h, '\n')
+		}
+	}
+	return h, nil
+}
+
 // Verify runs the stimulus on both a candidate and a reference design and
-// reports whether their printed traces agree exactly. This is the
-// golden-testbench pass/fail oracle used for final scoring.
+// reports whether their behaviors agree exactly on every case. Agreement is
+// defined over trace fingerprints (as in the ranking stage), so the check
+// runs on the allocation-free streaming path; verdicts are identical to
+// comparing full printed traces.
 func Verify(candidate, golden *ast.Source, top string, st *Stimulus) bool {
-	ct := Run(candidate, top, st)
+	ct := RunFingerprint(candidate, top, st, BackendCompiled)
 	if ct.Err != nil {
 		return false
 	}
-	gt := Run(golden, top, st)
-	return Agrees(ct, gt)
+	gt := RunFingerprint(golden, top, st, BackendCompiled)
+	return FPAgrees(ct, gt)
 }
