@@ -1,7 +1,7 @@
 package exp
 
 import (
-	"math/rand"
+	"repro/internal/xrng"
 	"strings"
 	"sync"
 	"testing"
@@ -45,7 +45,7 @@ func TestOracleRejectsGarbageAndUnknownTask(t *testing.T) {
 func TestOracleDetectsMutants(t *testing.T) {
 	tasks := eval.Suite()
 	oracle := NewOracle(tasks, 3)
-	rng := rand.New(rand.NewSource(31))
+	rng := xrng.New(31)
 	detected, total := 0, 0
 	for i := 0; i < len(tasks); i += 12 {
 		task := tasks[i]

@@ -3,16 +3,17 @@ package llm
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
-	"math/rand"
+	"strconv"
 	"strings"
 	"sync"
 
 	"repro/internal/eval"
 	"repro/internal/mutate"
+	"repro/internal/sim"
 	"repro/internal/testbench"
 	"repro/internal/verilog/ast"
 	"repro/internal/verilog/printer"
+	"repro/internal/xrng"
 )
 
 // SimClient is the simulated reasoning-LLM backend. It is deterministic for
@@ -64,23 +65,35 @@ func NewSimClient(profile Profile, seed int64, tasks []eval.Task) (*SimClient, e
 // ModelName implements Client.
 func (c *SimClient) ModelName() string { return c.profile.Name }
 
-// rngFor derives a deterministic RNG from the request identity.
-func (c *SimClient) rngFor(parts ...string) *rand.Rand {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s", c.seed, c.profile.Name)
-	for _, p := range parts {
-		_, _ = h.Write([]byte{0})
-		_, _ = h.Write([]byte(p))
+// fnvAdd folds bytes into a running 64-bit FNV-1a hash (the allocation-free
+// replacement for boxing a hash/fnv hasher per request). The constants are
+// sim's canonical definitions, shared with the fingerprint paths.
+func fnvAdd(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * sim.FNVPrime64
 	}
-	return rand.New(rand.NewSource(int64(h.Sum64())))
+	return h
+}
+
+// rngFor derives a deterministic RNG from the request identity. Seeding a
+// stream is one word (xrng), so deriving a fresh RNG per request no longer
+// shows up in the CPU profile the way math/rand's 607-word warmup did.
+func (c *SimClient) rngFor(parts ...string) *xrng.Rand {
+	var buf [20]byte
+	h := fnvAdd(sim.FNVOffset64, string(strconv.AppendInt(buf[:0], c.seed, 10)))
+	h = fnvAdd(h, "|")
+	h = fnvAdd(h, c.profile.Name)
+	for _, p := range parts {
+		h = (h ^ 0) * sim.FNVPrime64
+		h = fnvAdd(h, p)
+	}
+	return xrng.New(h)
 }
 
 // canonicalSeed derives the per-task "common misconception" seed shared by
 // all candidates of a task.
 func (c *SimClient) canonicalSeed(taskID string) int64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte("canonical|" + taskID))
-	return int64(h.Sum64())
+	return int64(fnvAdd(sim.FNVOffset64, "canonical|"+taskID))
 }
 
 // canonicalProb returns the per-task misconception strength. Tasks split
@@ -91,9 +104,7 @@ func (c *SimClient) canonicalSeed(taskID string) int64 {
 // form the plurality, which is how ranking lifts tasks whose raw pass rate
 // is low). The model-level CanonicalProb scales the strong case.
 func (c *SimClient) canonicalProb(taskID string) float64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte("misconception|" + taskID))
-	if h.Sum64()%2 == 0 {
+	if fnvAdd(sim.FNVOffset64, "misconception|"+taskID)%2 == 0 {
 		return 0.06
 	}
 	return c.profile.CanonicalProb * 1.3
@@ -273,7 +284,7 @@ func (c *SimClient) JudgeOutput(ctx context.Context, req JudgeRequest) (JudgeRes
 
 // corruptTrace flips one output bit somewhere in the trace, modeling a
 // reasoning mistake.
-func corruptTrace(ct *testbench.CaseTrace, rng *rand.Rand) {
+func corruptTrace(ct *testbench.CaseTrace, rng *xrng.Rand) {
 	if len(ct.Steps) == 0 {
 		return
 	}
@@ -307,7 +318,7 @@ func corruptTrace(ct *testbench.CaseTrace, rng *rand.Rand) {
 // reasoningText synthesizes a short trace summary; the token count is
 // carried separately so the pipeline's density filter has real lengths
 // without megabytes of filler.
-func (c *SimClient) reasoningText(task eval.Task, tokens int, rng *rand.Rand) string {
+func (c *SimClient) reasoningText(task eval.Task, tokens int, rng *xrng.Rand) string {
 	stances := []string{
 		"enumerated the interface and reset behavior",
 		"worked through the timing diagram cycle by cycle",
@@ -315,8 +326,19 @@ func (c *SimClient) reasoningText(task eval.Task, tokens int, rng *rand.Rand) st
 		"checked boundary conditions and wrap-around",
 		"cross-checked operator widths and signedness",
 	}
-	return fmt.Sprintf("[%d reasoning tokens] For %s: %s; %s.",
-		tokens, task.ID, stances[rng.Intn(len(stances))], stances[rng.Intn(len(stances))])
+	a, b := stances[rng.Intn(len(stances))], stances[rng.Intn(len(stances))]
+	var sb strings.Builder
+	sb.Grow(len("[ reasoning tokens] For : ; .") + 8 + len(task.ID) + len(a) + len(b))
+	sb.WriteByte('[')
+	sb.WriteString(strconv.Itoa(tokens))
+	sb.WriteString(" reasoning tokens] For ")
+	sb.WriteString(task.ID)
+	sb.WriteString(": ")
+	sb.WriteString(a)
+	sb.WriteString("; ")
+	sb.WriteString(b)
+	sb.WriteByte('.')
+	return sb.String()
 }
 
 // printModuleSource renders a source unit with the top module replaced by
@@ -336,7 +358,7 @@ func printModuleSource(src *ast.Source, mod *ast.Module) string {
 
 // truncateCode produces a syntactically broken completion (the model ran out
 // of output budget mid-module).
-func truncateCode(code string, rng *rand.Rand) string {
+func truncateCode(code string, rng *xrng.Rand) string {
 	if len(code) < 40 {
 		return code[:len(code)/2]
 	}
@@ -347,9 +369,7 @@ func truncateCode(code string, rng *rand.Rand) string {
 
 // fingerprint hashes candidate text for RNG derivation.
 func fingerprint(s string) string {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(s))
-	return fmt.Sprintf("%x", h.Sum64())
+	return strconv.FormatUint(fnvAdd(sim.FNVOffset64, s), 16)
 }
 
-func itoa(n int) string { return fmt.Sprintf("%d", n) }
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -2,39 +2,42 @@ package mutate
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/verilog/ast"
+	"repro/internal/xrng"
 )
 
-// Cosmetic clones m and applies behavior-preserving rewrites chosen by rng:
-// internal signal renames, numeric literal re-basing, commutative operand
-// swaps, if/else inversion and declaration reordering. Two cosmetic variants
-// of the same design print differently but simulate identically, which is
-// what lets correct candidates form one behavioral cluster despite textual
-// diversity.
-func Cosmetic(m *ast.Module, rng *rand.Rand) *ast.Module {
-	clone := ast.CloneModule(m)
-	renameInternals(clone, rng)
+// Cosmetic applies behavior-preserving rewrites chosen by rng: internal
+// signal renames, numeric literal re-basing, commutative operand swaps,
+// if/else inversion and declaration reordering. Two cosmetic variants of the
+// same design print differently but simulate identically, which is what lets
+// correct candidates form one behavioral cluster despite textual diversity.
+//
+// Like Semantic, Cosmetic is clone-light: each pass rebuilds the module
+// copy-on-write (rewrite.go), so the variant shares every unrewritten
+// subtree with its input instead of paying a full deep clone per candidate.
+// m is never mutated; when no pass fires the input itself is returned.
+func Cosmetic(m *ast.Module, rng *xrng.Rand) *ast.Module {
+	out := renameInternals(m, rng)
 	if rng.Float64() < 0.7 {
-		rebaseLiterals(clone, rng)
+		out = rebaseLiterals(out, rng)
 	}
 	if rng.Float64() < 0.5 {
-		swapCommutative(clone, rng)
+		out = swapCommutative(out, rng)
 	}
 	if rng.Float64() < 0.4 {
-		invertIfs(clone, rng)
+		out = invertIfs(out, rng)
 	}
 	if rng.Float64() < 0.5 {
-		reorderDecls(clone, rng)
+		out = reorderDecls(out, rng)
 	}
-	return clone
+	return out
 }
 
 var renameSuffixes = []string{"_r", "_reg", "_q", "_int", "_sig", "_v", "_w", "_next"}
 
 // renameInternals renames non-port declared names consistently.
-func renameInternals(m *ast.Module, rng *rand.Rand) {
+func renameInternals(m *ast.Module, rng *xrng.Rand) *ast.Module {
 	ports := make(map[string]bool)
 	for _, p := range m.Ports {
 		ports[p.Name] = true
@@ -45,7 +48,7 @@ func renameInternals(m *ast.Module, rng *rand.Rand) {
 		if !ok {
 			continue
 		}
-		for i, name := range d.Names {
+		for _, name := range d.Names {
 			if ports[name] || rng.Float64() < 0.3 {
 				continue
 			}
@@ -55,105 +58,118 @@ func renameInternals(m *ast.Module, rng *rand.Rand) {
 				continue
 			}
 			mapping[name] = newName
-			d.Names[i] = newName
 		}
 	}
 	if len(mapping) == 0 {
-		return
+		return m
 	}
-	renameIdents := func(e ast.Expr) bool {
-		if id, ok := e.(*ast.Ident); ok {
-			if nn, hit := mapping[id.Name]; hit {
-				id.Name = nn
+	cw := &cow{
+		expr: func(e ast.Expr) ast.Expr {
+			if id, ok := e.(*ast.Ident); ok {
+				if nn, hit := mapping[id.Name]; hit {
+					return &ast.Ident{NamePos: id.NamePos, Name: nn}
+				}
 			}
-		}
-		return true
+			return e
+		},
+		item: func(it ast.Item) ast.Item {
+			d, ok := it.(*ast.NetDecl)
+			if !ok {
+				return it
+			}
+			var names []string
+			for i, name := range d.Names {
+				nn, hit := mapping[name]
+				if names == nil && hit {
+					names = append([]string(nil), d.Names...)
+				}
+				if names != nil && hit {
+					names[i] = nn
+				}
+			}
+			if names == nil {
+				return it
+			}
+			c := *d
+			c.Names = names
+			return &c
+		},
 	}
-	ast.ModuleExprs(m, renameIdents)
+	return cw.rwModule(m)
 }
 
 // rebaseLiterals rewrites sized literal text between decimal, hex and binary
 // without changing the value.
-func rebaseLiterals(m *ast.Module, rng *rand.Rand) {
-	ast.ModuleExprs(m, func(e ast.Expr) bool {
+func rebaseLiterals(m *ast.Module, rng *xrng.Rand) *ast.Module {
+	cw := &cow{expr: func(e ast.Expr) ast.Expr {
 		n, ok := e.(*ast.Number)
 		if !ok || n.Width <= 0 || n.Width > 64 || anySet(n.XZ) {
-			return true
+			return e
 		}
 		if rng.Float64() < 0.5 {
-			return true
+			return e
 		}
 		v := n.Val[0]
+		c := *n
 		switch rng.Intn(3) {
 		case 0:
-			n.Text = fmt.Sprintf("%d'd%d", n.Width, v)
+			c.Text = fmt.Sprintf("%d'd%d", n.Width, v)
 		case 1:
-			n.Text = fmt.Sprintf("%d'h%x", n.Width, v)
+			c.Text = fmt.Sprintf("%d'h%x", n.Width, v)
 		default:
-			n.Text = fmt.Sprintf("%d'b%b", n.Width, v)
+			c.Text = fmt.Sprintf("%d'b%b", n.Width, v)
 		}
-		return true
-	})
+		if c.Text == n.Text {
+			return e // re-based to the spelling it already had
+		}
+		return &c
+	}}
+	return cw.rwModule(m)
 }
 
 // swapCommutative swaps operands of +, &, |, ^ nodes (value-preserving).
-func swapCommutative(m *ast.Module, rng *rand.Rand) {
-	ast.ModuleExprs(m, func(e ast.Expr) bool {
+func swapCommutative(m *ast.Module, rng *xrng.Rand) *ast.Module {
+	cw := &cow{expr: func(e ast.Expr) ast.Expr {
 		b, ok := e.(*ast.Binary)
 		if !ok {
-			return true
+			return e
 		}
 		switch b.Op {
 		case ast.Add, ast.BitAnd, ast.BitOr, ast.BitXor:
 			if rng.Float64() < 0.5 {
-				b.X, b.Y = b.Y, b.X
+				return &ast.Binary{Op: b.Op, X: b.Y, Y: b.X}
 			}
 		}
-		return true
-	})
+		return e
+	}}
+	return cw.rwModule(m)
 }
 
 // invertIfs rewrites if (c) A else B into if (!c) B else A for plain
 // two-branch ifs (behavior-preserving for fully-known conditions, which is
 // what the benchmark stimulus exercises after reset).
-func invertIfs(m *ast.Module, rng *rand.Rand) {
-	var visit func(s ast.Stmt)
-	visit = func(s ast.Stmt) {
-		switch x := s.(type) {
-		case *ast.Block:
-			for _, sub := range x.Stmts {
-				visit(sub)
-			}
-		case *ast.If:
-			_, elseIsIf := x.Else.(*ast.If)
-			if x.Else != nil && !elseIsIf && rng.Float64() < 0.5 {
-				x.Cond = &ast.Unary{Op: ast.LogicalNot, X: x.Cond}
-				x.Then, x.Else = x.Else, x.Then
-			}
-			visit(x.Then)
-			if x.Else != nil {
-				visit(x.Else)
-			}
-		case *ast.Case:
-			for _, it := range x.Items {
-				visit(it.Body)
-			}
-		case *ast.For:
-			visit(x.Body)
+func invertIfs(m *ast.Module, rng *xrng.Rand) *ast.Module {
+	cw := &cow{stmt: func(s ast.Stmt) ast.Stmt {
+		x, ok := s.(*ast.If)
+		if !ok {
+			return s
 		}
-	}
-	for _, it := range m.Items {
-		switch x := it.(type) {
-		case *ast.Always:
-			visit(x.Body)
-		case *ast.Initial:
-			visit(x.Body)
+		_, elseIsIf := x.Else.(*ast.If)
+		if x.Else != nil && !elseIsIf && rng.Float64() < 0.5 {
+			return &ast.If{
+				IfPos: x.IfPos,
+				Cond:  &ast.Unary{Op: ast.LogicalNot, X: x.Cond},
+				Then:  x.Else,
+				Else:  x.Then,
+			}
 		}
-	}
+		return s
+	}}
+	return cw.rwModule(m)
 }
 
 // reorderDecls rotates the leading run of NetDecl items.
-func reorderDecls(m *ast.Module, rng *rand.Rand) {
+func reorderDecls(m *ast.Module, rng *xrng.Rand) *ast.Module {
 	var declIdx []int
 	for i, it := range m.Items {
 		if _, ok := it.(*ast.NetDecl); ok {
@@ -161,10 +177,14 @@ func reorderDecls(m *ast.Module, rng *rand.Rand) {
 		}
 	}
 	if len(declIdx) < 2 {
-		return
+		return m
 	}
 	i, j := declIdx[0], declIdx[len(declIdx)-1]
 	if rng.Float64() < 0.5 {
-		m.Items[i], m.Items[j] = m.Items[j], m.Items[i]
+		c := *m
+		c.Items = append([]ast.Item(nil), m.Items...)
+		c.Items[i], c.Items[j] = c.Items[j], c.Items[i]
+		return &c
 	}
+	return m
 }

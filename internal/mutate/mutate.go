@@ -4,13 +4,20 @@
 // wrong operators, off-by-one selects, inverted resets, dropped case arms),
 // while correct candidates differ only by *cosmetic*, behavior-preserving
 // rewrites (renames, literal re-basing, declaration reordering).
+//
+// Semantic mutation is clone-light: sites are collected once per golden
+// module (cached across a task's whole candidate pool) and each mutant is
+// materialized by copying only the spine from the module root to the mutated
+// nodes, sharing every untouched subtree with the golden (pathcopy.go). The
+// random mutation harness in mutate_test.go holds this path byte-identical
+// (printed source) to the legacy full-clone path.
 package mutate
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/verilog/ast"
+	"repro/internal/xrng"
 )
 
 // Site is one applicable mutation with an in-place apply action.
@@ -37,67 +44,76 @@ type Config struct {
 	CanonicalProb float64
 }
 
-// Semantic clones m, applies cfg.Count semantic mutations chosen with rng,
-// and returns the mutant plus a description of what was applied. Returns
-// nil if the module offers no mutation sites (degenerate inputs).
-func Semantic(m *ast.Module, rng *rand.Rand, cfg Config) (*ast.Module, []string) {
-	clone := ast.CloneModule(m)
-	sites := CollectSites(clone)
-	if len(sites) == 0 {
+// Semantic applies cfg.Count semantic mutations chosen with rng and returns
+// the mutant plus a description of what was applied. Returns nil if the
+// module offers no mutation sites (degenerate inputs).
+//
+// m is never mutated and must not be mutated by the caller afterwards
+// either: site collection is cached per module pointer, and the returned
+// mutant shares all unmutated subtrees with m.
+func Semantic(m *ast.Module, rng *xrng.Rand, cfg Config) (*ast.Module, []string) {
+	ms := cachedSites(m)
+	if len(ms.sites) == 0 {
 		return nil, nil
 	}
 	count := cfg.Count
 	if count < 1 {
 		count = 1
 	}
-	var applied []string
+
+	// Choose site indices first (draw order matches the legacy collector:
+	// choices never depended on applied mutations).
+	var chosen []int
 	used := make(map[int]bool)
-	for k := 0; k < count && len(used) < len(sites); k++ {
+	for k := 0; k < count && len(used) < len(ms.sites); k++ {
 		var idx int
 		if k == 0 && cfg.CanonicalProb > 0 && rng.Float64() < cfg.CanonicalProb {
-			canon := rand.New(rand.NewSource(cfg.CanonicalSeed))
-			idx = canon.Intn(len(sites))
+			canon := xrng.New(uint64(cfg.CanonicalSeed))
+			idx = canon.Intn(len(ms.sites))
 		} else {
-			idx = rng.Intn(len(sites))
+			idx = rng.Intn(len(ms.sites))
 		}
 		if used[idx] {
 			// Linear-probe to the next unused site for determinism.
 			for used[idx] {
-				idx = (idx + 1) % len(sites)
+				idx = (idx + 1) % len(ms.sites)
 			}
 		}
 		used[idx] = true
-		sites[idx].Apply()
-		applied = append(applied, sites[idx].Kind+": "+sites[idx].Desc)
+		chosen = append(chosen, idx)
 	}
-	return clone, applied
+
+	// Bind every site before applying any (capture-then-apply, the same
+	// discipline the closure-over-clone collector had), then apply in
+	// chosen order.
+	ctx := newCopyCtx(m, ms.declared)
+	applies := make([]func(), 0, len(chosen))
+	applied := make([]string, 0, len(chosen))
+	for _, idx := range chosen {
+		site := &ms.sites[idx]
+		applies = append(applies, bindSite(ctx, site))
+		applied = append(applied, site.Kind+": "+site.Desc)
+	}
+	for _, apply := range applies {
+		apply()
+	}
+	return ctx.root, applied
 }
 
 // CollectSites enumerates every semantic mutation applicable to the module.
 // Apply actions mutate the module in place, so callers must clone first.
+// Retained as the legacy full-clone path: the differential harness holds
+// Semantic's path-copied mutants byte-identical to mutants produced this
+// way.
 func CollectSites(m *ast.Module) []Site {
-	c := &collector{declared: declaredNames(m)}
-	for _, it := range m.Items {
-		switch x := it.(type) {
-		case *ast.ContAssign:
-			c.exprSites(&x.RHS, true)
-			c.lhsSelectSites(x.LHS)
-		case *ast.Always:
-			c.alwaysSites(x)
-		case *ast.Instance:
-			for i := range x.Conns {
-				if x.Conns[i].Expr != nil {
-					c.connSite(&x.Conns[i])
-				}
-			}
-		}
+	ms := collectPathSites(m)
+	ctx := &mutCtx{root: m, declared: ms.declared} // in-place: no copying
+	out := make([]Site, 0, len(ms.sites))
+	for i := range ms.sites {
+		s := &ms.sites[i]
+		out = append(out, Site{Kind: s.Kind, Desc: s.Desc, Apply: bindSite(ctx, s)})
 	}
-	return c.sites
-}
-
-type collector struct {
-	sites    []Site
-	declared []string
+	return out
 }
 
 func declaredNames(m *ast.Module) []string {
@@ -111,10 +127,6 @@ func declaredNames(m *ast.Module) []string {
 		}
 	}
 	return names
-}
-
-func (c *collector) add(kind, desc string, apply func()) {
-	c.sites = append(c.sites, Site{Kind: kind, Desc: desc, Apply: apply})
 }
 
 // binarySwaps maps operators to plausible wrong alternatives.
@@ -136,108 +148,6 @@ var binarySwaps = map[ast.BinaryOp][]ast.BinaryOp{
 	ast.Shl:    {ast.Shr},
 	ast.Shr:    {ast.Shl, ast.AShr},
 	ast.AShr:   {ast.Shr},
-}
-
-// exprSites collects mutation sites within an expression accessed through a
-// settable slot. allowIdentSwap permits wrong-signal substitutions (RHS
-// contexts only).
-func (c *collector) exprSites(slot *ast.Expr, allowIdentSwap bool) {
-	e := *slot
-	switch x := e.(type) {
-	case *ast.Ident:
-		if allowIdentSwap && len(c.declared) > 1 {
-			name := x.Name
-			c.add("wrong-signal", fmt.Sprintf("replace read of %q", name), func() {
-				for _, cand := range c.declared {
-					if cand != name {
-						x.Name = cand
-						return
-					}
-				}
-			})
-		}
-	case *ast.Number:
-		c.numberSite(x)
-	case *ast.Unary:
-		if x.Op == ast.BitNot || x.Op == ast.LogicalNot {
-			c.add("drop-invert", fmt.Sprintf("remove %s", x.Op), func() { *slot = x.X })
-		}
-		c.exprSites(&x.X, allowIdentSwap)
-	case *ast.Binary:
-		if alts, ok := binarySwaps[x.Op]; ok {
-			alt := alts[0]
-			c.add("wrong-operator", fmt.Sprintf("%s -> %s", x.Op, alt), func() { x.Op = alt })
-			if len(alts) > 1 {
-				alt2 := alts[1]
-				c.add("wrong-operator", fmt.Sprintf("%s -> %s", x.Op, alt2), func() { x.Op = alt2 })
-			}
-		}
-		if x.Op == ast.Sub || x.Op == ast.Lt || x.Op == ast.Gt || x.Op == ast.Shl || x.Op == ast.Shr {
-			c.add("swap-operands", fmt.Sprintf("swap operands of %s", x.Op), func() {
-				x.X, x.Y = x.Y, x.X
-			})
-		}
-		c.exprSites(&x.X, allowIdentSwap)
-		c.exprSites(&x.Y, allowIdentSwap)
-	case *ast.Ternary:
-		c.add("swap-branches", "swap ternary branches", func() {
-			x.Then, x.Else = x.Else, x.Then
-		})
-		c.exprSites(&x.Cond, allowIdentSwap)
-		c.exprSites(&x.Then, allowIdentSwap)
-		c.exprSites(&x.Else, allowIdentSwap)
-	case *ast.Concat:
-		if len(x.Parts) >= 2 {
-			c.add("reorder-concat", "swap first two concat parts", func() {
-				x.Parts[0], x.Parts[1] = x.Parts[1], x.Parts[0]
-			})
-		}
-		for i := range x.Parts {
-			c.exprSites(&x.Parts[i], allowIdentSwap)
-		}
-	case *ast.Repl:
-		c.exprSites(&x.Value, allowIdentSwap)
-	case *ast.Index:
-		c.exprSites(&x.Idx, allowIdentSwap)
-		c.exprSites(&x.X, false)
-	case *ast.PartSel:
-		if x.Kind == ast.SelConst {
-			a, okA := x.A.(*ast.Number)
-			b, okB := x.B.(*ast.Number)
-			if okA && okB {
-				c.add("shift-slice", "shift part-select by one", func() {
-					bumpNumber(a, 1)
-					bumpNumber(b, 1)
-				})
-			}
-		}
-		c.exprSites(&x.X, false)
-	}
-}
-
-// numberSite perturbs an integer literal.
-func (c *collector) numberSite(n *ast.Number) {
-	v := n.Val[0]
-	w := n.Width
-	if w <= 0 {
-		w = 32
-	}
-	if anySet(n.XZ) {
-		return // leave x/z literals alone
-	}
-	c.add("wrong-constant", fmt.Sprintf("perturb literal %s", n.Text), func() {
-		nv := v + 1
-		if w < 64 {
-			limit := uint64(1) << uint(w)
-			if nv >= limit {
-				nv = v - 1
-				if v == 0 {
-					nv = limit - 1
-				}
-			}
-		}
-		setNumber(n, nv)
-	})
 }
 
 func anySet(words []uint64) bool {
@@ -301,131 +211,4 @@ func reorderMatters(a, b ast.Stmt) bool {
 func emptyStmt(s ast.Stmt) bool {
 	blk, ok := s.(*ast.Block)
 	return ok && len(blk.Stmts) == 0
-}
-
-// lhsSelectSites allows off-by-one mutations of constant selects on lvalues.
-func (c *collector) lhsSelectSites(lhs ast.Expr) {
-	switch x := lhs.(type) {
-	case *ast.PartSel:
-		if x.Kind == ast.SelConst {
-			a, okA := x.A.(*ast.Number)
-			b, okB := x.B.(*ast.Number)
-			if okA && okB && b.Val[0] > 0 {
-				c.add("shift-lhs-slice", "shift lvalue part-select down by one", func() {
-					bumpNumber(a, -1)
-					bumpNumber(b, -1)
-				})
-			}
-		}
-	case *ast.Concat:
-		for _, p := range x.Parts {
-			c.lhsSelectSites(p)
-		}
-	}
-}
-
-// connSite swaps an instance connection expression with a sibling.
-func (c *collector) connSite(conn *ast.PortConn) {
-	c.exprSites(&conn.Expr, true)
-}
-
-// alwaysSites collects sites in an always block: edge polarity, statement
-// structure and nested expressions.
-func (c *collector) alwaysSites(a *ast.Always) {
-	hasEdge := false
-	for i := range a.Events {
-		ev := &a.Events[i]
-		if ev.Edge == ast.EdgeNone {
-			continue
-		}
-		hasEdge = true
-		// Flipping the clock edge is a classic bug; keep it rare by only
-		// offering it for non-first events (usually the reset) plus the
-		// first event once.
-		evi := ev
-		c.add("wrong-edge", "flip event edge", func() {
-			if evi.Edge == ast.EdgePos {
-				evi.Edge = ast.EdgeNeg
-			} else {
-				evi.Edge = ast.EdgePos
-			}
-		})
-	}
-	c.stmtSites(a.Body, hasEdge)
-}
-
-func (c *collector) stmtSites(s ast.Stmt, inEdge bool) {
-	switch x := s.(type) {
-	case *ast.Block:
-		for i := range x.Stmts {
-			c.stmtSites(x.Stmts[i], inEdge)
-		}
-		if len(x.Stmts) >= 2 && reorderMatters(x.Stmts[0], x.Stmts[1]) {
-			// Reordering statements is a real bug for blocking sequences;
-			// swapping independent non-blocking assignments would be a
-			// behavioral no-op, so those sites are skipped.
-			c.add("reorder-stmts", "swap first two statements in block", func() {
-				x.Stmts[0], x.Stmts[1] = x.Stmts[1], x.Stmts[0]
-			})
-		}
-	case *ast.AssignStmt:
-		if inEdge && !x.Blocking {
-			c.add("blocking-swap", "use blocking assignment in clocked block", func() {
-				x.Blocking = true
-			})
-		}
-		c.exprSites(&x.RHS, true)
-		c.lhsSelectSites(x.LHS)
-	case *ast.If:
-		c.add("negate-cond", "negate if condition", func() {
-			x.Cond = &ast.Unary{Op: ast.LogicalNot, X: x.Cond}
-		})
-		if x.Else != nil && !emptyStmt(x.Else) {
-			if _, isElseIf := x.Else.(*ast.If); !isElseIf {
-				c.add("drop-else", "remove else branch", func() {
-					x.Else = nil
-				})
-			}
-		}
-		c.exprSites(&x.Cond, true)
-		c.stmtSites(x.Then, inEdge)
-		if x.Else != nil {
-			c.stmtSites(x.Else, inEdge)
-		}
-	case *ast.Case:
-		var nonDefault []*ast.CaseItem
-		for _, it := range x.Items {
-			if it.Labels != nil {
-				nonDefault = append(nonDefault, it)
-			}
-		}
-		if len(nonDefault) >= 2 {
-			a, b := nonDefault[0], nonDefault[1]
-			c.add("swap-case-bodies", "swap bodies of first two case arms", func() {
-				a.Body, b.Body = b.Body, a.Body
-			})
-		}
-		if len(nonDefault) >= 2 {
-			drop := nonDefault[len(nonDefault)-1]
-			c.add("drop-case-arm", "remove last labeled case arm", func() {
-				var kept []*ast.CaseItem
-				for _, it := range x.Items {
-					if it != drop {
-						kept = append(kept, it)
-					}
-				}
-				x.Items = kept
-			})
-		}
-		for _, it := range x.Items {
-			for li := range it.Labels {
-				c.exprSites(&it.Labels[li], false)
-			}
-			c.stmtSites(it.Body, inEdge)
-		}
-		c.exprSites(&x.Subject, true)
-	case *ast.For:
-		c.exprSites(&x.Cond, false)
-		c.stmtSites(x.Body, inEdge)
-	}
 }

@@ -1,7 +1,7 @@
 package mutate
 
 import (
-	"math/rand"
+	"repro/internal/xrng"
 	"testing"
 
 	"repro/internal/eval"
@@ -52,7 +52,7 @@ func TestEveryGoldenHasSites(t *testing.T) {
 // checks (they are realistic wrong code, not garbage).
 func TestSemanticMutantsStayValid(t *testing.T) {
 	tasks := eval.Suite()
-	rng := rand.New(rand.NewSource(5))
+	rng := xrng.New(5)
 	for _, task := range tasks {
 		src, top := goldenModule(t, task)
 		for trial := 0; trial < 3; trial++ {
@@ -83,7 +83,7 @@ func TestSemanticMutantsStayValid(t *testing.T) {
 // but must be rare).
 func TestSemanticMutantsMostlyChangeBehavior(t *testing.T) {
 	tasks := eval.Suite()
-	rng := rand.New(rand.NewSource(9))
+	rng := xrng.New(9)
 	changed, total := 0, 0
 	for i, task := range tasks {
 		if i%3 != 0 {
@@ -121,7 +121,7 @@ func TestSemanticMutantsMostlyChangeBehavior(t *testing.T) {
 // cosmetic rewrites of a design must produce identical traces.
 func TestCosmeticPreservesBehavior(t *testing.T) {
 	tasks := eval.Suite()
-	rng := rand.New(rand.NewSource(77))
+	rng := xrng.New(77)
 	for i, task := range tasks {
 		if i%2 != 0 {
 			continue
@@ -157,8 +157,8 @@ func TestCanonicalMutationIsShared(t *testing.T) {
 	task := eval.Suite()[90] // a sequential task with plenty of sites
 	src, top := goldenModule(t, task)
 	cfg := Config{Count: 1, CanonicalSeed: 12345, CanonicalProb: 1}
-	m1, ops1 := Semantic(top, rand.New(rand.NewSource(1)), cfg)
-	m2, ops2 := Semantic(top, rand.New(rand.NewSource(2)), cfg)
+	m1, ops1 := Semantic(top, xrng.New(1), cfg)
+	m2, ops2 := Semantic(top, xrng.New(2), cfg)
 	if len(ops1) != 1 || len(ops2) != 1 || ops1[0] != ops2[0] {
 		t.Fatalf("canonical ops differ: %v vs %v", ops1, ops2)
 	}
@@ -177,7 +177,7 @@ func TestSemanticDoesNotMutateOriginal(t *testing.T) {
 	task := eval.Suite()[0]
 	_, top := goldenModule(t, task)
 	before := printer.PrintModule(top)
-	rng := rand.New(rand.NewSource(4))
+	rng := xrng.New(4)
 	for i := 0; i < 5; i++ {
 		Semantic(top, rng, Config{Count: 2})
 		Cosmetic(top, rng)

@@ -1,0 +1,431 @@
+package mutate
+
+import (
+	"fmt"
+
+	"repro/internal/verilog/ast"
+)
+
+// This file materializes mutants from PathSites. In copy mode the walker
+// copies exactly the nodes on the path from the module root to each chosen
+// anchor (plus any node a mutation writes through), so a mutant shares every
+// untouched subtree with the golden module — the clone-light replacement for
+// CloneModule-per-candidate. In in-place mode (mutCtx.copied == nil) the
+// walker only navigates, which is how CollectSites binds its legacy
+// apply-on-a-clone closures.
+//
+// Mutants therefore alias golden nodes. That is safe under this package's
+// contract: semantic applies only ever write to nodes the walker has
+// freshened, Cosmetic's copy-on-write passes never mutate their input
+// (rewrite.go's hook contract), and downstream consumers (printer,
+// simulator) never mutate candidate ASTs in place.
+
+// mutCtx tracks one mutant under construction.
+type mutCtx struct {
+	root     *ast.Module
+	copied   map[any]bool // nil: navigate without copying (in-place mode)
+	declared []string
+}
+
+// newCopyCtx starts a copy-mode mutant: a shallow module copy whose Items
+// slice is fresh but whose items still alias the golden.
+func newCopyCtx(m *ast.Module, declared []string) *mutCtx {
+	root := &ast.Module{
+		ModPos: m.ModPos,
+		Name:   m.Name,
+		Ports:  m.Ports,
+		Items:  append([]ast.Item(nil), m.Items...),
+	}
+	ctx := &mutCtx{root: root, copied: map[any]bool{root: true}, declared: declared}
+	return ctx
+}
+
+// resolve walks the path from the root, copying unvisited nodes along the
+// spine in copy mode, and returns the anchor plus its parent and final step
+// (for mutations that rewrite the parent's slot, like drop-invert). Copies
+// are memoized across resolves of one mutant, so overlapping spines of a
+// multi-mutation candidate converge on the same fresh nodes and node
+// identity behaves exactly as it does on a full clone.
+func (ctx *mutCtx) resolve(path []step) (node, parent any, last step) {
+	cur := any(ctx.root)
+	for _, st := range path {
+		child := getChild(cur, st)
+		if ctx.copied != nil && !ctx.copied[child] {
+			child = copyShallow(child)
+			ctx.copied[child] = true
+			setChild(cur, st, child)
+		}
+		parent, cur, last = cur, child, st
+	}
+	return cur, parent, last
+}
+
+// freshExpr freshens the expression in *slot (a field of an already-fresh
+// parent) and returns it, so a mutation may write through it.
+func (ctx *mutCtx) freshExpr(slot *ast.Expr) ast.Expr {
+	e := *slot
+	if ctx.copied != nil && !ctx.copied[e] {
+		e = copyShallow(e).(ast.Expr)
+		ctx.copied[e] = true
+		*slot = e
+	}
+	return e
+}
+
+// freshItem freshens case arm i of an already-fresh Case node.
+func (ctx *mutCtx) freshItem(c *ast.Case, i int) *ast.CaseItem {
+	it := c.Items[i]
+	if ctx.copied != nil && !ctx.copied[it] {
+		it = copyShallow(it).(*ast.CaseItem)
+		ctx.copied[it] = true
+		c.Items[i] = it
+	}
+	return it
+}
+
+// bindSite resolves a site against the mutant under construction and returns
+// its apply action, bound to fresh nodes. All chosen sites of a mutant are
+// bound before any apply runs — the same capture-then-apply discipline the
+// closure-over-clone collector had — so mutations compose identically.
+func bindSite(ctx *mutCtx, s *PathSite) func() {
+	node, parent, last := ctx.resolve(s.path)
+	switch s.Kind {
+	case "wrong-signal":
+		x := node.(*ast.Ident)
+		name := x.Name
+		declared := ctx.declared
+		return func() {
+			for _, cand := range declared {
+				if cand != name {
+					x.Name = cand
+					return
+				}
+			}
+		}
+	case "wrong-constant":
+		n := node.(*ast.Number)
+		v := n.Val[0]
+		w := n.Width
+		if w <= 0 {
+			w = 32
+		}
+		return func() {
+			nv := v + 1
+			if w < 64 {
+				limit := uint64(1) << uint(w)
+				if nv >= limit {
+					nv = v - 1
+					if v == 0 {
+						nv = limit - 1
+					}
+				}
+			}
+			setNumber(n, nv)
+		}
+	case "drop-invert":
+		u := node.(*ast.Unary)
+		p, ls := parent, last
+		return func() { setChild(p, ls, u.X) }
+	case "wrong-operator":
+		x := node.(*ast.Binary)
+		alt := ast.BinaryOp(s.aux)
+		return func() { x.Op = alt }
+	case "swap-operands":
+		x := node.(*ast.Binary)
+		return func() { x.X, x.Y = x.Y, x.X }
+	case "swap-branches":
+		x := node.(*ast.Ternary)
+		return func() { x.Then, x.Else = x.Else, x.Then }
+	case "reorder-concat":
+		x := node.(*ast.Concat)
+		return func() { x.Parts[0], x.Parts[1] = x.Parts[1], x.Parts[0] }
+	case "shift-slice":
+		x := node.(*ast.PartSel)
+		a := ctx.freshExpr(&x.A).(*ast.Number)
+		b := ctx.freshExpr(&x.B).(*ast.Number)
+		return func() {
+			bumpNumber(a, 1)
+			bumpNumber(b, 1)
+		}
+	case "shift-lhs-slice":
+		x := node.(*ast.PartSel)
+		a := ctx.freshExpr(&x.A).(*ast.Number)
+		b := ctx.freshExpr(&x.B).(*ast.Number)
+		return func() {
+			bumpNumber(a, -1)
+			bumpNumber(b, -1)
+		}
+	case "wrong-edge":
+		x := node.(*ast.Always)
+		evi := &x.Events[s.aux]
+		return func() {
+			if evi.Edge == ast.EdgePos {
+				evi.Edge = ast.EdgeNeg
+			} else {
+				evi.Edge = ast.EdgePos
+			}
+		}
+	case "blocking-swap":
+		x := node.(*ast.AssignStmt)
+		return func() { x.Blocking = true }
+	case "reorder-stmts":
+		x := node.(*ast.Block)
+		return func() { x.Stmts[0], x.Stmts[1] = x.Stmts[1], x.Stmts[0] }
+	case "negate-cond":
+		x := node.(*ast.If)
+		return func() { x.Cond = &ast.Unary{Op: ast.LogicalNot, X: x.Cond} }
+	case "drop-else":
+		x := node.(*ast.If)
+		return func() { x.Else = nil }
+	case "swap-case-bodies":
+		x := node.(*ast.Case)
+		a := ctx.freshItem(x, s.aux)
+		b := ctx.freshItem(x, s.aux2)
+		return func() { a.Body, b.Body = b.Body, a.Body }
+	case "drop-case-arm":
+		x := node.(*ast.Case)
+		dropIdx := s.aux
+		return func() {
+			var kept []*ast.CaseItem
+			for i, it := range x.Items {
+				if i != dropIdx {
+					kept = append(kept, it)
+				}
+			}
+			x.Items = kept
+		}
+	default:
+		panic(fmt.Sprintf("mutate: unknown site kind %q", s.Kind))
+	}
+}
+
+// getChild decodes a step against a node. The field numbering is fixed by
+// the collector (sites.go) and mirrored by setChild/copyShallow below.
+func getChild(node any, st step) any {
+	switch n := node.(type) {
+	case *ast.Module:
+		return n.Items[st.i]
+	case *ast.ContAssign:
+		if st.f == stepRHS {
+			return n.RHS
+		}
+		return n.LHS
+	case *ast.Always:
+		return n.Body
+	case *ast.Instance:
+		return n.Conns[st.i].Expr
+	case *ast.Unary:
+		return n.X
+	case *ast.Binary:
+		if st.f == stepRHS {
+			return n.X
+		}
+		return n.Y
+	case *ast.Ternary:
+		switch st.f {
+		case stepRHS:
+			return n.Cond
+		case stepLHS:
+			return n.Then
+		default:
+			return n.Else
+		}
+	case *ast.Concat:
+		return n.Parts[st.i]
+	case *ast.Repl:
+		return n.Value
+	case *ast.Index:
+		if st.f == stepRHS {
+			return n.Idx
+		}
+		return n.X
+	case *ast.PartSel:
+		return n.X
+	case *ast.Block:
+		return n.Stmts[st.i]
+	case *ast.AssignStmt:
+		if st.f == stepRHS {
+			return n.RHS
+		}
+		return n.LHS
+	case *ast.If:
+		switch st.f {
+		case stepRHS:
+			return n.Cond
+		case stepLHS:
+			return n.Then
+		default:
+			return n.Else
+		}
+	case *ast.Case:
+		if st.f == stepRHS {
+			return n.Subject
+		}
+		return n.Items[st.i]
+	case *ast.CaseItem:
+		if st.f == stepRHS {
+			return n.Labels[st.i]
+		}
+		return n.Body
+	case *ast.For:
+		if st.f == stepRHS {
+			return n.Cond
+		}
+		return n.Body
+	default:
+		panic(fmt.Sprintf("mutate: getChild on %T", node))
+	}
+}
+
+// setChild writes a (fresh) child back into its parent's slot.
+func setChild(node any, st step, child any) {
+	switch n := node.(type) {
+	case *ast.Module:
+		n.Items[st.i] = child.(ast.Item)
+	case *ast.ContAssign:
+		if st.f == stepRHS {
+			n.RHS = child.(ast.Expr)
+		} else {
+			n.LHS = child.(ast.Expr)
+		}
+	case *ast.Always:
+		n.Body = child.(ast.Stmt)
+	case *ast.Instance:
+		n.Conns[st.i].Expr = child.(ast.Expr)
+	case *ast.Unary:
+		n.X = child.(ast.Expr)
+	case *ast.Binary:
+		if st.f == stepRHS {
+			n.X = child.(ast.Expr)
+		} else {
+			n.Y = child.(ast.Expr)
+		}
+	case *ast.Ternary:
+		switch st.f {
+		case stepRHS:
+			n.Cond = child.(ast.Expr)
+		case stepLHS:
+			n.Then = child.(ast.Expr)
+		default:
+			n.Else = child.(ast.Expr)
+		}
+	case *ast.Concat:
+		n.Parts[st.i] = child.(ast.Expr)
+	case *ast.Repl:
+		n.Value = child.(ast.Expr)
+	case *ast.Index:
+		if st.f == stepRHS {
+			n.Idx = child.(ast.Expr)
+		} else {
+			n.X = child.(ast.Expr)
+		}
+	case *ast.PartSel:
+		n.X = child.(ast.Expr)
+	case *ast.Block:
+		n.Stmts[st.i] = child.(ast.Stmt)
+	case *ast.AssignStmt:
+		if st.f == stepRHS {
+			n.RHS = child.(ast.Expr)
+		} else {
+			n.LHS = child.(ast.Expr)
+		}
+	case *ast.If:
+		switch st.f {
+		case stepRHS:
+			n.Cond = child.(ast.Expr)
+		case stepLHS:
+			n.Then = child.(ast.Stmt)
+		default:
+			n.Else = child.(ast.Stmt)
+		}
+	case *ast.Case:
+		if st.f == stepRHS {
+			n.Subject = child.(ast.Expr)
+		} else {
+			n.Items[st.i] = child.(*ast.CaseItem)
+		}
+	case *ast.CaseItem:
+		if st.f == stepRHS {
+			n.Labels[st.i] = child.(ast.Expr)
+		} else {
+			n.Body = child.(ast.Stmt)
+		}
+	case *ast.For:
+		if st.f == stepRHS {
+			n.Cond = child.(ast.Expr)
+		} else {
+			n.Body = child.(ast.Stmt)
+		}
+	default:
+		panic(fmt.Sprintf("mutate: setChild on %T", node))
+	}
+}
+
+// copyShallow copies one node, duplicating its child-holding slice headers
+// (so element swaps stay local to the mutant) but sharing every child node.
+func copyShallow(node any) any {
+	switch n := node.(type) {
+	case *ast.ContAssign:
+		c := *n
+		return &c
+	case *ast.Always:
+		c := *n
+		c.Events = append([]ast.Event(nil), n.Events...)
+		return &c
+	case *ast.Instance:
+		c := *n
+		c.Conns = append([]ast.PortConn(nil), n.Conns...)
+		return &c
+	case *ast.Ident:
+		c := *n
+		return &c
+	case *ast.Number:
+		c := *n
+		return &c
+	case *ast.Unary:
+		c := *n
+		return &c
+	case *ast.Binary:
+		c := *n
+		return &c
+	case *ast.Ternary:
+		c := *n
+		return &c
+	case *ast.Concat:
+		c := *n
+		c.Parts = append([]ast.Expr(nil), n.Parts...)
+		return &c
+	case *ast.Repl:
+		c := *n
+		return &c
+	case *ast.Index:
+		c := *n
+		return &c
+	case *ast.PartSel:
+		c := *n
+		return &c
+	case *ast.Block:
+		c := *n
+		c.Stmts = append([]ast.Stmt(nil), n.Stmts...)
+		return &c
+	case *ast.AssignStmt:
+		c := *n
+		return &c
+	case *ast.If:
+		c := *n
+		return &c
+	case *ast.Case:
+		c := *n
+		c.Items = append([]*ast.CaseItem(nil), n.Items...)
+		return &c
+	case *ast.CaseItem:
+		c := *n
+		c.Labels = append([]ast.Expr(nil), n.Labels...)
+		return &c
+	case *ast.For:
+		c := *n
+		return &c
+	default:
+		panic(fmt.Sprintf("mutate: copyShallow on %T", node))
+	}
+}

@@ -1,0 +1,331 @@
+package mutate
+
+import (
+	"repro/internal/verilog/ast"
+)
+
+// cow is a bottom-up copy-on-write rebuilder: it walks a module and returns
+// a structurally shared rewrite — any node whose subtree is untouched by the
+// hooks is returned as-is (pointer-equal), and only the spines above changed
+// nodes are copied. Hooks receive nodes whose children are already rebuilt
+// and must return either the same node (no change) or a NEW node; they must
+// never mutate their argument, since it may be shared with the golden
+// module. Expression coverage matches ast.ModuleExprs (declaration ranges
+// are not visited, mirroring the legacy in-place passes).
+type cow struct {
+	expr func(ast.Expr) ast.Expr // nil: identity
+	stmt func(ast.Stmt) ast.Stmt // nil: identity
+	item func(ast.Item) ast.Item // nil: identity (applied post-children)
+}
+
+func (cw *cow) hookE(e ast.Expr) ast.Expr {
+	if cw.expr == nil {
+		return e
+	}
+	return cw.expr(e)
+}
+
+func (cw *cow) hookS(s ast.Stmt) ast.Stmt {
+	if cw.stmt == nil {
+		return s
+	}
+	return cw.stmt(s)
+}
+
+func (cw *cow) hookI(it ast.Item) ast.Item {
+	if cw.item == nil {
+		return it
+	}
+	return cw.item(it)
+}
+
+// rwExprs rebuilds an expression slice, returning nil when unchanged.
+func (cw *cow) rwExprs(xs []ast.Expr) []ast.Expr {
+	var out []ast.Expr
+	for i, x := range xs {
+		nx := cw.rwExpr(x)
+		if out == nil && nx != x {
+			out = make([]ast.Expr, len(xs))
+			copy(out, xs[:i])
+		}
+		if out != nil {
+			out[i] = nx
+		}
+	}
+	return out
+}
+
+func (cw *cow) rwExpr(e ast.Expr) ast.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ast.Ident, *ast.Number:
+		return cw.hookE(e)
+	case *ast.Unary:
+		if nx := cw.rwExpr(x.X); nx != x.X {
+			c := *x
+			c.X = nx
+			e = &c
+		}
+		return cw.hookE(e)
+	case *ast.Binary:
+		nx, ny := cw.rwExpr(x.X), cw.rwExpr(x.Y)
+		if nx != x.X || ny != x.Y {
+			c := *x
+			c.X, c.Y = nx, ny
+			e = &c
+		}
+		return cw.hookE(e)
+	case *ast.Ternary:
+		nc, nt, ne := cw.rwExpr(x.Cond), cw.rwExpr(x.Then), cw.rwExpr(x.Else)
+		if nc != x.Cond || nt != x.Then || ne != x.Else {
+			c := *x
+			c.Cond, c.Then, c.Else = nc, nt, ne
+			e = &c
+		}
+		return cw.hookE(e)
+	case *ast.Concat:
+		if parts := cw.rwExprs(x.Parts); parts != nil {
+			c := *x
+			c.Parts = parts
+			e = &c
+		}
+		return cw.hookE(e)
+	case *ast.Repl:
+		ncnt, nv := cw.rwExpr(x.Count), cw.rwExpr(x.Value)
+		if ncnt != x.Count || nv != x.Value {
+			c := *x
+			c.Count, c.Value = ncnt, nv
+			e = &c
+		}
+		return cw.hookE(e)
+	case *ast.Index:
+		nx, ni := cw.rwExpr(x.X), cw.rwExpr(x.Idx)
+		if nx != x.X || ni != x.Idx {
+			c := *x
+			c.X, c.Idx = nx, ni
+			e = &c
+		}
+		return cw.hookE(e)
+	case *ast.PartSel:
+		nx, na, nb := cw.rwExpr(x.X), cw.rwExpr(x.A), cw.rwExpr(x.B)
+		if nx != x.X || na != x.A || nb != x.B {
+			c := *x
+			c.X, c.A, c.B = nx, na, nb
+			e = &c
+		}
+		return cw.hookE(e)
+	default:
+		return cw.hookE(e)
+	}
+}
+
+func (cw *cow) rwAssign(a *ast.AssignStmt) *ast.AssignStmt {
+	if a == nil {
+		return nil
+	}
+	nl, nr := cw.rwExpr(a.LHS), cw.rwExpr(a.RHS)
+	if nl != a.LHS || nr != a.RHS {
+		c := *a
+		c.LHS, c.RHS = nl, nr
+		a = &c
+	}
+	if ns := cw.hookS(a); ns != ast.Stmt(a) {
+		return ns.(*ast.AssignStmt)
+	}
+	return a
+}
+
+// rwStmts rebuilds a statement slice, returning nil when unchanged.
+func (cw *cow) rwStmts(xs []ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	for i, x := range xs {
+		nx := cw.rwStmt(x)
+		if out == nil && nx != x {
+			out = make([]ast.Stmt, len(xs))
+			copy(out, xs[:i])
+		}
+		if out != nil {
+			out[i] = nx
+		}
+	}
+	return out
+}
+
+func (cw *cow) rwStmt(s ast.Stmt) ast.Stmt {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *ast.Block:
+		if stmts := cw.rwStmts(x.Stmts); stmts != nil {
+			c := *x
+			c.Stmts = stmts
+			s = &c
+		}
+		return cw.hookS(s)
+	case *ast.AssignStmt:
+		return cw.rwAssign(x)
+	case *ast.If:
+		nc, nt, ne := cw.rwExpr(x.Cond), cw.rwStmt(x.Then), cw.rwStmt(x.Else)
+		if nc != x.Cond || nt != x.Then || ne != x.Else {
+			c := *x
+			c.Cond, c.Then, c.Else = nc, nt, ne
+			s = &c
+		}
+		return cw.hookS(s)
+	case *ast.Case:
+		nsub := cw.rwExpr(x.Subject)
+		var items []*ast.CaseItem
+		for i, it := range x.Items {
+			labels := cw.rwExprs(it.Labels)
+			body := cw.rwStmt(it.Body)
+			nit := it
+			if labels != nil || body != it.Body {
+				c := *it
+				if labels != nil {
+					c.Labels = labels
+				}
+				c.Body = body
+				nit = &c
+			}
+			if items == nil && nit != it {
+				items = make([]*ast.CaseItem, len(x.Items))
+				copy(items, x.Items[:i])
+			}
+			if items != nil {
+				items[i] = nit
+			}
+		}
+		if nsub != x.Subject || items != nil {
+			c := *x
+			c.Subject = nsub
+			if items != nil {
+				c.Items = items
+			}
+			s = &c
+		}
+		return cw.hookS(s)
+	case *ast.For:
+		ninit := cw.rwAssign(x.Init)
+		ncond := cw.rwExpr(x.Cond)
+		nstep := cw.rwAssign(x.Step)
+		nbody := cw.rwStmt(x.Body)
+		if ninit != x.Init || ncond != x.Cond || nstep != x.Step || nbody != x.Body {
+			c := *x
+			c.Init, c.Cond, c.Step, c.Body = ninit, ncond, nstep, nbody
+			s = &c
+		}
+		return cw.hookS(s)
+	default:
+		return cw.hookS(s)
+	}
+}
+
+func (cw *cow) rwItem(it ast.Item) ast.Item {
+	switch x := it.(type) {
+	case *ast.NetDecl:
+		if inits := cw.rwExprs(x.Init); inits != nil {
+			c := *x
+			c.Init = inits
+			it = &c
+		}
+		return cw.hookI(it)
+	case *ast.ParamDecl:
+		if nv := cw.rwExpr(x.Value); nv != x.Value {
+			c := *x
+			c.Value = nv
+			it = &c
+		}
+		return cw.hookI(it)
+	case *ast.ContAssign:
+		nl, nr := cw.rwExpr(x.LHS), cw.rwExpr(x.RHS)
+		if nl != x.LHS || nr != x.RHS {
+			c := *x
+			c.LHS, c.RHS = nl, nr
+			it = &c
+		}
+		return cw.hookI(it)
+	case *ast.Always:
+		var events []ast.Event
+		for i, ev := range x.Events {
+			nsig := cw.rwExpr(ev.Sig)
+			if events == nil && nsig != ev.Sig {
+				events = make([]ast.Event, len(x.Events))
+				copy(events, x.Events[:i])
+			}
+			if events != nil {
+				events[i] = ast.Event{Edge: ev.Edge, Sig: nsig}
+			}
+		}
+		nbody := cw.rwStmt(x.Body)
+		if events != nil || nbody != x.Body {
+			c := *x
+			if events != nil {
+				c.Events = events
+			}
+			c.Body = nbody
+			it = &c
+		}
+		return cw.hookI(it)
+	case *ast.Initial:
+		if nbody := cw.rwStmt(x.Body); nbody != x.Body {
+			c := *x
+			c.Body = nbody
+			it = &c
+		}
+		return cw.hookI(it)
+	case *ast.Instance:
+		nconns := cw.rwConns(x.Conns)
+		nparams := cw.rwConns(x.ParamsBy)
+		if nconns != nil || nparams != nil {
+			c := *x
+			if nconns != nil {
+				c.Conns = nconns
+			}
+			if nparams != nil {
+				c.ParamsBy = nparams
+			}
+			it = &c
+		}
+		return cw.hookI(it)
+	default:
+		return cw.hookI(it)
+	}
+}
+
+// rwConns rebuilds a connection list, returning nil when nothing changed.
+func (cw *cow) rwConns(conns []ast.PortConn) []ast.PortConn {
+	var out []ast.PortConn
+	for i, c := range conns {
+		ne := cw.rwExpr(c.Expr)
+		if out == nil && ne != c.Expr {
+			out = make([]ast.PortConn, len(conns))
+			copy(out, conns[:i])
+		}
+		if out != nil {
+			out[i] = ast.PortConn{Name: c.Name, Expr: ne}
+		}
+	}
+	return out
+}
+
+// rwModule rebuilds the module, sharing it entirely when no hook fired.
+func (cw *cow) rwModule(m *ast.Module) *ast.Module {
+	var items []ast.Item
+	for i, it := range m.Items {
+		nit := cw.rwItem(it)
+		if items == nil && nit != it {
+			items = make([]ast.Item, len(m.Items))
+			copy(items, m.Items[:i])
+		}
+		if items != nil {
+			items[i] = nit
+		}
+	}
+	if items == nil {
+		return m
+	}
+	c := *m
+	c.Items = items
+	return &c
+}

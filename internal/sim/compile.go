@@ -99,6 +99,32 @@ type Design struct {
 // Top returns the top module name the design was compiled for.
 func (d *Design) Top() string { return d.top }
 
+// InputHandle resolves a top-level input port name to a handle usable with
+// the Engine's handle-bound stimulus methods (SetInputH, SetInputUintH,
+// TickH). Resolution costs one map lookup; handles are valid for every
+// Engine of this Design, so the testbench resolves each name once per
+// (design, stimulus) pair instead of once per drive. Non-input names fail
+// with ErrNotInput, exactly like SetInput.
+func (d *Design) InputHandle(name string) (int, error) {
+	idx, ok := d.inputIdx[name]
+	if !ok {
+		return -1, fmt.Errorf("%w: %q", ErrNotInput, name)
+	}
+	return int(idx), nil
+}
+
+// OutputHandle resolves a top-level net name (usually an output port) to a
+// handle usable with the Engine's handle-bound observation methods
+// (HashOutputH, AppendOutputH, OutputH). Unknown names fail with
+// ErrUnknownNet, exactly like Output.
+func (d *Design) OutputHandle(name string) (int, error) {
+	idx, ok := d.topIdx[name]
+	if !ok {
+		return -1, fmt.Errorf("%w: %q", ErrUnknownNet, name)
+	}
+	return int(idx), nil
+}
+
 // NumNets returns the number of flattened nets.
 func (d *Design) NumNets() int { return len(d.nets) }
 

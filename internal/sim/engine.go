@@ -26,6 +26,7 @@ const maxLoopIters = 1 << 16
 // net is one elaborated signal with four-state storage.
 type net struct {
 	name  string // hierarchical name
+	idx   int    // position in Simulator.nets (the net's stimulus handle)
 	width int
 	lsb   int // declared LSB index (bit address of storage bit 0)
 	value Value
@@ -189,6 +190,7 @@ func (s *Simulator) constEval(e ast.Expr, sc *scope) (Value, error) {
 func (s *Simulator) newNet(sc *scope, localName string, width, lsb int) *net {
 	n := &net{
 		name:  sc.prefix + localName,
+		idx:   len(s.nets),
 		width: width,
 		lsb:   lsb,
 		value: NewX(width),

@@ -9,6 +9,17 @@ import (
 
 // Instance is the common stimulus interface of both simulation backends: the
 // AST-walking Simulator and the compiled Engine.
+//
+// The name-keyed methods (SetInput, Output, ...) resolve the port on every
+// call; the handle-bound variants split resolution from use, so a testbench
+// schedule resolves each name exactly once per (design, stimulus) pair and
+// then drives and observes through integer handles. Handles are stable
+// across instances of the same design on the same backend (the compiled
+// engine shares them through its Design; the interpreter's elaboration is
+// deterministic), so a schedule bound on one instance is valid for every
+// per-case instance of the run. The handle-taking methods require a handle
+// obtained from InputHandle/OutputHandle on the same design and do not
+// re-validate it.
 type Instance interface {
 	Inputs() []PortInfo
 	Outputs() []PortInfo
@@ -17,6 +28,25 @@ type Instance interface {
 	Output(name string) (Value, error)
 	Settle() error
 	Tick(clock string) error
+
+	// InputHandle resolves an input port name (ErrNotInput for non-inputs,
+	// ErrUnknownNet where the backend distinguishes unknown names).
+	InputHandle(name string) (int, error)
+	// OutputHandle resolves a top-level net name (ErrUnknownNet if absent).
+	OutputHandle(name string) (int, error)
+	// SetInputH drives an input through its handle. The Value's planes are
+	// only read during the call, so callers may pass reused buffers.
+	SetInputH(h int, v Value)
+	// SetInputUintH drives an input with a known integer value.
+	SetInputUintH(h int, x uint64)
+	// TickH performs one full clock cycle on the input behind h.
+	TickH(h int) error
+	// HashOutputH folds the output's printed rendering at the given width
+	// into a running FNV-1a hash (same bytes as AppendOutputH).
+	HashOutputH(hash uint64, h int, width int) uint64
+	// AppendOutputH appends the output's binary rendering at the given
+	// width, identical to Output(name).Resize(width).String().
+	AppendOutputH(dst []byte, h int, width int) []byte
 }
 
 var (
@@ -196,13 +226,38 @@ func (en *Engine) AppendOutput(dst []byte, name string, width int) ([]byte, erro
 	if !ok {
 		return dst, fmt.Errorf("%w: %q", ErrUnknownNet, name)
 	}
-	cn := &en.d.nets[idx]
+	return en.AppendOutputH(dst, int(idx), width), nil
+}
+
+// InputHandle resolves an input port name to a design-stable handle
+// (delegates to the shared Design, so every pooled Engine agrees).
+func (en *Engine) InputHandle(name string) (int, error) { return en.d.InputHandle(name) }
+
+// OutputHandle resolves a top-level net name to a design-stable handle.
+func (en *Engine) OutputHandle(name string) (int, error) { return en.d.OutputHandle(name) }
+
+// SetInputH drives an input port through its handle: SetInput without the
+// name lookup. The planes of v are read only during the call.
+func (en *Engine) SetInputH(h int, v Value) {
+	en.storeNet(int32(h), 0, v.val, v.xz, 0, en.d.nets[h].width)
+}
+
+// SetInputUintH drives an input port with a known integer value through its
+// handle.
+func (en *Engine) SetInputUintH(h int, x uint64) {
+	sv := [1]uint64{x}
+	en.storeNet(int32(h), 0, sv[:], nil, 0, en.d.nets[h].width)
+}
+
+// AppendOutputH is AppendOutput through a handle: one bounds check instead
+// of a map lookup per recorded output.
+func (en *Engine) AppendOutputH(dst []byte, h int, width int) []byte {
+	cn := &en.d.nets[h]
 	sv := en.val[cn.off : cn.off+cn.nw]
 	sx := en.xz[cn.off : cn.off+cn.nw]
 	dst = strconv.AppendInt(dst, int64(width), 10)
 	dst = append(dst, '\'', 'b')
 	for i := width - 1; i >= 0; i-- {
-		// Bits beyond the net width read as known 0 (Resize zero-extension).
 		switch kbit(sv, sx, cn.width, i) {
 		case 0:
 			dst = append(dst, '0')
@@ -214,7 +269,7 @@ func (en *Engine) AppendOutput(dst []byte, name string, width int) ([]byte, erro
 			dst = append(dst, 'z')
 		}
 	}
-	return dst, nil
+	return dst
 }
 
 // Settle runs delta cycles until no activity remains, or fails with
@@ -256,6 +311,17 @@ func (en *Engine) Tick(clock string) error {
 	return en.Settle()
 }
 
+// TickH performs one full clock cycle through the clock's handle, saving the
+// two name lookups Tick pays per cycle.
+func (en *Engine) TickH(h int) error {
+	en.SetInputUintH(h, 1)
+	if err := en.Settle(); err != nil {
+		return err
+	}
+	en.SetInputUintH(h, 0)
+	return en.Settle()
+}
+
 // --- Scheduler internals -----------------------------------------------------
 
 func (en *Engine) enqueue(pid int32) {
@@ -274,6 +340,32 @@ func (en *Engine) enqueue(pid int32) {
 // them is a no-op by construction.
 func (en *Engine) storeNet(idx int32, lo int, sv, sx []uint64, spos, n int) {
 	cn := &en.d.nets[idx]
+	// Fast path: a whole-net store of a net that fits one word and an
+	// aligned source — the shape of every input drive and most assignments.
+	// Skips the guarded multi-word blit loop below.
+	if lo == 0 && spos == 0 && n == cn.width && n <= 64 && len(sv) > 0 {
+		m := maskN(n)
+		nv := sv[0] & m
+		var nx uint64
+		if len(sx) > 0 {
+			nx = sx[0] & m
+		}
+		dv := &en.val[cn.off]
+		dx := &en.xz[cn.off]
+		if nv == *dv && nx == *dx {
+			return
+		}
+		hasFan := len(en.d.levelFan[idx]) > 0 || len(en.d.edgeFan[idx]) > 0
+		if !hasFan {
+			*dv, *dx = nv, nx
+			return
+		}
+		oldB := uint8(*dv&1) | uint8(*dx&1)<<1
+		*dv, *dx = nv, nx
+		newB := uint8(nv&1) | uint8(nx&1)<<1
+		en.changed = append(en.changed, echange{net: idx, byProc: en.current, oldB: oldB, newB: newB})
+		return
+	}
 	cnt := n
 	s := spos
 	dpos := lo

@@ -48,6 +48,76 @@ func (s *Simulator) Output(name string) (Value, error) {
 	return n.value, nil
 }
 
+// InputHandle resolves an input port name to an instance-stable handle (the
+// net's elaboration index). Elaboration is deterministic, so the handle is
+// valid on every Simulator instance of the same source: a testbench schedule
+// bound on one per-case instance drives all of them. Error semantics mirror
+// SetInput (ErrNotInput for names that are not input ports).
+func (s *Simulator) InputHandle(name string) (int, error) {
+	for _, in := range s.inputs {
+		if in.Name == name {
+			n, ok := s.topScope.lookupNet(name)
+			if !ok {
+				return -1, fmt.Errorf("%w: %q", ErrUnknownNet, name)
+			}
+			return n.idx, nil
+		}
+	}
+	return -1, fmt.Errorf("%w: %q", ErrNotInput, name)
+}
+
+// OutputHandle resolves a top-level net name to an instance-stable handle,
+// with Output's error semantics.
+func (s *Simulator) OutputHandle(name string) (int, error) {
+	n, ok := s.topScope.lookupNet(name)
+	if !ok {
+		return -1, fmt.Errorf("%w: %q", ErrUnknownNet, name)
+	}
+	return n.idx, nil
+}
+
+// SetInputH drives an input port through its handle (SetInput without the
+// port scan and scope lookup).
+func (s *Simulator) SetInputH(h int, v Value) {
+	n := s.nets[h]
+	s.writeNet(n, 0, v.Resize(n.width))
+}
+
+// SetInputUintH drives an input port with a known integer value through its
+// handle.
+func (s *Simulator) SetInputUintH(h int, x uint64) {
+	n := s.nets[h]
+	s.writeNet(n, 0, NewKnown(n.width, x))
+}
+
+// TickH performs one full clock cycle through the clock's handle.
+func (s *Simulator) TickH(h int) error {
+	s.SetInputUintH(h, 1)
+	if err := s.Settle(); err != nil {
+		return err
+	}
+	s.SetInputUintH(h, 0)
+	return s.Settle()
+}
+
+// HashOutputH folds the net's printed rendering at the given width into a
+// running FNV-1a hash: byte-identical to hashing AppendOutputH's output.
+// The interpreter is the differential referee, not a hot path, so it renders
+// through the boxed Value.
+func (s *Simulator) HashOutputH(hash uint64, h int, width int) uint64 {
+	rendered := s.nets[h].value.Resize(width).String()
+	for i := 0; i < len(rendered); i++ {
+		hash = (hash ^ uint64(rendered[i])) * FNVPrime64
+	}
+	return hash
+}
+
+// AppendOutputH appends the net's binary rendering at the given width,
+// identical to Output(name).Resize(width).String().
+func (s *Simulator) AppendOutputH(dst []byte, h int, width int) []byte {
+	return append(dst, s.nets[h].value.Resize(width).String()...)
+}
+
 // Settle runs delta cycles until no activity remains, or fails with
 // ErrNoConverge.
 func (s *Simulator) Settle() error {

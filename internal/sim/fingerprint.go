@@ -33,6 +33,12 @@ func (en *Engine) HashOutput(h uint64, name string, width int) (uint64, error) {
 	if !ok {
 		return h, fmt.Errorf("%w: %q", ErrUnknownNet, name)
 	}
+	return en.HashOutputH(h, int(idx), width), nil
+}
+
+// HashOutputH is HashOutput through a handle: the streaming fingerprint hot
+// path, with the per-output map lookup hoisted out entirely.
+func (en *Engine) HashOutputH(h uint64, idx int, width int) uint64 {
 	cn := &en.d.nets[idx]
 	sv := en.val[cn.off : cn.off+cn.nw]
 	sx := en.xz[cn.off : cn.off+cn.nw]
@@ -56,5 +62,5 @@ func (en *Engine) HashOutput(h uint64, name string, width int) (uint64, error) {
 		}
 		h = (h ^ b) * FNVPrime64
 	}
-	return h, nil
+	return h
 }

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/verilog/parser"
+)
+
+const handleSrc = `
+module top_module (
+    input clk,
+    input reset,
+    input [6:0] d,
+    output reg [6:0] q,
+    output [6:0] inv
+);
+    always @(posedge clk) begin
+        if (reset) q <= 7'd0;
+        else q <= q + d;
+    end
+    assign inv = ~q;
+endmodule
+`
+
+// handleInstances returns one instance per backend for the shared source.
+func handleInstances(t *testing.T) map[string]Instance {
+	t.Helper()
+	src, err := parser.Parse(handleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp, err := New(src, "top_module")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compile(src, "top_module")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Instance{"interpreter": interp, "compiled": d.NewEngine()}
+}
+
+// TestHandlePathMatchesNamePath drives the same stimulus by name and by
+// handle on both backends and requires identical printed outputs and hashes.
+func TestHandlePathMatchesNamePath(t *testing.T) {
+	for name, inst := range handleInstances(t) {
+		t.Run(name, func(t *testing.T) {
+			clkH, err := inst.InputHandle("clk")
+			if err != nil {
+				t.Fatal(err)
+			}
+			rstH, err := inst.InputHandle("reset")
+			if err != nil {
+				t.Fatal(err)
+			}
+			dH, err := inst.InputHandle("d")
+			if err != nil {
+				t.Fatal(err)
+			}
+			qH, err := inst.OutputHandle("q")
+			if err != nil {
+				t.Fatal(err)
+			}
+			invH, err := inst.OutputHandle("inv")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			inst.SetInputUintH(clkH, 0)
+			inst.SetInputUintH(rstH, 1)
+			if err := inst.TickH(clkH); err != nil {
+				t.Fatal(err)
+			}
+			inst.SetInputUintH(rstH, 0)
+			for step := 0; step < 8; step++ {
+				inst.SetInputH(dH, NewKnown(7, uint64(step*13+5)))
+				if err := inst.TickH(clkH); err != nil {
+					t.Fatal(err)
+				}
+				for _, out := range []struct {
+					name string
+					h    int
+				}{{"q", qH}, {"inv", invH}} {
+					v, err := inst.Output(out.name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := v.Resize(7).String()
+					got := string(inst.AppendOutputH(nil, out.h, 7))
+					if got != want {
+						t.Fatalf("step %d %s: AppendOutputH %q, Output %q", step, out.name, got, want)
+					}
+					wantHash := FNVOffset64
+					for i := 0; i < len(want); i++ {
+						wantHash = (wantHash ^ uint64(want[i])) * FNVPrime64
+					}
+					if gotHash := inst.HashOutputH(FNVOffset64, out.h, 7); gotHash != wantHash {
+						t.Fatalf("step %d %s: HashOutputH mismatch", step, out.name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHandleResolutionErrors pins the error classes handle resolution shares
+// with the name-keyed methods.
+func TestHandleResolutionErrors(t *testing.T) {
+	for name, inst := range handleInstances(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := inst.InputHandle("q"); !errors.Is(err, ErrNotInput) {
+				t.Errorf("InputHandle(output) = %v, want ErrNotInput", err)
+			}
+			if _, err := inst.InputHandle("nosuch"); err == nil {
+				t.Error("InputHandle(unknown) succeeded")
+			}
+			if _, err := inst.OutputHandle("nosuch"); !errors.Is(err, ErrUnknownNet) {
+				t.Errorf("OutputHandle(unknown) = %v, want ErrUnknownNet", err)
+			}
+			if h, err := inst.OutputHandle("q"); err != nil || h < 0 {
+				t.Errorf("OutputHandle(q) = %d, %v", h, err)
+			}
+		})
+	}
+}
+
+// TestHandleWidthResize drives a value wider and narrower than the port and
+// checks SetInputH applies the same Resize semantics as SetInput.
+func TestHandleWidthResize(t *testing.T) {
+	for name, inst := range handleInstances(t) {
+		t.Run(name, func(t *testing.T) {
+			dH, err := inst.InputHandle("d")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range []Value{NewKnown(3, 5), NewKnown(32, 0xFFFF), NewX(7)} {
+				if err := inst.SetInput("d", v); err != nil {
+					t.Fatal(err)
+				}
+				if err := inst.Settle(); err != nil {
+					t.Fatal(err)
+				}
+				want, err := inst.Output("d")
+				if err != nil {
+					t.Fatal(err)
+				}
+				inst.SetInputH(dH, NewKnown(7, 0)) // perturb
+				if err := inst.Settle(); err != nil {
+					t.Fatal(err)
+				}
+				inst.SetInputH(dH, v)
+				if err := inst.Settle(); err != nil {
+					t.Fatal(err)
+				}
+				got, err := inst.Output("d")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("SetInputH(%s) -> %s, SetInput -> %s", v, got, want)
+				}
+			}
+		})
+	}
+}

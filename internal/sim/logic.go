@@ -68,6 +68,30 @@ func NewFromPlanes(width int, val, xz []uint64) Value {
 	return v.mask()
 }
 
+// ValueView wraps existing planes as a Value WITHOUT copying. The planes
+// must hold words(width) properly masked words (no set bits at or above
+// width) and must not be mutated while the view is live — the view aliases
+// them. This is the zero-allocation bridge the compiled testbench schedule
+// uses to drive stimulus words straight from its flat buffers.
+func ValueView(width int, val, xz []uint64) Value {
+	n := words(width)
+	return Value{width: width, val: val[:n], xz: xz[:n]}
+}
+
+// CopyPlanes copies the value's words(Width()) storage words into the
+// destination slices, which must be at least that long. It is the inverse of
+// ValueView: testbench schedules flatten generated stimulus values into
+// reusable plane buffers with it.
+func (v Value) CopyPlanes(dstVal, dstXZ []uint64) {
+	n := words(v.width)
+	copy(dstVal[:n], v.val)
+	copy(dstXZ[:n], v.xz)
+}
+
+// PlaneWords returns words(Width()): the number of storage words CopyPlanes
+// transfers and ValueView expects.
+func (v Value) PlaneWords() int { return words(v.width) }
+
 // Width returns the bit width.
 func (v Value) Width() int { return v.width }
 

@@ -3,6 +3,7 @@ package testbench
 import (
 	"testing"
 
+	"repro/internal/sim"
 	"repro/internal/verilog/parser"
 )
 
@@ -128,5 +129,74 @@ endmodule
 		allocs, len(st.Cases), steps, budget)
 	if allocs > budget {
 		t.Fatalf("one fingerprint run allocates %.0f objects, budget %.0f", allocs, budget)
+	}
+}
+
+// TestScheduleDriveAllocBudget gates the compiled-schedule drive path at its
+// floor: with the Schedule built and the binding resolved (warm state — what
+// every case after the first reuses), driving and fingerprinting a whole
+// test case must allocate exactly ZERO objects. Every map lookup, driveOrder
+// slice, boxed Value, or formatting call that creeps back into the drive
+// loop fails this gate.
+func TestScheduleDriveAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs allocation accounting")
+	}
+	const src = `
+module top_module (
+    input clk,
+    input reset,
+    input [15:0] d,
+    output reg [15:0] q,
+    output [15:0] inv
+);
+    always @(posedge clk) begin
+        if (reset) q <= 16'd0;
+        else q <= q + d;
+    end
+    assign inv = ~q;
+endmodule
+`
+	parsed, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifc := Interface{
+		Inputs: []PortSpec{
+			{Name: "clk", Width: 1}, {Name: "reset", Width: 1}, {Name: "d", Width: 16},
+		},
+		Outputs: []PortSpec{{Name: "q", Width: 16}, {Name: "inv", Width: 16}},
+		Clock:   "clk",
+		Reset:   "reset",
+	}
+	st := NewGenerator(9).Verification(ifc)
+	sc := st.schedule()
+	if sc == nil {
+		t.Fatal("generated stimulus must compile to a schedule")
+	}
+	d, err := sim.CompileCached(parsed, "top_module")
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := d.AcquireEngine()
+	defer d.ReleaseEngine(en)
+	b, ok := sc.bind(en, &st.Ifc)
+	if !ok {
+		t.Fatal("binding failed")
+	}
+
+	var last uint64
+	drive := func() {
+		fp, ferr := runCaseFPSched(en, st, sc, &b, 0)
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		last = fp
+	}
+	drive() // warm queue buffers
+	allocs := testing.AllocsPerRun(20, drive)
+	t.Logf("warm scheduled case: %.0f allocs (%d steps), fp=%#x", allocs, len(st.Cases[0].Steps), last)
+	if allocs != 0 {
+		t.Fatalf("warm scheduled fingerprint case allocates %.0f objects, want 0", allocs)
 	}
 }

@@ -1,0 +1,267 @@
+package testbench
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Schedule is the compiled form of a Stimulus: the drive order fixed once,
+// every stimulus value flattened into two reusable word planes, and per-case
+// step extents precomputed. Where the interpreted path walks
+// map[string]sim.Value steps — sorting names, hashing strings, and boxing
+// values on every drive — the scheduled path is a loop over int-indexed
+// records: zero map lookups, zero driveOrder allocations, zero formatting.
+//
+// A Schedule captures only the design-independent half of a run. The
+// design-dependent half — which net each drive position and output column
+// lands on — is resolved once per run into a binding (see Schedule.bind),
+// because handles belong to a design, not to a stimulus.
+//
+// Schedules require a *regular* stimulus: every step of every case drives
+// the same input names at the same widths. Generator-built stimuli are
+// regular by construction; hand-built irregular stimuli fall back to the
+// interpreted path (Stimulus.schedule returns nil).
+type Schedule struct {
+	names    []string // drive order: sorted input names, incl. reset, excl. clock
+	widths   []int32  // stimulus value width per drive position
+	wordsOf  []int32  // words per drive position (words(widths[i]))
+	rowWords int      // total words per step row
+	stepOff  []int32  // per case: index of its first step row; len NumCases+1
+	val, xz  []uint64 // flattened stimulus planes, stepOff[c]*rowWords + position offsets
+}
+
+// buildSchedule compiles st into a Schedule, or returns nil when the
+// stimulus is irregular (or empty of steps, where scheduling buys nothing).
+func buildSchedule(st *Stimulus) *Schedule {
+	var first *Step
+	for ci := range st.Cases {
+		if len(st.Cases[ci].Steps) > 0 {
+			first = &st.Cases[ci].Steps[0]
+			break
+		}
+	}
+	if first == nil {
+		return nil
+	}
+	names := make([]string, 0, len(first.Inputs))
+	for name := range first.Inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	sc := &Schedule{
+		names:   names,
+		widths:  make([]int32, len(names)),
+		wordsOf: make([]int32, len(names)),
+	}
+	for i, name := range names {
+		w := first.Inputs[name].Width()
+		nw := first.Inputs[name].PlaneWords()
+		sc.widths[i] = int32(w)
+		sc.wordsOf[i] = int32(nw)
+		sc.rowWords += nw
+	}
+
+	// Regularity check + step counting in one pass.
+	totalSteps := 0
+	sc.stepOff = make([]int32, len(st.Cases)+1)
+	for ci := range st.Cases {
+		sc.stepOff[ci] = int32(totalSteps)
+		for si := range st.Cases[ci].Steps {
+			step := &st.Cases[ci].Steps[si]
+			if len(step.Inputs) != len(names) {
+				return nil
+			}
+			for i, name := range names {
+				v, ok := step.Inputs[name]
+				if !ok || int32(v.Width()) != sc.widths[i] {
+					return nil
+				}
+			}
+			totalSteps++
+		}
+	}
+	sc.stepOff[len(st.Cases)] = int32(totalSteps)
+
+	sc.val = make([]uint64, totalSteps*sc.rowWords)
+	sc.xz = make([]uint64, totalSteps*sc.rowWords)
+	off := 0
+	for ci := range st.Cases {
+		for si := range st.Cases[ci].Steps {
+			step := &st.Cases[ci].Steps[si]
+			for i, name := range names {
+				v := step.Inputs[name]
+				nw := int(sc.wordsOf[i])
+				v.CopyPlanes(sc.val[off:off+nw], sc.xz[off:off+nw])
+				off += nw
+			}
+		}
+	}
+	return sc
+}
+
+// schedule returns the stimulus's compiled schedule, building it at most
+// once (the stimulus cache shares Stimulus values across goroutines, so the
+// build is Once-guarded). Returns nil for irregular stimuli.
+func (st *Stimulus) schedule() *Schedule {
+	st.schedOnce.Do(func() { st.sched = buildSchedule(st) })
+	return st.sched
+}
+
+// binding resolves a Schedule's names against one design: the clock handle
+// (-1 for combinational interfaces), one input handle per drive position,
+// and one output handle per interface output column.
+type binding struct {
+	clock int
+	ins   []int
+	outs  []int
+}
+
+// --- Binding cache ---------------------------------------------------------
+//
+// On the compiled backend a binding is a pure function of (Design, Schedule)
+// — both of which are process-wide cached objects that recur across every
+// candidate of every variant — so bindings are memoized the same way.
+// Interpreter bindings stay per-run (each run re-elaborates anyway).
+
+type bindKey struct {
+	d  *sim.Design
+	sc *Schedule
+}
+
+type bindEntry struct {
+	b  binding
+	ok bool
+}
+
+var (
+	bindMu   sync.Mutex
+	bindMemo = make(map[bindKey]*bindEntry)
+)
+
+// bindMemoCap matches the compile cache's capacity: the memo's strong
+// *sim.Design keys pin designs (and their pooled engines) against the LRU's
+// eviction, so the cap bounds that pinning to about one LRU's worth before
+// the wholesale flush lets evicted designs go.
+const bindMemoCap = 1024
+
+// cachedBind resolves (and memoizes) the binding of sc against the compiled
+// design d, probing handles on inst.
+func cachedBind(d *sim.Design, sc *Schedule, inst sim.Instance, ifc *Interface) (binding, bool) {
+	key := bindKey{d: d, sc: sc}
+	bindMu.Lock()
+	if e, hit := bindMemo[key]; hit {
+		bindMu.Unlock()
+		return e.b, e.ok
+	}
+	bindMu.Unlock()
+	b, ok := sc.bind(inst, ifc)
+	bindMu.Lock()
+	if len(bindMemo) >= bindMemoCap {
+		bindMemo = make(map[bindKey]*bindEntry, bindMemoCap)
+	}
+	bindMemo[key] = &bindEntry{b: b, ok: ok}
+	bindMu.Unlock()
+	return b, ok
+}
+
+// bind resolves every handle the scheduled run needs, once. Any resolution
+// failure (a candidate missing an expected port, an interface output that is
+// not a top-level net) aborts the binding and the run falls back to the
+// name-keyed path, which reproduces the interpreted error behavior
+// byte-for-byte.
+func (sc *Schedule) bind(s sim.Instance, ifc *Interface) (binding, bool) {
+	b := binding{clock: -1, ins: make([]int, len(sc.names)), outs: make([]int, len(ifc.Outputs))}
+	if ifc.Clock != "" {
+		h, err := s.InputHandle(ifc.Clock)
+		if err != nil {
+			return binding{}, false
+		}
+		b.clock = h
+	}
+	for i, name := range sc.names {
+		h, err := s.InputHandle(name)
+		if err != nil {
+			return binding{}, false
+		}
+		b.ins[i] = h
+	}
+	for i, out := range ifc.Outputs {
+		h, err := s.OutputHandle(out.Name)
+		if err != nil {
+			return binding{}, false
+		}
+		b.outs[i] = h
+	}
+	return b, true
+}
+
+// driveStep drives one step row through the binding's input handles, in the
+// schedule's fixed (sorted) order, and advances the simulation one step
+// (clock tick or settle). rowOff is the word offset of the step's row.
+func (sc *Schedule) driveStep(s sim.Instance, b *binding, rowOff int) error {
+	off := rowOff
+	for i, h := range b.ins {
+		nw := int(sc.wordsOf[i])
+		s.SetInputH(h, sim.ValueView(int(sc.widths[i]), sc.val[off:off+nw], sc.xz[off:off+nw]))
+		off += nw
+	}
+	if b.clock >= 0 {
+		return s.TickH(b.clock)
+	}
+	return s.Settle()
+}
+
+// runCaseSched is runCase on the scheduled fast path: same drives, same
+// advance, same recorded bytes — with every name resolved ahead of time.
+func runCaseSched(s sim.Instance, st *Stimulus, sc *Schedule, b *binding, ci int) (CaseTrace, error) {
+	var ct CaseTrace
+	if b.clock >= 0 {
+		s.SetInputUintH(b.clock, 0)
+	}
+	nOuts := len(st.Ifc.Outputs)
+	nSteps := int(sc.stepOff[ci+1] - sc.stepOff[ci])
+	steps := make([]StepRecord, 0, nSteps)
+	flat := make([]string, nSteps*nOuts)
+	var scratch []byte
+	row := int(sc.stepOff[ci]) * sc.rowWords
+	for si := 0; si < nSteps; si++ {
+		if err := sc.driveStep(s, b, row); err != nil {
+			return ct, err
+		}
+		row += sc.rowWords
+		rec := StepRecord{Outputs: flat[:nOuts:nOuts]}
+		flat = flat[nOuts:]
+		for i, out := range st.Ifc.Outputs {
+			scratch = s.AppendOutputH(scratch[:0], b.outs[i], out.Width)
+			rec.Outputs[i] = string(scratch)
+		}
+		steps = append(steps, rec)
+	}
+	ct.Steps = steps
+	return ct, nil
+}
+
+// runCaseFPSched is runCaseFP on the scheduled fast path: it folds exactly
+// the bytes runCaseSched records, allocating nothing per step or output.
+func runCaseFPSched(s sim.Instance, st *Stimulus, sc *Schedule, b *binding, ci int) (uint64, error) {
+	if b.clock >= 0 {
+		s.SetInputUintH(b.clock, 0)
+	}
+	h := fnvOffset64
+	nSteps := int(sc.stepOff[ci+1] - sc.stepOff[ci])
+	row := int(sc.stepOff[ci]) * sc.rowWords
+	for si := 0; si < nSteps; si++ {
+		if err := sc.driveStep(s, b, row); err != nil {
+			return 0, err
+		}
+		row += sc.rowWords
+		for i, out := range st.Ifc.Outputs {
+			h = s.HashOutputH(h, b.outs[i], out.Width)
+			h = fnvByte(h, '\n')
+		}
+	}
+	return h, nil
+}

@@ -17,13 +17,14 @@ package testbench
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
 	"repro/internal/sim"
 	"repro/internal/verilog/ast"
+	"repro/internal/xrng"
 )
 
 // ErrRun is the sentinel for stimulus execution failures.
@@ -104,6 +105,11 @@ type Case struct {
 type Stimulus struct {
 	Ifc   Interface
 	Cases []Case
+
+	// sched caches the compiled Schedule (built on first run; Once-guarded
+	// because cached stimuli are shared across ranking workers).
+	schedOnce sync.Once
+	sched     *Schedule
 }
 
 // NumCases returns the number of test cases.
@@ -111,7 +117,7 @@ func (st *Stimulus) NumCases() int { return len(st.Cases) }
 
 // Generator builds stimulus deterministically from a seed.
 type Generator struct {
-	rng *rand.Rand
+	rng *xrng.Rand
 
 	// MaxCombVectors bounds combinational vector counts (exhaustive
 	// enumeration is used when the input space is smaller).
@@ -126,10 +132,12 @@ type Generator struct {
 }
 
 // NewGenerator returns a generator with the given seed and defaults
-// resembling the lightweight testbenches of the ranking stage.
+// resembling the lightweight testbenches of the ranking stage. Seeding is a
+// single word (xrng), not math/rand's 607-word lagged-Fibonacci warmup —
+// generator construction is no longer visible in the CPU profile.
 func NewGenerator(seed int64) *Generator {
 	return &Generator{
-		rng:            rand.New(rand.NewSource(seed)),
+		rng:            xrng.New(uint64(seed)),
 		MaxCombVectors: 32,
 		SeqCases:       3,
 		SeqSteps:       12,
@@ -196,12 +204,31 @@ func cachedStimulus(key string, build func() *Stimulus) *Stimulus {
 // stimKey identifies a stimulus by everything generation depends on.
 func stimKey(kind string, seed int64, imperfection float64, ifc Interface) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%d|%g|%s|%s|%v", kind, seed, imperfection, ifc.Clock, ifc.Reset, ifc.ResetActiveLow)
+	b.Grow(64)
+	b.WriteString(kind)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(seed, 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(imperfection, 'g', -1, 64))
+	b.WriteByte('|')
+	b.WriteString(ifc.Clock)
+	b.WriteByte('|')
+	b.WriteString(ifc.Reset)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatBool(ifc.ResetActiveLow))
+	port := func(tag byte, p PortSpec) {
+		b.WriteByte('|')
+		b.WriteByte(tag)
+		b.WriteByte(':')
+		b.WriteString(p.Name)
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(p.Width))
+	}
 	for _, p := range ifc.Inputs {
-		fmt.Fprintf(&b, "|i:%s:%d", p.Name, p.Width)
+		port('i', p)
 	}
 	for _, p := range ifc.Outputs {
-		fmt.Fprintf(&b, "|o:%s:%d", p.Name, p.Width)
+		port('o', p)
 	}
 	return b.String()
 }
@@ -671,13 +698,51 @@ func (is *instSource) release(s sim.Instance) {
 	}
 }
 
+// caseRunner carries the per-run schedule state forEachCase threads through
+// a run: the compiled schedule (nil for irregular stimuli) and its handle
+// binding, resolved on the run's first instance and reused for every case
+// (handles are stable across instances of one design on one backend). A
+// failed binding — a candidate missing an expected port — clears sched, and
+// every case takes the name-keyed legacy path, reproducing the interpreted
+// error behavior byte-for-byte.
+type caseRunner struct {
+	sched *Schedule
+	bind  binding
+	bound bool
+}
+
+// prepare resolves the binding on the first visited instance. Compiled
+// designs hit the process-wide binding memo (one resolution per
+// (design, schedule) pair ever); interpreter instances resolve per run.
+func (cr *caseRunner) prepare(d *sim.Design, s sim.Instance, ifc *Interface) {
+	if cr.bound {
+		return
+	}
+	cr.bound = true
+	if cr.sched == nil {
+		return
+	}
+	var b binding
+	var ok bool
+	if d != nil {
+		b, ok = cachedBind(d, cr.sched, s, ifc)
+	} else {
+		b, ok = cr.sched.bind(s, ifc)
+	}
+	if !ok {
+		cr.sched = nil
+		return
+	}
+	cr.bind = b
+}
+
 // forEachCase drives the shared per-case instance lifecycle of RunBackend
 // and RunFingerprint: each sequential test case gets a fresh simulator
 // instance so cases are independent; combinational interfaces reuse one
 // instance across cases (deterministic for both golden and candidates, so
 // comparisons stay apples-to-apples even for buggy candidates with
 // accidental state). Errors are wrapped with ErrRun.
-func forEachCase(src *ast.Source, top string, st *Stimulus, backend Backend, visit func(s sim.Instance, c *Case) error) error {
+func forEachCase(src *ast.Source, top string, st *Stimulus, backend Backend, cr *caseRunner, visit func(s sim.Instance, ci int) error) error {
 	is, err := newInstSource(src, top, backend)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrRun, err)
@@ -696,7 +761,8 @@ func forEachCase(src *ast.Source, top string, st *Stimulus, backend Backend, vis
 				return fmt.Errorf("%w: %v", ErrRun, err)
 			}
 		}
-		verr := visit(s, &st.Cases[i])
+		cr.prepare(is.d, s, &st.Ifc)
+		verr := visit(s, i)
 		if s != shared {
 			// Release per case so the next case recycles this engine.
 			is.release(s)
@@ -714,8 +780,15 @@ func forEachCase(src *ast.Source, top string, st *Stimulus, backend Backend, vis
 // with nobody.
 func RunBackend(src *ast.Source, top string, st *Stimulus, backend Backend) *Trace {
 	tr := &Trace{Ifc: st.Ifc, Cases: make([]CaseTrace, 0, len(st.Cases))}
-	tr.Err = forEachCase(src, top, st, backend, func(s sim.Instance, c *Case) error {
-		ct, err := runCase(s, st, c)
+	cr := caseRunner{sched: st.schedule()}
+	tr.Err = forEachCase(src, top, st, backend, &cr, func(s sim.Instance, ci int) error {
+		var ct CaseTrace
+		var err error
+		if cr.sched != nil {
+			ct, err = runCaseSched(s, st, cr.sched, &cr.bind, ci)
+		} else {
+			ct, err = runCase(s, st, &st.Cases[ci])
+		}
 		if err != nil {
 			return err
 		}
@@ -728,14 +801,21 @@ func RunBackend(src *ast.Source, top string, st *Stimulus, backend Backend) *Tra
 // RunFingerprint executes the stimulus exactly like RunBackend but records
 // only per-case fingerprints: no StepRecord strings are ever materialized.
 // On the compiled backend the engine folds output bits straight into the
-// running hash (sim.Engine.HashOutput), so a whole run allocates a small
+// running hash (sim.Engine.HashOutputH), so a whole run allocates a small
 // constant independent of case and step counts. Errors fold into the trace
 // exactly as in RunBackend, and every fingerprint equals the one the printed
 // trace of the same run would produce.
 func RunFingerprint(src *ast.Source, top string, st *Stimulus, backend Backend) *FPTrace {
 	tr := &FPTrace{Ifc: st.Ifc, CaseFPs: make([]uint64, 0, len(st.Cases))}
-	tr.Err = forEachCase(src, top, st, backend, func(s sim.Instance, c *Case) error {
-		fp, err := runCaseFP(s, st, c)
+	cr := caseRunner{sched: st.schedule()}
+	tr.Err = forEachCase(src, top, st, backend, &cr, func(s sim.Instance, ci int) error {
+		var fp uint64
+		var err error
+		if cr.sched != nil {
+			fp, err = runCaseFPSched(s, st, cr.sched, &cr.bind, ci)
+		} else {
+			fp, err = runCaseFP(s, st, &st.Cases[ci])
+		}
 		if err != nil {
 			return err
 		}
