@@ -119,6 +119,12 @@ type Config struct {
 	// every core (the experiment drivers already parallelize across tasks,
 	// so they keep per-pipeline ranking sequential).
 	Workers int
+	// GangSize is how many candidates a ranking worker simulates in
+	// lockstep per pickup (testbench.RunFingerprintGang): each gang decodes
+	// the shared stimulus schedule once for all its lanes. Results are
+	// bit-identical for any value. Zero selects DefaultGangSize; 1 degrades
+	// to solo runs. Ignored on the legacy-trace path.
+	GangSize int
 	// LegacyTraces forces the ranking stage onto the retained string-trace
 	// path: every candidate keeps a full printed Trace and clustering
 	// re-derives fingerprints from it. The default (false) streams
@@ -134,6 +140,12 @@ type Config struct {
 // default shared by the experiment drivers (Table I, Fig. 3, Fig. 4) and
 // the CLI.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// DefaultGangSize is the ranking gang width used when a config leaves
+// GangSize unset. Eight lanes amortize the schedule decode well while a
+// typical ranked pool (tens of unique candidates) still splits into enough
+// gangs to keep a multi-worker pool busy.
+const DefaultGangSize = 8
 
 // DefaultConfig returns the paper's settings for a variant and model.
 func DefaultConfig(v Variant, model string) Config {

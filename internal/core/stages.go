@@ -155,25 +155,42 @@ func (p *Pipeline) rank(res *Result) error {
 		jobOf[i] = j
 	}
 
-	// Pass 2: simulate each unique design, in parallel when configured.
+	// Pass 2: simulate each unique design. The fingerprint path batches
+	// jobs into gangs of GangSize lanes advancing in lockstep over the
+	// shared schedule; a worker picks up a whole gang. Gang results are
+	// bit-identical to solo runs, and batches are indexed, so results are
+	// bit-identical for any gang size and worker count. The legacy-trace
+	// referee keeps its one-candidate-per-worker shape.
 	var (
 		traces []*testbench.Trace
 		fps    []*testbench.FPTrace
 		run    func(j int)
+		nUnits int
 	)
+	gang := p.cfg.GangSize
+	if gang <= 0 {
+		gang = DefaultGangSize
+	}
 	if p.cfg.LegacyTraces {
+		nUnits = len(jobs)
 		traces = make([]*testbench.Trace, len(jobs))
 		run = func(j int) {
 			traces[j] = testbench.RunBackend(jobs[j], eval.TopModule, st, p.cfg.Backend)
 		}
 	} else {
+		nUnits = (len(jobs) + gang - 1) / gang
 		fps = make([]*testbench.FPTrace, len(jobs))
-		run = func(j int) {
-			fps[j] = testbench.RunFingerprint(jobs[j], eval.TopModule, st, p.cfg.Backend)
+		run = func(b int) {
+			lo := b * gang
+			hi := lo + gang
+			if hi > len(jobs) {
+				hi = len(jobs)
+			}
+			copy(fps[lo:hi], testbench.RunFingerprintGang(jobs[lo:hi], eval.TopModule, st, p.cfg.Backend, nil))
 		}
 	}
-	if workers := p.workerCount(len(jobs)); workers <= 1 {
-		for j := range jobs {
+	if workers := p.workerCount(nUnits); workers <= 1 {
+		for j := 0; j < nUnits; j++ {
 			run(j)
 		}
 	} else {
@@ -188,7 +205,7 @@ func (p *Pipeline) rank(res *Result) error {
 				}
 			}()
 		}
-		for j := range jobs {
+		for j := 0; j < nUnits; j++ {
 			next <- j
 		}
 		close(next)

@@ -11,7 +11,9 @@ import (
 	"sync"
 
 	"repro/internal/eval"
+	"repro/internal/sim"
 	"repro/internal/testbench"
+	"repro/internal/verilog/ast"
 )
 
 // oracleBackend note: golden traces and candidate traces always run on the
@@ -42,6 +44,7 @@ type Oracle struct {
 	stimul   map[string]*testbench.Stimulus
 	golden   map[string]*testbench.FPTrace
 	goldenTr map[string]*testbench.Trace
+	goldenD  map[string]*sim.Design // compiled golden: delta-compilation base
 	verdicts map[verdictKey]bool
 }
 
@@ -61,6 +64,7 @@ func NewOracle(tasks []eval.Task, seed int64) *Oracle {
 		stimul:   make(map[string]*testbench.Stimulus, len(tasks)),
 		golden:   make(map[string]*testbench.FPTrace, len(tasks)),
 		goldenTr: make(map[string]*testbench.Trace, len(tasks)),
+		goldenD:  make(map[string]*sim.Design, len(tasks)),
 		verdicts: make(map[verdictKey]bool),
 	}
 	for _, t := range tasks {
@@ -105,6 +109,14 @@ func (o *Oracle) prepare(taskID string) (*testbench.Stimulus, *testbench.FPTrace
 		}
 	}
 	golden.Fingerprint() // warm the memo before concurrent reads
+	if o.Backend != testbench.BackendInterpreter {
+		// The compiled golden is the delta-compilation base for candidate
+		// batches: mutants share its netlist layout, so their unmutated
+		// processes splice in instead of re-lowering.
+		if d, derr := sim.CompileCached(src, eval.TopModule); derr == nil {
+			o.goldenD[taskID] = d
+		}
+	}
 	o.stimul[taskID] = st
 	o.golden[taskID] = golden
 	return st, golden, goldenTr, nil
@@ -140,6 +152,88 @@ func (o *Oracle) Verify(taskID, code string) (bool, error) {
 	o.verdicts[key] = verdict
 	o.mu.Unlock()
 	return verdict, nil
+}
+
+// VerifyBatch is Verify over a batch of candidates for one task: verdicts
+// are identical to per-candidate Verify calls, but all unverified
+// parseable candidates are simulated as one gang over the shared dense
+// verification stimulus, with the compiled golden as delta-compilation
+// base. The legacy-trace referee path stays per-candidate.
+func (o *Oracle) VerifyBatch(taskID string, codes []string) ([]bool, error) {
+	out := make([]bool, len(codes))
+	keys := make([]verdictKey, len(codes))
+	pending := make([]int, 0, len(codes)) // first index per unresolved unique key
+	seen := make(map[verdictKey]bool, len(codes))
+	o.mu.Lock()
+	for i, code := range codes {
+		keys[i] = verdictKey{taskID: taskID, code: hashCode(code)}
+		if _, hit := o.verdicts[keys[i]]; !hit && !seen[keys[i]] {
+			seen[keys[i]] = true
+			pending = append(pending, i)
+		}
+	}
+	o.mu.Unlock()
+
+	if len(pending) > 0 {
+		st, golden, goldenTr, err := o.prepare(taskID)
+		if err != nil {
+			return nil, err
+		}
+		verdicts := make([]bool, len(pending))
+		if o.LegacyTraces && goldenTr != nil {
+			for k, i := range pending {
+				src := mustParse(codes[i])
+				if src == nil {
+					continue // unparseable: verdict stays false
+				}
+				tr := testbench.RunBackend(src, eval.TopModule, st, o.Backend)
+				verdicts[k] = tr.Err == nil && testbench.Agrees(tr, goldenTr)
+			}
+		} else {
+			srcs := make([]*ast.Source, len(pending))
+			for k, i := range pending {
+				srcs[k] = mustParse(codes[i])
+			}
+			gangSrcs := make([]*ast.Source, 0, len(srcs))
+			gangAt := make([]int, 0, len(srcs))
+			for k, src := range srcs {
+				if src != nil {
+					gangSrcs = append(gangSrcs, src)
+					gangAt = append(gangAt, k)
+				}
+			}
+			o.mu.Lock()
+			base := o.goldenD[taskID]
+			o.mu.Unlock()
+			trs := testbench.RunFingerprintGang(gangSrcs, eval.TopModule, st, o.Backend, base)
+			for j, k := range gangAt {
+				tr := trs[j]
+				verdicts[k] = tr.Err == nil && testbench.FPAgrees(tr, golden)
+			}
+		}
+		o.mu.Lock()
+		for k, i := range pending {
+			o.verdicts[keys[i]] = verdicts[k]
+		}
+		o.mu.Unlock()
+	}
+
+	o.mu.Lock()
+	for i := range codes {
+		out[i] = o.verdicts[keys[i]]
+	}
+	o.mu.Unlock()
+	return out, nil
+}
+
+// mustParse returns the parsed source when the code is a valid candidate
+// containing the top module, else nil (verdict false, as in Verify).
+func mustParse(code string) *ast.Source {
+	src, err := eval.ParseCached(code)
+	if err != nil || src.FindModule(eval.TopModule) == nil {
+		return nil
+	}
+	return src
 }
 
 func hashCode(code string) uint64 {

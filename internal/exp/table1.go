@@ -180,16 +180,21 @@ func evalTaskRun(ctx context.Context, cfg Table1Config, oracle *Oracle, profile 
 		return pipe.Run(ctx, task)
 	}
 
-	// Baseline: verify the raw pool (attempt-0 candidates).
+	// Baseline: verify the raw pool (attempt-0 candidates) as one gang
+	// batch — verdicts identical to per-candidate Verify calls.
 	baseRes, err := runVariant(core.VariantBaseline)
 	if err != nil {
 		return out, err
 	}
-	for _, c := range baseRes.Candidates {
-		ok, verr := oracle.Verify(task.ID, c.Code)
-		if verr != nil {
-			return out, verr
-		}
+	pool := make([]string, len(baseRes.Candidates))
+	for i, c := range baseRes.Candidates {
+		pool[i] = c.Code
+	}
+	verdicts, err := oracle.VerifyBatch(task.ID, pool)
+	if err != nil {
+		return out, err
+	}
+	for _, ok := range verdicts {
 		if ok {
 			out.correct++
 		}

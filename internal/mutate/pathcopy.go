@@ -429,3 +429,28 @@ func copyShallow(node any) any {
 		panic(fmt.Sprintf("mutate: copyShallow on %T", node))
 	}
 }
+
+// MutatedItems exposes the path-copy provenance of a mutant: the indices of
+// mut's top-level items that are not pointer-shared with base. Because
+// Semantic's copy mode freshens exactly the spine from the module root to
+// each mutation anchor, the returned indices are precisely the items a
+// mutation touched — the "mutated spine" a delta-aware compiler re-lowers
+// while splicing every shared item's artifact from the base design. A mutant
+// whose item list changed length (not produced by path-copy mutation, or
+// restructured by a cosmetic pass) reports every index as mutated.
+func MutatedItems(base, mut *ast.Module) []int {
+	if len(base.Items) != len(mut.Items) {
+		all := make([]int, len(mut.Items))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	var diff []int
+	for i := range mut.Items {
+		if mut.Items[i] != base.Items[i] {
+			diff = append(diff, i)
+		}
+	}
+	return diff
+}

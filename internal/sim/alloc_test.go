@@ -269,3 +269,54 @@ func TestEngineResetMatchesFresh(t *testing.T) {
 		}
 	}
 }
+
+// TestDeltaEngineTickZeroAlloc gates the delta-compilation path at the same
+// floor as from-scratch compilation: an engine of a design whose processes
+// were spliced from a base's artifacts must tick with zero steady-state
+// allocations (the spliced closures address the same register file layout).
+func TestDeltaEngineTickZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs sync.Pool and allocation accounting")
+	}
+	base := compileMust(t, allocSeq, "top_module")
+	parsed, err := parser.Parse(allocSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := CompileDelta(base, parsed, "top_module")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DeltaReused() == 0 {
+		t.Fatal("delta compile of the identical source reused nothing")
+	}
+	en := d.NewEngine()
+	if err := en.SetInputUint("reset", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := en.Tick("clk"); err != nil {
+		t.Fatal(err)
+	}
+	if err := en.SetInputUint("reset", 0); err != nil {
+		t.Fatal(err)
+	}
+	step := func(i uint64) {
+		if err := en.SetInputUint("d", 0x2468_ACE0^i); err != nil {
+			t.Fatal(err)
+		}
+		if err := en.Tick("clk"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 8; i++ {
+		step(i)
+	}
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		i++
+		step(i)
+	})
+	if allocs != 0 {
+		t.Fatalf("delta-compiled engine allocates %.1f objects/run, want 0", allocs)
+	}
+}

@@ -76,6 +76,12 @@ type cacheEntry struct {
 	compile func() (*Design, error)
 	d       *Design
 	err     error
+	// done flips after resolve completes. The LRU eviction loop reads it to
+	// pin in-flight entries: evicting an entry before its resolve() ran
+	// would hand every subsequent caller of that key a fresh entry and a
+	// fresh compilation, defeating the single-flight guarantee exactly when
+	// it matters (a burst of concurrent callers on a cold key).
+	done atomic.Bool
 }
 
 // resolve runs the compilation exactly once (whichever caller gets here
@@ -84,6 +90,7 @@ func (e *cacheEntry) resolve() (*Design, error) {
 	e.once.Do(func() {
 		e.d, e.err = e.compile()
 		e.compile = nil
+		e.done.Store(true)
 	})
 	return e.d, e.err
 }
@@ -103,7 +110,26 @@ func NewCompileCache(capacity int) *CompileCache {
 // Get returns the compiled design for src/top, compiling at most once per
 // canonical source even under concurrent callers.
 func (c *CompileCache) Get(src *ast.Source, top string) (*Design, error) {
-	key := cacheKey{hash: CanonicalKey(src), top: top}
+	return c.get(cacheKey{hash: CanonicalKey(src), top: top},
+		func() (*Design, error) { return Compile(src, top) })
+}
+
+// GetDelta is Get with a delta-compilation base: a cache miss compiles
+// src through CompileDelta(base, ...), reusing the base design's per-process
+// artifacts where layout and process hashes line up. The cache key is the
+// same as Get's — a delta compilation of a source is behaviorally identical
+// to a from-scratch one (held together by differential tests), so both entry
+// points share entries.
+func (c *CompileCache) GetDelta(base *Design, src *ast.Source, top string) (*Design, error) {
+	return c.get(cacheKey{hash: CanonicalKey(src), top: top},
+		func() (*Design, error) { return CompileDelta(base, src, top) })
+}
+
+// get looks up or inserts the entry for key, evicting only *resolved*
+// entries past the cap (unresolved ones stay pinned until their compilation
+// finishes; the cache may transiently exceed cap by the number of in-flight
+// compilations).
+func (c *CompileCache) get(key cacheKey, compile func() (*Design, error)) (*Design, error) {
 	c.mu.Lock()
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
@@ -112,11 +138,17 @@ func (c *CompileCache) Get(src *ast.Source, top string) (*Design, error) {
 		c.hits.Add(1)
 		return e.resolve()
 	}
-	e := &cacheEntry{compile: func() (*Design, error) { return Compile(src, top) }}
+	e := &cacheEntry{compile: compile}
 	el := c.ll.PushFront(&cacheItem{key: key, entry: e})
 	c.m[key] = el
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
+		for oldest != nil && !oldest.Value.(*cacheItem).entry.done.Load() {
+			oldest = oldest.Prev()
+		}
+		if oldest == nil {
+			break // every entry is in flight; retry eviction on later inserts
+		}
 		c.ll.Remove(oldest)
 		delete(c.m, oldest.Value.(*cacheItem).key)
 	}
@@ -150,4 +182,14 @@ var DefaultCache = NewCompileCache(defaultCacheCapacity)
 // canonically equal) candidates skip elaboration and compilation entirely.
 func CompileCached(src *ast.Source, top string) (*Design, error) {
 	return DefaultCache.Get(src, top)
+}
+
+// CompileDeltaCached is CompileDelta through the process-wide cache: on a
+// miss the mutant is lowered against base (nil base degrades to a plain
+// Compile), on a hit delta and non-delta callers share one design.
+func CompileDeltaCached(base *Design, src *ast.Source, top string) (*Design, error) {
+	if base == nil {
+		return DefaultCache.Get(src, top)
+	}
+	return DefaultCache.GetDelta(base, src, top)
 }

@@ -38,7 +38,7 @@ func compileForTest(t *testing.T, src, top string, forceBoxed bool) *Design {
 	if err != nil {
 		t.Fatalf("elaborate: %v\n%s", err, src)
 	}
-	d, err := compileFrom(s, forceBoxed)
+	d, err := compileFrom(s, forceBoxed, nil)
 	if err != nil {
 		t.Fatalf("compile(forceBoxed=%v): %v\n%s", forceBoxed, err, src)
 	}

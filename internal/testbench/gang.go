@@ -1,0 +1,256 @@
+package testbench
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+	"repro/internal/verilog/ast"
+)
+
+// --- Fingerprint memo --------------------------------------------------------
+//
+// A compiled fingerprint run is a pure function of (Design, Stimulus): the
+// design fixes behavior, the stimulus fixes drives, and FPTrace records
+// nothing else. Both keys are process-wide cached objects (sim.DefaultCache,
+// the stimulus memo), so identical pairs recur constantly — the same
+// candidate ranked under three pipeline variants, verified against the same
+// dense stimulus across runs, re-simulated per bench iteration. The memo is
+// single-flight (claim/publish/wait) so concurrent gangs and solo runs never
+// duplicate a run, and LRU-bounded with in-flight entries pinned, following
+// the discipline of the compile and bind caches.
+
+type fpKey struct {
+	d  *sim.Design
+	st *Stimulus
+}
+
+// fpEntry is one single-flight memo slot. claim marks the caller as the
+// computing owner; publish warms the trace's lazy whole-run fingerprint
+// (after which the shared FPTrace is read-only) and releases waiters.
+type fpEntry struct {
+	claimed atomic.Bool
+	ready   chan struct{}
+	tr      *FPTrace
+}
+
+func (e *fpEntry) claim() bool { return e.claimed.CompareAndSwap(false, true) }
+
+func (e *fpEntry) publish(tr *FPTrace) {
+	tr.Fingerprint()
+	e.tr = tr
+	close(e.ready)
+}
+
+func (e *fpEntry) wait() *FPTrace {
+	<-e.ready
+	return e.tr
+}
+
+func (e *fpEntry) done() bool {
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+type fpItem struct {
+	key fpKey
+	e   *fpEntry
+}
+
+var (
+	fpMu   sync.Mutex
+	fpLL   = list.New() // front = most recently used
+	fpMemo = make(map[fpKey]*list.Element)
+)
+
+// fpMemoCap bounds retained traces. A verification-grade FPTrace is a few
+// hundred uint64s, so the memo tops out around a few megabytes; like the
+// bind memo, its strong design keys pin at most one LRU's worth of designs.
+const fpMemoCap = 4096
+
+// fpClaim returns the memo entry for (d, st), inserting a fresh unclaimed
+// one on a miss. Eviction skips entries whose run is still in flight.
+func fpClaim(d *sim.Design, st *Stimulus) *fpEntry {
+	key := fpKey{d: d, st: st}
+	fpMu.Lock()
+	defer fpMu.Unlock()
+	if el, hit := fpMemo[key]; hit {
+		fpLL.MoveToFront(el)
+		return el.Value.(*fpItem).e
+	}
+	e := &fpEntry{ready: make(chan struct{})}
+	fpMemo[key] = fpLL.PushFront(&fpItem{key: key, e: e})
+	for fpLL.Len() > fpMemoCap {
+		oldest := fpLL.Back()
+		for oldest != nil && !oldest.Value.(*fpItem).e.done() {
+			oldest = oldest.Prev()
+		}
+		if oldest == nil {
+			break
+		}
+		fpLL.Remove(oldest)
+		delete(fpMemo, oldest.Value.(*fpItem).key)
+	}
+	return e
+}
+
+// --- Gang runs ---------------------------------------------------------------
+
+// gangLane is one candidate slot of a gang run: source and compiled design
+// in, fingerprint trace out.
+type gangLane struct {
+	src *ast.Source
+	d   *sim.Design
+	e   *fpEntry // nil when the caller bypasses the memo (tests)
+	tr  *FPTrace
+}
+
+// RunFingerprintGang is RunFingerprint over a batch of candidates sharing
+// one stimulus: every result is bit-identical to the solo run of the same
+// source, but all memo-missing candidates advance in lockstep through one
+// schedule decode (sim.Gang). base, when non-nil, seeds delta compilation;
+// when nil, the batch's first successfully compiled design becomes the base
+// for the rest (candidates of one task are mutants of a common ancestor, so
+// layouts frequently match). Interpreter runs, compile failures, irregular
+// stimuli and failed bindings all take the solo path for the affected
+// candidate, preserving its exact legacy behavior.
+func RunFingerprintGang(srcs []*ast.Source, top string, st *Stimulus, backend Backend, base *sim.Design) []*FPTrace {
+	out := make([]*FPTrace, len(srcs))
+	if len(srcs) == 0 {
+		return out
+	}
+	if backend == BackendInterpreter {
+		for i, src := range srcs {
+			out[i] = runFingerprintSolo(src, top, st, backend)
+		}
+		return out
+	}
+	type waiter struct {
+		i int
+		e *fpEntry
+	}
+	var waits []waiter
+	lanes := make([]gangLane, 0, len(srcs))
+	laneIdx := make([]int, 0, len(srcs))
+	for i, src := range srcs {
+		d, err := sim.CompileDeltaCached(base, src, top)
+		if err != nil {
+			out[i] = runFingerprintSolo(src, top, st, backend)
+			continue
+		}
+		if base == nil {
+			base = d
+		}
+		e := fpClaim(d, st)
+		if !e.claim() {
+			// Resolved, or in flight elsewhere — possibly by an earlier
+			// lane of this very batch (duplicate designs). Collect after
+			// the gang runs so intra-batch duplicates cannot deadlock.
+			waits = append(waits, waiter{i: i, e: e})
+			continue
+		}
+		lanes = append(lanes, gangLane{src: src, d: d, e: e})
+		laneIdx = append(laneIdx, i)
+	}
+	runGangLanes(lanes, top, st, backend)
+	for k := range lanes {
+		out[laneIdx[k]] = lanes[k].tr
+	}
+	for _, w := range waits {
+		out[w.i] = w.e.wait()
+	}
+	return out
+}
+
+// runGangLanes computes lanes[k].tr for every lane, publishing each lane's
+// memo entry (when present) as it resolves. Lanes that cannot join the
+// lockstep run — no schedule, or a binding failure — fall back to the solo
+// path, which reproduces the name-keyed behavior byte-for-byte.
+func runGangLanes(lanes []gangLane, top string, st *Stimulus, backend Backend) {
+	sched := st.schedule()
+	finish := func(ln *gangLane, tr *FPTrace) {
+		ln.tr = tr
+		if ln.e != nil {
+			ln.e.publish(tr)
+		}
+	}
+
+	g := sim.NewGang(len(lanes))
+	gangOf := make([]int, 0, len(lanes)) // gang lane id -> lanes index
+	seq := st.Ifc.Sequential()
+	for li := range lanes {
+		ln := &lanes[li]
+		if sched == nil {
+			finish(ln, runFingerprintSolo(ln.src, top, st, backend))
+			continue
+		}
+		en := ln.d.AcquireEngine()
+		b, ok := cachedBind(ln.d, sched, en, &st.Ifc)
+		if !ok {
+			ln.d.ReleaseEngine(en)
+			finish(ln, runFingerprintSolo(ln.src, top, st, backend))
+			continue
+		}
+		if seq {
+			// Sequential cases each get a fresh engine (BeginCase); the
+			// probe engine only served handle resolution.
+			ln.d.ReleaseEngine(en)
+			en = nil
+		}
+		g.AddLane(ln.d, en, b.clock, b.ins, b.outs)
+		gangOf = append(gangOf, li)
+	}
+	if len(gangOf) == 0 {
+		return
+	}
+
+	caseFPs := make([][]uint64, len(gangOf))
+	for k := range caseFPs {
+		caseFPs[k] = make([]uint64, 0, len(st.Cases))
+	}
+	for ci := range st.Cases {
+		if g.LiveLanes() == 0 {
+			break
+		}
+		g.BeginCase()
+		nSteps := int(sched.stepOff[ci+1] - sched.stepOff[ci])
+		off := int(sched.stepOff[ci]) * sched.rowWords
+		for si := 0; si < nSteps; si++ {
+			// Decode the step row once; broadcast each value to all lanes.
+			for pos := range sched.names {
+				nw := int(sched.wordsOf[pos])
+				g.Drive(pos, sim.ValueView(int(sched.widths[pos]), sched.val[off:off+nw], sched.xz[off:off+nw]))
+				off += nw
+			}
+			g.Advance()
+			for oi := range st.Ifc.Outputs {
+				g.HashOutput(oi, st.Ifc.Outputs[oi].Width)
+			}
+		}
+		g.EndCase()
+		// Gang lane ids are assigned in AddLane order, so id == k. A lane
+		// records the case fingerprint only if it survived the whole case,
+		// exactly like the solo per-case append.
+		for k := range gangOf {
+			if g.Err(k) == nil {
+				caseFPs[k] = append(caseFPs[k], g.Hash(k))
+			}
+		}
+	}
+	g.Close()
+
+	for k, li := range gangOf {
+		ln := &lanes[li]
+		tr := &FPTrace{Ifc: st.Ifc, CaseFPs: caseFPs[k]}
+		if err := g.Err(k); err != nil {
+			tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
+		}
+		finish(ln, tr)
+	}
+}

@@ -1,0 +1,208 @@
+package testbench
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/verilog/ast"
+)
+
+// gangSeqVariant is a functional mutant of schedSeqSrc (subtracts instead of
+// accumulating), so the gang carries disagreeing lanes.
+const gangSeqVariant = `
+module top_module (
+    input clk,
+    input reset,
+    input [4:0] d,
+    output reg [4:0] q,
+    output [4:0] inv
+);
+    always @(posedge clk) begin
+        if (reset) q <= 5'd0;
+        else q <= q - d;
+    end
+    assign inv = ~q;
+endmodule
+`
+
+// gangSeqLoop oscillates: the combinational self-loop on inv fails every
+// case, so the lane retires with a runtime error.
+const gangSeqLoop = `
+module top_module (
+    input clk,
+    input reset,
+    input [4:0] d,
+    output reg [4:0] q,
+    output [4:0] inv
+);
+    always @(posedge clk) begin
+        if (reset) q <= 5'd0;
+        else q <= q + d;
+    end
+    assign inv = ~inv;
+endmodule
+`
+
+// gangSeqMissingPort compiles but lacks the d input, so its binding fails
+// and the lane must fall back to the solo path (identical error bytes).
+const gangSeqMissingPort = `
+module top_module (
+    input clk,
+    input reset,
+    output reg [4:0] q,
+    output [4:0] inv
+);
+    always @(posedge clk) begin
+        if (reset) q <= 5'd0;
+        else q <= q + 5'd1;
+    end
+    assign inv = ~q;
+endmodule
+`
+
+const gangCombLoop = `
+module top_module (
+    input [1:0] a,
+    input b,
+    output [1:0] y
+);
+    assign y = ~y;
+endmodule
+`
+
+// fpTraceEqual requires two fingerprint traces to agree exactly: error
+// bytes, per-case fingerprints and the whole-run digest.
+func fpTraceEqual(t *testing.T, label string, got, want *FPTrace) {
+	t.Helper()
+	if (got.Err == nil) != (want.Err == nil) {
+		t.Fatalf("%s: error divergence: got %v, want %v", label, got.Err, want.Err)
+	}
+	if got.Err != nil && got.Err.Error() != want.Err.Error() {
+		t.Fatalf("%s: error bytes differ: got %q, want %q", label, got.Err, want.Err)
+	}
+	if len(got.CaseFPs) != len(want.CaseFPs) {
+		t.Fatalf("%s: case counts differ: %d vs %d", label, len(got.CaseFPs), len(want.CaseFPs))
+	}
+	for i := range got.CaseFPs {
+		if got.CaseFPs[i] != want.CaseFPs[i] {
+			t.Fatalf("%s: case %d fingerprint differs", label, i)
+		}
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("%s: whole-run fingerprint differs", label)
+	}
+}
+
+// TestGangLanesMatchSolo drives runGangLanes (memo bypassed: nil fpEntry)
+// against runFingerprintSolo for every lane kind the gang distinguishes —
+// healthy lanes, a disagreeing mutant, a runtime-error lane that retires
+// mid-gang, and a bind-failure lane that falls back to the solo path — on
+// sequential and combinational interfaces.
+func TestGangLanesMatchSolo(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ifc  Interface
+		srcs []string
+	}{
+		{"sequential", schedSeqIfc(), []string{schedSeqSrc, gangSeqVariant, gangSeqLoop, gangSeqMissingPort, schedSeqSrc}},
+		{"combinational", combIfc(), []string{xorSrc, orSrc, gangCombLoop}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			st := NewGenerator(17).Ranking(tc.ifc)
+			if st.schedule() == nil {
+				t.Fatal("generated stimulus must be schedulable")
+			}
+			lanes := make([]gangLane, 0, len(tc.srcs))
+			parsed := make([]*ast.Source, len(tc.srcs))
+			for i, code := range tc.srcs {
+				parsed[i] = mustParse(t, code)
+				d, err := sim.CompileCached(parsed[i], "top_module")
+				if err != nil {
+					t.Fatalf("src %d: %v", i, err)
+				}
+				lanes = append(lanes, gangLane{src: parsed[i], d: d})
+			}
+			runGangLanes(lanes, "top_module", st, BackendCompiled)
+			for i := range lanes {
+				solo := runFingerprintSolo(parsed[i], "top_module", st, BackendCompiled)
+				fpTraceEqual(t, tc.name+"/lane", lanes[i].tr, solo)
+			}
+		})
+	}
+}
+
+// TestGangLanesIrregularStimulusFallsBack: with no schedule every lane must
+// take the solo path and still match it.
+func TestGangLanesIrregularStimulusFallsBack(t *testing.T) {
+	st := &Stimulus{
+		Ifc: combIfc(),
+		Cases: []Case{
+			{Steps: []Step{{Inputs: map[string]sim.Value{"a": sim.NewKnown(2, 1), "b": sim.NewKnown(1, 0)}}}},
+			{Steps: []Step{{Inputs: map[string]sim.Value{"a": sim.NewKnown(2, 3)}}}},
+		},
+	}
+	if st.schedule() != nil {
+		t.Fatal("irregular stimulus must not schedule")
+	}
+	src := mustParse(t, xorSrc)
+	d, err := sim.CompileCached(src, "top_module")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := []gangLane{{src: src, d: d}}
+	runGangLanes(lanes, "top_module", st, BackendCompiled)
+	fpTraceEqual(t, "irregular", lanes[0].tr, runFingerprintSolo(src, "top_module", st, BackendCompiled))
+}
+
+// TestRunFingerprintGangMatchesSolo exercises the public batched entry point
+// — memo, delta compilation, duplicate candidates, compile failures and
+// interpreter delegation — against unmemoized solo runs.
+func TestRunFingerprintGangMatchesSolo(t *testing.T) {
+	golden := mustParse(t, schedSeqSrc)
+	mutant := mustParse(t, gangSeqVariant)
+	noTop := mustParse(t, `module not_top (input a, output y); assign y = a; endmodule`)
+	srcs := []*ast.Source{golden, mutant, golden /* duplicate pointer */, noTop, mustParse(t, gangSeqLoop)}
+
+	base, err := sim.CompileCached(golden, "top_module")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		backend Backend
+		base    *sim.Design
+	}{
+		{"compiled-nobase", BackendCompiled, nil},
+		{"compiled-goldenbase", BackendCompiled, base},
+		{"interpreter", BackendInterpreter, nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Fresh stimulus value per subtest: a fresh pointer misses the
+			// (design, stimulus) memo, so the gang really runs.
+			st := NewGenerator(5).Ranking(schedSeqIfc())
+			out := RunFingerprintGang(srcs, "top_module", st, tc.backend, tc.base)
+			if len(out) != len(srcs) {
+				t.Fatalf("result count %d, want %d", len(out), len(srcs))
+			}
+			for i, src := range srcs {
+				fpTraceEqual(t, tc.name, out[i], runFingerprintSolo(src, "top_module", st, tc.backend))
+			}
+			if out[0].Fingerprint() != out[2].Fingerprint() {
+				t.Error("duplicate candidates disagree")
+			}
+		})
+	}
+}
+
+// TestRunFingerprintMemoConsistency: the memoized front door must return the
+// same values as a fresh unmemoized run, and repeated calls share one trace.
+func TestRunFingerprintMemoConsistency(t *testing.T) {
+	src := mustParse(t, schedSeqSrc)
+	st := NewGenerator(23).Ranking(schedSeqIfc())
+	first := RunFingerprint(src, "top_module", st, BackendCompiled)
+	second := RunFingerprint(src, "top_module", st, BackendCompiled)
+	if first != second {
+		t.Error("memoized run not shared across identical calls")
+	}
+	fpTraceEqual(t, "memo", first, runFingerprintSolo(src, "top_module", st, BackendCompiled))
+}

@@ -1,8 +1,11 @@
 package testbench
 
 import (
+	"container/list"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -59,9 +62,27 @@ func buildSchedule(st *Stimulus) *Schedule {
 	for i, name := range names {
 		w := first.Inputs[name].Width()
 		nw := first.Inputs[name].PlaneWords()
+		// Guard the int32 narrowing below: a pathological stimulus width
+		// must fall back to the interpreted path, not silently truncate
+		// handle widths and row offsets.
+		if w > math.MaxInt32 || nw > math.MaxInt32 {
+			return nil
+		}
 		sc.widths[i] = int32(w)
 		sc.wordsOf[i] = int32(nw)
 		sc.rowWords += nw
+		if sc.rowWords > math.MaxInt32 {
+			return nil
+		}
+	}
+
+	// Bail before the per-step pass if the step count cannot be indexed by
+	// the int32 stepOff table: overflow would otherwise corrupt every row
+	// offset past the wrap. Counting per case keeps this O(cases), so an
+	// overflowing stimulus is rejected without touching its billions of
+	// steps (the regularity pass below only runs on in-range stimuli).
+	if !stepCountFitsInt32(st) {
+		return nil
 	}
 
 	// Regularity check + step counting in one pass.
@@ -76,7 +97,7 @@ func buildSchedule(st *Stimulus) *Schedule {
 			}
 			for i, name := range names {
 				v, ok := step.Inputs[name]
-				if !ok || int32(v.Width()) != sc.widths[i] {
+				if !ok || v.Width() != int(sc.widths[i]) {
 					return nil
 				}
 			}
@@ -100,6 +121,19 @@ func buildSchedule(st *Stimulus) *Schedule {
 		}
 	}
 	return sc
+}
+
+// stepCountFitsInt32 reports whether the stimulus's total step count is
+// indexable by the schedule's int32 stepOff table.
+func stepCountFitsInt32(st *Stimulus) bool {
+	total := 0
+	for ci := range st.Cases {
+		total += len(st.Cases[ci].Steps)
+		if total > math.MaxInt32 {
+			return false
+		}
+	}
+	return true
 }
 
 // schedule returns the stimulus's compiled schedule, building it at most
@@ -131,20 +165,36 @@ type bindKey struct {
 	sc *Schedule
 }
 
+// bindEntry is a single-flight memo slot: the first caller for a key claims
+// the once and resolves the binding; concurrent missers block on the once
+// instead of each running sc.bind and clobbering one another's entry (a
+// binding is a pure function of the key, so whichever instance resolves it
+// is immaterial). done is read by the LRU eviction loop to pin in-flight
+// entries, mirroring sim.CompileCache.
 type bindEntry struct {
-	b  binding
-	ok bool
+	once sync.Once
+	b    binding
+	ok   bool
+	done atomic.Bool
+}
+
+type bindItem struct {
+	key bindKey
+	e   *bindEntry
 }
 
 var (
 	bindMu   sync.Mutex
-	bindMemo = make(map[bindKey]*bindEntry)
+	bindLL   = list.New() // front = most recently used
+	bindMemo = make(map[bindKey]*list.Element)
 )
 
 // bindMemoCap matches the compile cache's capacity: the memo's strong
 // *sim.Design keys pin designs (and their pooled engines) against the LRU's
-// eviction, so the cap bounds that pinning to about one LRU's worth before
-// the wholesale flush lets evicted designs go.
+// eviction, so the cap bounds that pinning to about one LRU's worth. Entries
+// past the cap are evicted one at a time in LRU order — a single insert no
+// longer drops every live binding at once, which mattered little for solo
+// runs but would thundering-rebind under gang traffic.
 const bindMemoCap = 1024
 
 // cachedBind resolves (and memoizes) the binding of sc against the compiled
@@ -152,19 +202,31 @@ const bindMemoCap = 1024
 func cachedBind(d *sim.Design, sc *Schedule, inst sim.Instance, ifc *Interface) (binding, bool) {
 	key := bindKey{d: d, sc: sc}
 	bindMu.Lock()
-	if e, hit := bindMemo[key]; hit {
-		bindMu.Unlock()
-		return e.b, e.ok
+	var e *bindEntry
+	if el, hit := bindMemo[key]; hit {
+		bindLL.MoveToFront(el)
+		e = el.Value.(*bindItem).e
+	} else {
+		e = &bindEntry{}
+		bindMemo[key] = bindLL.PushFront(&bindItem{key: key, e: e})
+		for bindLL.Len() > bindMemoCap {
+			oldest := bindLL.Back()
+			for oldest != nil && !oldest.Value.(*bindItem).e.done.Load() {
+				oldest = oldest.Prev()
+			}
+			if oldest == nil {
+				break // all in flight; retry on a later insert
+			}
+			bindLL.Remove(oldest)
+			delete(bindMemo, oldest.Value.(*bindItem).key)
+		}
 	}
 	bindMu.Unlock()
-	b, ok := sc.bind(inst, ifc)
-	bindMu.Lock()
-	if len(bindMemo) >= bindMemoCap {
-		bindMemo = make(map[bindKey]*bindEntry, bindMemoCap)
-	}
-	bindMemo[key] = &bindEntry{b: b, ok: ok}
-	bindMu.Unlock()
-	return b, ok
+	e.once.Do(func() {
+		e.b, e.ok = sc.bind(inst, ifc)
+		e.done.Store(true)
+	})
+	return e.b, e.ok
 }
 
 // bind resolves every handle the scheduled run needs, once. Any resolution
