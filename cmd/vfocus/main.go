@@ -55,6 +55,7 @@ func run(args []string) error {
 		list       = fs.Bool("list", false, "list all benchmark tasks and exit")
 		showCode   = fs.Bool("code", false, "print the selected candidate's code")
 		verbose    = fs.Bool("v", false, "print cluster details")
+		soa        = fs.Bool("soa", true, "share struct-of-arrays planes across gang lanes (off: per-lane engines)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +110,8 @@ func run(args []string) error {
 	cfg.TBSeed = *seed
 	cfg.SelectSeed = *seed
 	cfg.RetryBaseDelay = 0
+	cfg.PerLaneGang = !*soa
+	oracle.PerLaneGang = !*soa
 	pipe := core.New(client, cfg)
 
 	ctx := context.Background()

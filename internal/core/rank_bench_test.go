@@ -65,11 +65,80 @@ func benchRankStage(b *testing.B, legacy bool, workers int) {
 	}
 }
 
+// benchRankStageCold measures real simulation speed rather than memo hits:
+// every iteration ranks the same candidate pool under a never-before-seen
+// testbench seed, so the fingerprint memo, the stimulus schedule, and the
+// binding cache all miss and every gang lane genuinely simulates. Compile
+// caches stay warm (the candidates never change), so the difference between
+// the gang execution models is pure lane execution.
+func benchRankStageCold(b *testing.B, perLane bool) {
+	b.Helper()
+	task := eval.Suite()[120]
+	profile, err := llm.ProfileByName("qwq-32b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := llm.NewSimClient(profile, 11, []eval.Task{task})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(VariantVRank, profile.Name)
+	cfg.Samples = 30
+	cfg.RetryBaseDelay = 0
+	cfg.Workers = 1
+	cfg.GangSize = DefaultGangSize
+	cfg.PerLaneGang = perLane
+	pipe := New(client, cfg)
+
+	cands := make([]Candidate, 0, cfg.Samples)
+	for i := 0; i < cfg.Samples; i++ {
+		c, err := pipe.generateOne(context.Background(), task, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cands = append(cands, c)
+	}
+
+	// Warm the compile cache and engine pools; the timed loop never reuses
+	// this seed, so nothing downstream of compilation stays warm.
+	{
+		pool := make([]Candidate, len(cands))
+		copy(pool, cands)
+		if err := pipe.rank(&Result{Task: task, FinalIndex: -1, Candidates: pool}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// A seed base far from every other test and benchmark in the package, so
+	// the per-iteration stimuli are truly first-run.
+	seedBase := int64(40_000_000)
+	if perLane {
+		seedBase = 50_000_000
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe.cfg.TBSeed = seedBase + int64(i)
+		pool := make([]Candidate, len(cands))
+		copy(pool, cands)
+		res := &Result{Task: task, FinalIndex: -1, Candidates: pool}
+		if err := pipe.rank(res); err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Clusters) == 0 {
+			b.Fatal("ranking produced no clusters")
+		}
+	}
+}
+
 // BenchmarkRankStage measures the ranking stage on the default streaming
 // fingerprint path and on the legacy retained-trace path, sequentially and
-// on a worker pool.
+// on a worker pool. The cold rows bypass every post-compile memo so they
+// compare the two gang execution models on honest simulation work.
 func BenchmarkRankStage(b *testing.B) {
 	b.Run("fingerprint", func(b *testing.B) { benchRankStage(b, false, 1) })
 	b.Run("legacy", func(b *testing.B) { benchRankStage(b, true, 1) })
 	b.Run("fingerprint-workers", func(b *testing.B) { benchRankStage(b, false, DefaultWorkers()) })
+	b.Run("cold", func(b *testing.B) { benchRankStageCold(b, false) })
+	b.Run("cold-perlane", func(b *testing.B) { benchRankStageCold(b, true) })
 }

@@ -180,13 +180,71 @@ func (p *Pipeline) rank(res *Result) error {
 	} else {
 		nUnits = (len(jobs) + gang - 1) / gang
 		fps = make([]*testbench.FPTrace, len(jobs))
+		mode := testbench.GangSoA
+		if p.cfg.PerLaneGang {
+			mode = testbench.GangPerLane
+		}
+		// The compiled golden anchors every gang: it is the delta-compilation
+		// base for candidate lanes AND the owner of the shared SoA program.
+		// Candidates habitually rename internal registers while keeping whole
+		// processes identical to the golden, so anchoring on the golden (not
+		// on whichever candidate happens to lead the batch) is what lets the
+		// name-blind sharing criterion coalesce those processes into one
+		// gang-program walk. Parse and compile are both process-wide caches,
+		// so this costs one lookup per rank call.
+		var base *sim.Design
+		if p.cfg.Backend != testbench.BackendInterpreter {
+			if gsrc, gerr := eval.ParseCached(res.Task.Golden); gerr == nil {
+				if d, derr := sim.CompileCached(gsrc, eval.TopModule); derr == nil {
+					base = d
+				}
+			}
+		}
+		// Gang-aware batching: order jobs by behavior class before slicing
+		// into gangs, so alpha-equivalent candidates (register renames,
+		// repeated mutations — the bulk of an LLM pool's redundancy) land in
+		// the same gang, where the SoA backend dedups whole lanes and shares
+		// kernels. Each lane's fingerprints are independent of its batch, so
+		// any ordering yields bit-identical decisions; sorting is stable on
+		// first-seen order, keeping results deterministic. The delta compile
+		// feeds the same process-wide cache the gang's bind step uses, so
+		// this costs one cache lookup per job per rank call.
+		if base != nil && len(jobs) > gang {
+			type jobKey struct {
+				h uint64
+				j int
+			}
+			keys := make([]jobKey, len(jobs))
+			for j, src := range jobs {
+				keys[j] = jobKey{j: j}
+				if d, derr := sim.CompileDeltaCached(base, src, eval.TopModule); derr == nil {
+					keys[j].h = d.GangClassHash()
+				}
+			}
+			sort.Slice(keys, func(a, b int) bool {
+				if keys[a].h != keys[b].h {
+					return keys[a].h < keys[b].h
+				}
+				return keys[a].j < keys[b].j
+			})
+			sorted := make([]*ast.Source, len(jobs))
+			inv := make([]int, len(jobs))
+			for k := range keys {
+				sorted[k] = jobs[keys[k].j]
+				inv[keys[k].j] = k
+			}
+			jobs = sorted
+			for i := range jobOf {
+				jobOf[i] = inv[jobOf[i]]
+			}
+		}
 		run = func(b int) {
 			lo := b * gang
 			hi := lo + gang
 			if hi > len(jobs) {
 				hi = len(jobs)
 			}
-			copy(fps[lo:hi], testbench.RunFingerprintGang(jobs[lo:hi], eval.TopModule, st, p.cfg.Backend, nil))
+			copy(fps[lo:hi], testbench.RunFingerprintGangMode(jobs[lo:hi], eval.TopModule, st, p.cfg.Backend, base, mode))
 		}
 	}
 	if workers := p.workerCount(nUnits); workers <= 1 {

@@ -37,6 +37,10 @@ type Fig3Config struct {
 	// LegacyTraces forces verification onto the retained printed-trace
 	// path instead of streaming fingerprints.
 	LegacyTraces bool
+	// PerLaneGang forces gang simulation onto the per-lane engine model
+	// instead of the default shared-plane SoA model (identical results;
+	// kept as the differential referee and escape hatch).
+	PerLaneGang bool
 }
 
 // Fig3Series is one model's panel.
@@ -82,6 +86,7 @@ func RunFig3(ctx context.Context, cfg Fig3Config) (*Fig3Result, error) {
 	oracle := NewOracle(cfg.Tasks, cfg.Seed+7)
 	oracle.Backend = cfg.Backend
 	oracle.LegacyTraces = cfg.LegacyTraces
+	oracle.PerLaneGang = cfg.PerLaneGang
 	res := &Fig3Result{Config: cfg}
 	for _, model := range cfg.Models {
 		series, err := runFig3Model(ctx, cfg, oracle, model)

@@ -33,6 +33,10 @@ type Fig4Config struct {
 	// LegacyTraces forces ranking and verification onto the retained
 	// printed-trace path instead of streaming fingerprints.
 	LegacyTraces bool
+	// PerLaneGang forces gang simulation onto the per-lane engine model
+	// instead of the default shared-plane SoA model (identical results;
+	// kept as the differential referee and escape hatch).
+	PerLaneGang bool
 }
 
 // Fig4Point is one (model, n) measurement: mean ± std over runs for the
@@ -80,6 +84,7 @@ func RunFig4(ctx context.Context, cfg Fig4Config) (*Fig4Result, error) {
 	oracle := NewOracle(cfg.Tasks, cfg.Seed+7)
 	oracle.Backend = cfg.Backend
 	oracle.LegacyTraces = cfg.LegacyTraces
+	oracle.PerLaneGang = cfg.PerLaneGang
 	res := &Fig4Result{Config: cfg}
 	for _, model := range cfg.Models {
 		series, err := runFig4Model(ctx, cfg, oracle, model)
@@ -172,6 +177,7 @@ func fig4Task(ctx context.Context, cfg Fig4Config, oracle *Oracle, profile llm.P
 		pcfg.RetryBaseDelay = 0
 		pcfg.Backend = cfg.Backend
 		pcfg.LegacyTraces = cfg.LegacyTraces
+		pcfg.PerLaneGang = cfg.PerLaneGang
 		return core.New(client, pcfg).Run(ctx, task)
 	}
 

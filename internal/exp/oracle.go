@@ -38,6 +38,10 @@ type Oracle struct {
 	// before the first Verify: tasks prepared earlier have no retained
 	// golden trace, so they keep comparing fingerprints (same verdicts).
 	LegacyTraces bool
+	// PerLaneGang forces VerifyBatch gangs onto the per-lane engine model
+	// instead of the default shared-plane SoA model. Verdicts are identical
+	// either way; the per-lane model is the differential referee.
+	PerLaneGang bool
 
 	mu       sync.Mutex
 	tasks    map[string]eval.Task
@@ -205,7 +209,11 @@ func (o *Oracle) VerifyBatch(taskID string, codes []string) ([]bool, error) {
 			o.mu.Lock()
 			base := o.goldenD[taskID]
 			o.mu.Unlock()
-			trs := testbench.RunFingerprintGang(gangSrcs, eval.TopModule, st, o.Backend, base)
+			mode := testbench.GangSoA
+			if o.PerLaneGang {
+				mode = testbench.GangPerLane
+			}
+			trs := testbench.RunFingerprintGangMode(gangSrcs, eval.TopModule, st, o.Backend, base, mode)
 			for j, k := range gangAt {
 				tr := trs[j]
 				verdicts[k] = tr.Err == nil && testbench.FPAgrees(tr, golden)

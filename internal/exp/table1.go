@@ -35,6 +35,10 @@ type Table1Config struct {
 	// printed-trace path instead of streaming fingerprints (results are
 	// identical; kept for differential benchmarking).
 	LegacyTraces bool
+	// PerLaneGang forces gang simulation onto the per-lane engine model
+	// instead of the default shared-plane SoA model (identical results;
+	// kept as the differential referee and escape hatch).
+	PerLaneGang bool
 }
 
 // Table1Row is one (model, dataset) row of Table I.
@@ -89,6 +93,7 @@ func RunTable1(ctx context.Context, cfg Table1Config) (*Table1Result, error) {
 	oracle := NewOracle(cfg.Tasks, cfg.Seed+7)
 	oracle.Backend = cfg.Backend
 	oracle.LegacyTraces = cfg.LegacyTraces
+	oracle.PerLaneGang = cfg.PerLaneGang
 
 	for _, model := range cfg.Models {
 		outcomes, err := runModelOutcomes(ctx, cfg, oracle, model)
@@ -176,6 +181,7 @@ func evalTaskRun(ctx context.Context, cfg Table1Config, oracle *Oracle, profile 
 		pcfg.RetryBaseDelay = 0
 		pcfg.Backend = cfg.Backend
 		pcfg.LegacyTraces = cfg.LegacyTraces
+		pcfg.PerLaneGang = cfg.PerLaneGang
 		pipe := core.New(client, pcfg)
 		return pipe.Run(ctx, task)
 	}

@@ -213,6 +213,79 @@ func TestHashOutputZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSoAGangTickZeroAlloc gates the shared-plane gang at the solo floor:
+// with the gang sealed (planes allocated, program lowered, arena sized), a
+// full clock cycle across every lane — per-lane drives, two merged settles
+// with gang-program activations and NBA traffic — must allocate nothing. The
+// mask arena, participant buffers, and batch swaps all reuse seal-time
+// storage, so any per-step allocation here is a regression.
+func TestSoAGangTickZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs sync.Pool and allocation accounting")
+	}
+	d := compileMust(t, allocSeq, "top_module")
+	const lanes = 2
+	g := NewSoAGang(lanes, nil)
+	// Identical lanes would dedup to one leader; the alloc gate covers the
+	// gang-kernel execution path, so force both lanes to run.
+	g.dedup = false
+	for l := 0; l < lanes; l++ {
+		g.AddLane(d, nil, -1, nil, nil)
+	}
+	g.BeginCase() // seal the layout and reset the lanes
+	for l := 0; l < lanes; l++ {
+		for k, c := range g.lanes[l].class {
+			if c < 0 {
+				t.Fatalf("lane %d process %d did not lower to the gang program", l, k)
+			}
+		}
+	}
+	set := func(l int, name string, v uint64) {
+		if err := g.run.engines[l].SetInputUint(name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tick := func() {
+		for l := 0; l < lanes; l++ {
+			set(l, "clk", 1)
+		}
+		g.settleAll()
+		for l := 0; l < lanes; l++ {
+			set(l, "clk", 0)
+		}
+		g.settleAll()
+		for l := 0; l < lanes; l++ {
+			if err := g.run.laneErr[l]; err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for l := 0; l < lanes; l++ {
+		set(l, "reset", 1)
+	}
+	tick()
+	for l := 0; l < lanes; l++ {
+		set(l, "reset", 0)
+	}
+	step := func(i uint64) {
+		for l := 0; l < lanes; l++ {
+			set(l, "d", 0x1357_9BDF^(i+uint64(l)*0x1111))
+		}
+		tick()
+	}
+	for i := uint64(0); i < 8; i++ {
+		step(i)
+	}
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		i++
+		step(i)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SoA gang tick allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
 // TestEngineResetMatchesFresh checks that a recycled engine is
 // indistinguishable from a new one, including after a run that left NBA and
 // scheduler state behind.

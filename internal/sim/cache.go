@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
@@ -54,8 +53,15 @@ func CanonicalKey(src *ast.Source) string {
 type CompileCache struct {
 	mu  sync.Mutex
 	cap int
-	ll  *list.List // front = most recently used
-	m   map[cacheKey]*list.Element
+	m   map[cacheKey]*cacheEntry
+	// Intrusive LRU list over the entries, most recently used first. Entries
+	// are their own nodes, so a cache hit allocates nothing and a miss
+	// allocates exactly the entry (memo-cold ranking calls look up dozens of
+	// candidates per batch, which made per-call closure and list-element
+	// allocations a measurable slice of the cold path).
+	front *cacheEntry
+	back  *cacheEntry
+	n     int
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -66,12 +72,8 @@ type cacheKey struct {
 	top  string
 }
 
-type cacheItem struct {
-	key   cacheKey
-	entry *cacheEntry
-}
-
 type cacheEntry struct {
+	key     cacheKey
 	once    sync.Once
 	compile func() (*Design, error)
 	d       *Design
@@ -82,6 +84,9 @@ type cacheEntry struct {
 	// fresh compilation, defeating the single-flight guarantee exactly when
 	// it matters (a burst of concurrent callers on a cold key).
 	done atomic.Bool
+
+	prev *cacheEntry // LRU links, guarded by CompileCache.mu
+	next *cacheEntry
 }
 
 // resolve runs the compilation exactly once (whichever caller gets here
@@ -102,16 +107,47 @@ func NewCompileCache(capacity int) *CompileCache {
 	}
 	return &CompileCache{
 		cap: capacity,
-		ll:  list.New(),
-		m:   make(map[cacheKey]*list.Element, capacity),
+		m:   make(map[cacheKey]*cacheEntry, capacity),
 	}
+}
+
+// unlink detaches e from the LRU list. Callers hold c.mu.
+func (c *CompileCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+	c.n--
+}
+
+// pushFront makes e the most recently used entry. Callers hold c.mu.
+func (c *CompileCache) pushFront(e *cacheEntry) {
+	e.prev, e.next = nil, c.front
+	if c.front != nil {
+		c.front.prev = e
+	}
+	c.front = e
+	if c.back == nil {
+		c.back = e
+	}
+	c.n++
 }
 
 // Get returns the compiled design for src/top, compiling at most once per
 // canonical source even under concurrent callers.
 func (c *CompileCache) Get(src *ast.Source, top string) (*Design, error) {
-	return c.get(cacheKey{hash: CanonicalKey(src), top: top},
-		func() (*Design, error) { return Compile(src, top) })
+	key := cacheKey{hash: CanonicalKey(src), top: top}
+	if e := c.touch(key); e != nil {
+		return e.resolve()
+	}
+	return c.get(key, func() (*Design, error) { return Compile(src, top) })
 }
 
 // GetDelta is Get with a delta-compilation base: a cache miss compiles
@@ -121,8 +157,30 @@ func (c *CompileCache) Get(src *ast.Source, top string) (*Design, error) {
 // to a from-scratch one (held together by differential tests), so both entry
 // points share entries.
 func (c *CompileCache) GetDelta(base *Design, src *ast.Source, top string) (*Design, error) {
-	return c.get(cacheKey{hash: CanonicalKey(src), top: top},
-		func() (*Design, error) { return CompileDelta(base, src, top) })
+	key := cacheKey{hash: CanonicalKey(src), top: top}
+	if e := c.touch(key); e != nil {
+		return e.resolve()
+	}
+	return c.get(key, func() (*Design, error) { return CompileDelta(base, src, top) })
+}
+
+// touch returns the resident entry for key freshened to the LRU front, or
+// nil on a miss. Splitting the hit path out lets Get/GetDelta construct
+// their compile closures only on misses — a cache hit allocates nothing,
+// which matters on memo-cold ranking calls that key dozens of candidates.
+func (c *CompileCache) touch(key cacheKey) *cacheEntry {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if ok && c.front != e {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	c.hits.Add(1)
+	return e
 }
 
 // get looks up or inserts the entry for key, evicting only *resolved*
@@ -131,26 +189,28 @@ func (c *CompileCache) GetDelta(base *Design, src *ast.Source, top string) (*Des
 // compilations).
 func (c *CompileCache) get(key cacheKey, compile func() (*Design, error)) (*Design, error) {
 	c.mu.Lock()
-	if el, ok := c.m[key]; ok {
-		c.ll.MoveToFront(el)
-		e := el.Value.(*cacheItem).entry
+	if e, ok := c.m[key]; ok {
+		if c.front != e {
+			c.unlink(e)
+			c.pushFront(e)
+		}
 		c.mu.Unlock()
 		c.hits.Add(1)
 		return e.resolve()
 	}
-	e := &cacheEntry{compile: compile}
-	el := c.ll.PushFront(&cacheItem{key: key, entry: e})
-	c.m[key] = el
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		for oldest != nil && !oldest.Value.(*cacheItem).entry.done.Load() {
-			oldest = oldest.Prev()
+	e := &cacheEntry{key: key, compile: compile}
+	c.m[key] = e
+	c.pushFront(e)
+	for c.n > c.cap {
+		oldest := c.back
+		for oldest != nil && !oldest.done.Load() {
+			oldest = oldest.prev
 		}
 		if oldest == nil {
 			break // every entry is in flight; retry eviction on later inserts
 		}
-		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*cacheItem).key)
+		c.unlink(oldest)
+		delete(c.m, oldest.key)
 	}
 	c.mu.Unlock()
 	c.misses.Add(1)
@@ -166,7 +226,7 @@ func (c *CompileCache) Stats() (hits, misses uint64) {
 func (c *CompileCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.ll.Len()
+	return c.n
 }
 
 // defaultCacheCapacity bounds the process-wide cache. Designs are small

@@ -103,6 +103,25 @@ type Design struct {
 	procArts    []procArt
 	deltaReused int // processes whose artifacts came from the base design
 
+	// gangLayoutSig is the name-blind layout hash (gangsig.go): net shapes
+	// and order without hierarchical names. It keys gang-program sharing
+	// across designs that differ only by identifier renaming, which the
+	// name-sensitive layoutSig deliberately distinguishes.
+	gangLayoutSig uint64
+	// gangClassHash folds everything whole-lane dedup compares (laneEqual);
+	// precomputed at compile time for the ranking batcher (GangClassHash).
+	gangClassHash uint64
+
+	// gangProcs and gangNetIdx retain the elaborated process list (aligned
+	// with procs) and the net index map, so the shared gang program
+	// (gangrf.go) can be lowered lazily from the same sources the solo
+	// closures came from. gangProg caches that lowering; it is lane-count
+	// independent, so one program serves every SoA gang of this design.
+	gangProcs  []*process
+	gangNetIdx map[*net]int32
+	gangOnce   sync.Once
+	gangProg   *gangProg
+
 	pool sync.Pool // recycled Engines (AcquireEngine/ReleaseEngine)
 }
 
@@ -115,6 +134,7 @@ type Design struct {
 // offsets land where they were allocated.
 type procArt struct {
 	sig      uint64 // canonical process hash (printed text, scope, params)
+	gangSig  uint64 // alpha-renaming-blind hash for gang sharing (gangsig.go)
 	frameIn  int32  // frame cursor at lowering entry
 	frameOut int32  // frame cursor after lowering (scratch + interned consts)
 	consts   []constPatch
@@ -336,6 +356,7 @@ func compileFrom(s *Simulator, forceBoxed bool, base *Design) (*Design, error) {
 	// agree; only processes that fail the match (the mutated spine, plus any
 	// suffix the mutation's frame-shape change displaced) are re-lowered.
 	d.layoutSig = layoutSigOf(s, forceBoxed)
+	d.gangLayoutSig = gangLayoutSigOf(s, forceBoxed)
 	canReuse := base != nil && base.layoutSig == d.layoutSig
 	procID := make(map[*process]int32, len(s.procs))
 	for _, p := range s.procs {
@@ -366,10 +387,13 @@ func compileFrom(s *Simulator, forceBoxed bool, base *Design) (*Design, error) {
 				consts: append([]constPatch(nil), c.consts[constMark:]...),
 				cp:     cp, boxed: d.boxedProcs > boxedMark}
 		}
+		art.gangSig = gangProcSig(p, c.netIdx)
 		procID[p] = int32(k)
 		d.procs = append(d.procs, art.cp)
 		d.procArts = append(d.procArts, art)
+		d.gangProcs = append(d.gangProcs, p)
 	}
+	d.gangNetIdx = c.netIdx
 
 	d.levelFan = make([][]int32, len(s.nets))
 	d.edgeFan = make([][]cedgeSub, len(s.nets))
@@ -400,6 +424,10 @@ func compileFrom(s *Simulator, forceBoxed bool, base *Design) (*Design, error) {
 		copy(d.initVal[cp.off:], cp.v.val)
 		copy(d.initXZ[cp.off:], cp.v.xz)
 	}
+	// Everything the gang's whole-lane equality compares is now fixed, so the
+	// advisory batching hash is computed once here instead of re-walking the
+	// frame snapshot and fanout tables on every ranking call.
+	d.gangClassHash = d.computeGangClassHash()
 	return d, nil
 }
 

@@ -1,7 +1,6 @@
 package testbench
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -30,10 +29,19 @@ type fpKey struct {
 // fpEntry is one single-flight memo slot. claim marks the caller as the
 // computing owner; publish warms the trace's lazy whole-run fingerprint
 // (after which the shared FPTrace is read-only) and releases waiters.
+//
+// The slot is also its own LRU node (prev/next under fpMu) and allocates its
+// wakeup channel only when a waiter actually blocks: a memo-cold ranking call
+// inserts dozens of entries per batch and almost never races another claimant
+// for the same key, so the common miss costs one allocation, not four.
 type fpEntry struct {
-	claimed atomic.Bool
-	ready   chan struct{}
-	tr      *FPTrace
+	key      fpKey
+	claimed  atomic.Bool
+	finished atomic.Bool
+	ready    chan struct{} // created under fpMu by the first blocked waiter
+	tr       *FPTrace
+	prev     *fpEntry // LRU list links, guarded by fpMu
+	next     *fpEntry
 }
 
 func (e *fpEntry) claim() bool { return e.claimed.CompareAndSwap(false, true) }
@@ -41,33 +49,73 @@ func (e *fpEntry) claim() bool { return e.claimed.CompareAndSwap(false, true) }
 func (e *fpEntry) publish(tr *FPTrace) {
 	tr.Fingerprint()
 	e.tr = tr
-	close(e.ready)
-}
-
-func (e *fpEntry) wait() *FPTrace {
-	<-e.ready
-	return e.tr
-}
-
-func (e *fpEntry) done() bool {
-	select {
-	case <-e.ready:
-		return true
-	default:
-		return false
+	e.finished.Store(true)
+	fpMu.Lock()
+	ready := e.ready
+	fpMu.Unlock()
+	if ready != nil {
+		close(ready)
 	}
 }
 
-type fpItem struct {
-	key fpKey
-	e   *fpEntry
+func (e *fpEntry) wait() *FPTrace {
+	if e.finished.Load() {
+		return e.tr
+	}
+	fpMu.Lock()
+	if e.finished.Load() {
+		fpMu.Unlock()
+		return e.tr
+	}
+	if e.ready == nil {
+		e.ready = make(chan struct{})
+	}
+	ready := e.ready
+	fpMu.Unlock()
+	<-ready
+	return e.tr
 }
+
+func (e *fpEntry) done() bool { return e.finished.Load() }
 
 var (
 	fpMu   sync.Mutex
-	fpLL   = list.New() // front = most recently used
-	fpMemo = make(map[fpKey]*list.Element)
+	fpMemo = make(map[fpKey]*fpEntry)
+	// Intrusive LRU list of every memo entry, most recently used first.
+	// Entries are their own nodes, so list maintenance allocates nothing.
+	fpFront *fpEntry
+	fpBack  *fpEntry
+	fpLen   int
 )
+
+// fpUnlink detaches e from the LRU list. Callers hold fpMu.
+func fpUnlink(e *fpEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		fpFront = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		fpBack = e.prev
+	}
+	e.prev, e.next = nil, nil
+	fpLen--
+}
+
+// fpPushFront makes e the most recently used entry. Callers hold fpMu.
+func fpPushFront(e *fpEntry) {
+	e.prev, e.next = nil, fpFront
+	if fpFront != nil {
+		fpFront.prev = e
+	}
+	fpFront = e
+	if fpBack == nil {
+		fpBack = e
+	}
+	fpLen++
+}
 
 // fpMemoCap bounds retained traces. A verification-grade FPTrace is a few
 // hundred uint64s, so the memo tops out around a few megabytes; like the
@@ -80,22 +128,26 @@ func fpClaim(d *sim.Design, st *Stimulus) *fpEntry {
 	key := fpKey{d: d, st: st}
 	fpMu.Lock()
 	defer fpMu.Unlock()
-	if el, hit := fpMemo[key]; hit {
-		fpLL.MoveToFront(el)
-		return el.Value.(*fpItem).e
+	if e, hit := fpMemo[key]; hit {
+		if fpFront != e {
+			fpUnlink(e)
+			fpPushFront(e)
+		}
+		return e
 	}
-	e := &fpEntry{ready: make(chan struct{})}
-	fpMemo[key] = fpLL.PushFront(&fpItem{key: key, e: e})
-	for fpLL.Len() > fpMemoCap {
-		oldest := fpLL.Back()
-		for oldest != nil && !oldest.Value.(*fpItem).e.done() {
-			oldest = oldest.Prev()
+	e := &fpEntry{key: key}
+	fpMemo[key] = e
+	fpPushFront(e)
+	for fpLen > fpMemoCap {
+		oldest := fpBack
+		for oldest != nil && !oldest.done() {
+			oldest = oldest.prev
 		}
 		if oldest == nil {
 			break
 		}
-		fpLL.Remove(oldest)
-		delete(fpMemo, oldest.Value.(*fpItem).key)
+		fpUnlink(oldest)
+		delete(fpMemo, oldest.key)
 	}
 	return e
 }
@@ -111,16 +163,50 @@ type gangLane struct {
 	tr  *FPTrace
 }
 
+// GangMode selects the gang execution model.
+type GangMode int
+
+const (
+	// GangSoA shares one pair of struct-of-arrays planes across all lanes
+	// and runs delta-matched processes as a single gang program (sim.SoAGang).
+	// The default.
+	GangSoA GangMode = iota
+	// GangPerLane gives every lane a private engine (sim.Gang) — the PR 6
+	// model, kept as an escape hatch and differential referee.
+	GangPerLane
+)
+
+// laneGang is the common surface of the two gang execution models.
+type laneGang interface {
+	AddLane(d *sim.Design, en *sim.Engine, clock int, ins, outs []int) int
+	LiveLanes() int
+	Err(id int) error
+	Hash(id int) uint64
+	BeginCase()
+	EndCase()
+	Drive(pos int, v sim.Value)
+	Advance()
+	HashOutput(col, width int)
+	Close()
+}
+
 // RunFingerprintGang is RunFingerprint over a batch of candidates sharing
 // one stimulus: every result is bit-identical to the solo run of the same
 // source, but all memo-missing candidates advance in lockstep through one
-// schedule decode (sim.Gang). base, when non-nil, seeds delta compilation;
+// schedule decode. base, when non-nil, seeds delta compilation;
 // when nil, the batch's first successfully compiled design becomes the base
 // for the rest (candidates of one task are mutants of a common ancestor, so
 // layouts frequently match). Interpreter runs, compile failures, irregular
 // stimuli and failed bindings all take the solo path for the affected
-// candidate, preserving its exact legacy behavior.
+// candidate, preserving its exact legacy behavior. Runs in the default
+// GangSoA mode; RunFingerprintGangMode selects explicitly.
 func RunFingerprintGang(srcs []*ast.Source, top string, st *Stimulus, backend Backend, base *sim.Design) []*FPTrace {
+	return RunFingerprintGangMode(srcs, top, st, backend, base, GangSoA)
+}
+
+// RunFingerprintGangMode is RunFingerprintGang with an explicit gang
+// execution model.
+func RunFingerprintGangMode(srcs []*ast.Source, top string, st *Stimulus, backend Backend, base *sim.Design, mode GangMode) []*FPTrace {
 	out := make([]*FPTrace, len(srcs))
 	if len(srcs) == 0 {
 		return out
@@ -158,7 +244,7 @@ func RunFingerprintGang(srcs []*ast.Source, top string, st *Stimulus, backend Ba
 		lanes = append(lanes, gangLane{src: src, d: d, e: e})
 		laneIdx = append(laneIdx, i)
 	}
-	runGangLanes(lanes, top, st, backend)
+	runGangLanes(lanes, top, st, backend, base, mode)
 	for k := range lanes {
 		out[laneIdx[k]] = lanes[k].tr
 	}
@@ -172,7 +258,7 @@ func RunFingerprintGang(srcs []*ast.Source, top string, st *Stimulus, backend Ba
 // memo entry (when present) as it resolves. Lanes that cannot join the
 // lockstep run — no schedule, or a binding failure — fall back to the solo
 // path, which reproduces the name-keyed behavior byte-for-byte.
-func runGangLanes(lanes []gangLane, top string, st *Stimulus, backend Backend) {
+func runGangLanes(lanes []gangLane, top string, st *Stimulus, backend Backend, base *sim.Design, mode GangMode) {
 	sched := st.schedule()
 	finish := func(ln *gangLane, tr *FPTrace) {
 		ln.tr = tr
@@ -181,7 +267,12 @@ func runGangLanes(lanes []gangLane, top string, st *Stimulus, backend Backend) {
 		}
 	}
 
-	g := sim.NewGang(len(lanes))
+	var g laneGang
+	if mode == GangPerLane {
+		g = sim.NewGang(len(lanes))
+	} else {
+		g = sim.NewSoAGang(len(lanes), base)
+	}
 	gangOf := make([]int, 0, len(lanes)) // gang lane id -> lanes index
 	seq := st.Ifc.Sequential()
 	for li := range lanes {
@@ -210,9 +301,13 @@ func runGangLanes(lanes []gangLane, top string, st *Stimulus, backend Backend) {
 		return
 	}
 
+	// One backing block for every lane's per-case fingerprints: the lane
+	// count and case count are both fixed here, so n+1 small slices flatten
+	// to two allocations.
 	caseFPs := make([][]uint64, len(gangOf))
+	fpBlock := make([]uint64, len(gangOf)*len(st.Cases))
 	for k := range caseFPs {
-		caseFPs[k] = make([]uint64, 0, len(st.Cases))
+		caseFPs[k] = fpBlock[k*len(st.Cases) : k*len(st.Cases) : (k+1)*len(st.Cases)]
 	}
 	for ci := range st.Cases {
 		if g.LiveLanes() == 0 {
@@ -243,8 +338,6 @@ func runGangLanes(lanes []gangLane, top string, st *Stimulus, backend Backend) {
 			}
 		}
 	}
-	g.Close()
-
 	for k, li := range gangOf {
 		ln := &lanes[li]
 		tr := &FPTrace{Ifc: st.Ifc, CaseFPs: caseFPs[k]}
@@ -253,4 +346,7 @@ func runGangLanes(lanes []gangLane, top string, st *Stimulus, backend Backend) {
 		}
 		finish(ln, tr)
 	}
+	// Close only after the last Err/Hash read: a closed SoA gang recycles
+	// its lane tables and scratch through the gang pool.
+	g.Close()
 }

@@ -1,7 +1,6 @@
 package testbench
 
 import (
-	"container/list"
 	"math"
 	"sort"
 	"sync"
@@ -172,22 +171,51 @@ type bindKey struct {
 // is immaterial). done is read by the LRU eviction loop to pin in-flight
 // entries, mirroring sim.CompileCache.
 type bindEntry struct {
+	key  bindKey
 	once sync.Once
 	b    binding
 	ok   bool
 	done atomic.Bool
-}
-
-type bindItem struct {
-	key bindKey
-	e   *bindEntry
+	prev *bindEntry // intrusive LRU links, guarded by bindMu
+	next *bindEntry
 }
 
 var (
-	bindMu   sync.Mutex
-	bindLL   = list.New() // front = most recently used
-	bindMemo = make(map[bindKey]*list.Element)
+	bindMu    sync.Mutex
+	bindMemo  = make(map[bindKey]*bindEntry)
+	bindFront *bindEntry // most recently used
+	bindBack  *bindEntry
+	bindLen   int
 )
+
+// bindUnlink detaches e from the LRU list. Callers hold bindMu.
+func bindUnlink(e *bindEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		bindFront = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		bindBack = e.prev
+	}
+	e.prev, e.next = nil, nil
+	bindLen--
+}
+
+// bindPushFront makes e the most recently used entry. Callers hold bindMu.
+func bindPushFront(e *bindEntry) {
+	e.prev, e.next = nil, bindFront
+	if bindFront != nil {
+		bindFront.prev = e
+	}
+	bindFront = e
+	if bindBack == nil {
+		bindBack = e
+	}
+	bindLen++
+}
 
 // bindMemoCap matches the compile cache's capacity: the memo's strong
 // *sim.Design keys pin designs (and their pooled engines) against the LRU's
@@ -202,23 +230,26 @@ const bindMemoCap = 1024
 func cachedBind(d *sim.Design, sc *Schedule, inst sim.Instance, ifc *Interface) (binding, bool) {
 	key := bindKey{d: d, sc: sc}
 	bindMu.Lock()
-	var e *bindEntry
-	if el, hit := bindMemo[key]; hit {
-		bindLL.MoveToFront(el)
-		e = el.Value.(*bindItem).e
+	e, hit := bindMemo[key]
+	if hit {
+		if bindFront != e {
+			bindUnlink(e)
+			bindPushFront(e)
+		}
 	} else {
-		e = &bindEntry{}
-		bindMemo[key] = bindLL.PushFront(&bindItem{key: key, e: e})
-		for bindLL.Len() > bindMemoCap {
-			oldest := bindLL.Back()
-			for oldest != nil && !oldest.Value.(*bindItem).e.done.Load() {
-				oldest = oldest.Prev()
+		e = &bindEntry{key: key}
+		bindMemo[key] = e
+		bindPushFront(e)
+		for bindLen > bindMemoCap {
+			oldest := bindBack
+			for oldest != nil && !oldest.done.Load() {
+				oldest = oldest.prev
 			}
 			if oldest == nil {
 				break // all in flight; retry on a later insert
 			}
-			bindLL.Remove(oldest)
-			delete(bindMemo, oldest.Value.(*bindItem).key)
+			bindUnlink(oldest)
+			delete(bindMemo, oldest.key)
 		}
 	}
 	bindMu.Unlock()

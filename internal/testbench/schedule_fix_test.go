@@ -150,7 +150,7 @@ func TestBindMemoLRUEviction(t *testing.T) {
 	_, victimAlive := bindMemo[bindKey{d: nil, sc: victim}]
 	_, keeperAlive := bindMemo[bindKey{d: nil, sc: keeper}]
 	_, inflightAlive := bindMemo[bindKey{d: nil, sc: inflight}]
-	memoLen := bindLL.Len()
+	memoLen := bindLen
 	bindMu.Unlock()
 
 	if victimAlive {

@@ -129,6 +129,23 @@ type Generator struct {
 	// perfect testbench would contain, modeling weak LLM-generated
 	// testbenches (0 = as dense as configured).
 	Imperfection float64
+
+	// Allocation pools for generated values. Generated Values are immutable
+	// downstream (the schedule compiler copies them into planes, solo runs
+	// copy them into engines), so random val planes are carved from a
+	// chunked word arena, xz planes alias one shared all-zeros block, and
+	// the constant values the patterns repeat (all-zeros, all-ones) are
+	// cached per width. Stimulus generation is the dominant cost of a
+	// memo-cold ranking call, and it is almost entirely these allocations.
+	arena    []uint64
+	chunk    int               // last arena chunk size (grows geometrically)
+	constVal map[int]sim.Value // width -> all-zeros value
+	constNot map[int]sim.Value // width -> all-ones value
+	// Shared step-input maps for the value-identical steps of sequential
+	// stimulus (reset, directed even/odd). Valid because a generator serves
+	// one interface and finalized steps are read-only.
+	resetInputs map[string]sim.Value
+	altInputs   [2]map[string]sim.Value
 }
 
 // NewGenerator returns a generator with the given seed and defaults
@@ -262,12 +279,35 @@ func (g *Generator) generate(ifc Interface, maxComb, seqCases, seqSteps int) *St
 	} else {
 		st.Cases = g.combCases(ifc, maxComb)
 	}
+	// Precompute drive orders, sharing one sorted slice across consecutive
+	// steps with the same key set — generated steps drive the same inputs
+	// every step, so one slice usually serves the whole stimulus.
+	var shared []string
 	for ci := range st.Cases {
 		for si := range st.Cases[ci].Steps {
-			st.Cases[ci].Steps[si].finalize()
+			stp := &st.Cases[ci].Steps[si]
+			if sameKeys(shared, stp.Inputs) {
+				stp.sortedNames = shared
+			} else {
+				stp.finalize()
+				shared = stp.sortedNames
+			}
 		}
 	}
 	return st
+}
+
+// sameKeys reports whether the map's key set is exactly the given names.
+func sameKeys(names []string, m map[string]sim.Value) bool {
+	if names == nil || len(names) != len(m) {
+		return false
+	}
+	for _, n := range names {
+		if _, ok := m[n]; !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // combCases enumerates the input space exhaustively when it is small enough,
@@ -302,10 +342,8 @@ func (g *Generator) combCases(ifc Interface, maxVectors int) []Case {
 		seen[key.String()] = true
 		cases = append(cases, Case{Steps: []Step{{Inputs: inputs}}})
 	}
-	addVector(func(p PortSpec) sim.Value { return sim.NewKnown(p.Width, 0) })
-	addVector(func(p PortSpec) sim.Value {
-		return sim.Not(sim.NewKnown(p.Width, 0))
-	})
+	addVector(func(p PortSpec) sim.Value { return g.zeroValue(p.Width) })
+	addVector(func(p PortSpec) sim.Value { return g.onesValue(p.Width) })
 	for len(cases) < maxVectors {
 		addVector(func(p PortSpec) sim.Value { return g.randValue(p.Width) })
 	}
@@ -319,49 +357,127 @@ func (g *Generator) combCases(ifc Interface, maxVectors int) []Case {
 func (g *Generator) seqCase(ifc Interface, steps int, directed bool) Case {
 	var c Case
 	ins := ifc.DataInputs()
-	mkStep := func(reset bool, mk func(PortSpec, int) sim.Value, idx int) Step {
+	mkInputs := func(reset bool, mk func(PortSpec, int) sim.Value, idx int) map[string]sim.Value {
 		inputs := make(map[string]sim.Value, len(ins)+1)
 		if ifc.Reset != "" {
-			rv := uint64(0)
 			if reset != ifc.ResetActiveLow {
-				rv = 1
+				inputs[ifc.Reset] = g.onesValue(1)
+			} else {
+				inputs[ifc.Reset] = g.zeroValue(1)
 			}
-			inputs[ifc.Reset] = sim.NewKnown(1, rv)
 		}
 		for _, in := range ins {
 			inputs[in.Name] = mk(in, idx)
 		}
-		return Step{Inputs: inputs}
+		return inputs
 	}
-	zero := func(p PortSpec, _ int) sim.Value { return sim.NewKnown(p.Width, 0) }
+	zero := func(p PortSpec, _ int) sim.Value { return g.zeroValue(p.Width) }
 	rnd := func(p PortSpec, _ int) sim.Value { return g.randValue(p.Width) }
 	alt := func(p PortSpec, i int) sim.Value {
 		if i%2 == 0 {
-			return sim.NewKnown(p.Width, 0)
+			return g.zeroValue(p.Width)
 		}
-		return sim.Not(sim.NewKnown(p.Width, 0))
+		return g.onesValue(p.Width)
 	}
 
+	// Steps with value-identical inputs share one map: a finalized stimulus
+	// is read-only, and a generator serves a single interface, so the reset
+	// step and the two directed patterns each need exactly one map per
+	// generator instead of one per step. Only random steps still build maps
+	// (and only they draw the RNG, so sharing leaves the stream untouched).
 	if ifc.Reset != "" {
-		c.Steps = append(c.Steps, mkStep(true, zero, 0), mkStep(true, zero, 1))
+		if g.resetInputs == nil {
+			g.resetInputs = mkInputs(true, zero, 0)
+		}
+		c.Steps = append(c.Steps, Step{Inputs: g.resetInputs}, Step{Inputs: g.resetInputs})
 	}
 	for i := 0; i < steps; i++ {
 		if directed {
-			c.Steps = append(c.Steps, mkStep(false, alt, i))
+			k := i % 2
+			if g.altInputs[k] == nil {
+				g.altInputs[k] = mkInputs(false, alt, k)
+			}
+			c.Steps = append(c.Steps, Step{Inputs: g.altInputs[k]})
 		} else {
-			c.Steps = append(c.Steps, mkStep(false, rnd, i))
+			c.Steps = append(c.Steps, Step{Inputs: mkInputs(false, rnd, i)})
 		}
 	}
 	return c
 }
 
+// zeroPlanes backs the xz plane of every generated value (generated stimulus
+// is always fully known) and the val plane of cached zero values, up to 4096
+// bits. It is read-only by the Value immutability convention; wider values
+// fall back to the copying constructors.
+var zeroPlanes [64]uint64
+
+// genWords carves n words out of the generator's chunked arena. Chunks grow
+// geometrically from small, so a generator that produces little stimulus
+// (one per seed on the memo-cold path) doesn't pay for a large block.
+func (g *Generator) genWords(n int) []uint64 {
+	if len(g.arena) < n {
+		sz := g.chunk * 2
+		if sz < 256 {
+			sz = 256
+		}
+		if sz < n {
+			sz = n
+		}
+		g.chunk = sz
+		g.arena = make([]uint64, sz)
+	}
+	w := g.arena[:n:n]
+	g.arena = g.arena[n:]
+	return w
+}
+
+// zeroValue returns the cached all-zeros value of the width.
+func (g *Generator) zeroValue(width int) sim.Value {
+	n := (width + 63) / 64
+	if n > len(zeroPlanes) {
+		return sim.NewKnown(width, 0)
+	}
+	v, ok := g.constVal[width]
+	if !ok {
+		v = sim.ValueView(width, zeroPlanes[:n], zeroPlanes[:n])
+		if g.constVal == nil {
+			g.constVal = make(map[int]sim.Value)
+		}
+		g.constVal[width] = v
+	}
+	return v
+}
+
+// onesValue returns the cached all-ones value of the width.
+func (g *Generator) onesValue(width int) sim.Value {
+	v, ok := g.constNot[width]
+	if !ok {
+		v = sim.Not(sim.NewKnown(width, 0))
+		if g.constNot == nil {
+			g.constNot = make(map[int]sim.Value)
+		}
+		g.constNot[width] = v
+	}
+	return v
+}
+
 func (g *Generator) randValue(width int) sim.Value {
 	words := (width + 63) / 64
-	planes := make([]uint64, words)
-	for i := range planes {
-		planes[i] = g.rng.Uint64()
+	if words > len(zeroPlanes) {
+		planes := make([]uint64, words)
+		for i := range planes {
+			planes[i] = g.rng.Uint64()
+		}
+		return sim.NewFromPlanes(width, planes, make([]uint64, words))
 	}
-	return sim.NewFromPlanes(width, planes, make([]uint64, words))
+	w := g.genWords(words)
+	for i := range w {
+		w[i] = g.rng.Uint64()
+	}
+	if r := uint(width) & 63; r != 0 {
+		w[words-1] &= 1<<r - 1
+	}
+	return sim.ValueView(width, w, zeroPlanes[:words])
 }
 
 func splitVector(ins []PortSpec, v uint64) map[string]sim.Value {
