@@ -318,6 +318,15 @@ type validated struct {
 	ok  bool
 }
 
+// ValidateCandidate parses and semantically checks candidate code through
+// the process-wide validation memo, returning the shared AST and whether
+// the candidate is eligible for ranking. It is the same gate the pipeline
+// applies to generated samples, exported for callers (the daemon) that
+// accept externally supplied candidate pools.
+func ValidateCandidate(code string) (*ast.Source, bool) {
+	return validate(code)
+}
+
 // validate parses and semantically checks candidate code.
 func validate(code string) (*ast.Source, bool) {
 	validateMu.Lock()
@@ -436,11 +445,13 @@ func (p *Pipeline) Run(ctx context.Context, task eval.Task) (*Result, error) {
 
 	// Stage 1b: Density-guided Filtering (Pre+VRank and VFocus).
 	if p.cfg.Variant == VariantPreVRank || p.cfg.Variant == VariantVFocus {
-		p.densityFilter(res)
+		if err := p.densityFilter(ctx, res); err != nil {
+			return nil, err
+		}
 	}
 
 	// Stage 2: ranking by simulation consistency.
-	if err := p.rank(res); err != nil {
+	if err := p.rank(ctx, res); err != nil {
 		return nil, err
 	}
 

@@ -45,7 +45,7 @@ func benchRankStage(b *testing.B, legacy bool, workers int) {
 	{
 		pool := make([]Candidate, len(cands))
 		copy(pool, cands)
-		if err := pipe.rank(&Result{Task: task, FinalIndex: -1, Candidates: pool}); err != nil {
+		if err := pipe.rank(context.Background(), &Result{Task: task, FinalIndex: -1, Candidates: pool}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -56,7 +56,7 @@ func benchRankStage(b *testing.B, legacy bool, workers int) {
 		pool := make([]Candidate, len(cands))
 		copy(pool, cands)
 		res := &Result{Task: task, FinalIndex: -1, Candidates: pool}
-		if err := pipe.rank(res); err != nil {
+		if err := pipe.rank(context.Background(), res); err != nil {
 			b.Fatal(err)
 		}
 		if len(res.Clusters) == 0 {
@@ -104,7 +104,7 @@ func benchRankStageCold(b *testing.B, perLane bool) {
 	{
 		pool := make([]Candidate, len(cands))
 		copy(pool, cands)
-		if err := pipe.rank(&Result{Task: task, FinalIndex: -1, Candidates: pool}); err != nil {
+		if err := pipe.rank(context.Background(), &Result{Task: task, FinalIndex: -1, Candidates: pool}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -122,7 +122,7 @@ func benchRankStageCold(b *testing.B, perLane bool) {
 		pool := make([]Candidate, len(cands))
 		copy(pool, cands)
 		res := &Result{Task: task, FinalIndex: -1, Candidates: pool}
-		if err := pipe.rank(res); err != nil {
+		if err := pipe.rank(context.Background(), res); err != nil {
 			b.Fatal(err)
 		}
 		if len(res.Clusters) == 0 {

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/eval"
+	"repro/internal/serve/faultinject"
+	"repro/internal/sim"
+	"repro/internal/testbench"
+	"repro/internal/verilog/ast"
+)
+
+// RankPoolConfig configures one RankPool invocation. The zero value ranks
+// sequentially on the compiled backend at DefaultGangSize.
+type RankPoolConfig struct {
+	// Backend selects the simulation backend for every run.
+	Backend testbench.Backend
+	// Workers bounds the concurrent simulation units (gang batches, or
+	// individual candidates on the legacy path). Results are bit-identical
+	// for any value; zero or one runs inline without goroutines.
+	Workers int
+	// GangSize is the lockstep gang width; zero selects DefaultGangSize.
+	GangSize int
+	// PerLaneGang selects the per-lane referee gang model over SoA.
+	PerLaneGang bool
+	// LegacyTraces retains full printed traces instead of fingerprints.
+	LegacyTraces bool
+	// Golden, when set, anchors delta compilation and the shared SoA
+	// program on the task's golden design. Jobs submitted for the same
+	// golden therefore share one compiled Design, one schedule binding,
+	// and one fingerprint-memo universe across concurrent RankPool calls —
+	// the caches are all process-wide and keyed by content.
+	Golden *ast.Source
+	// OnBatch, when set, is called after each completed simulation unit
+	// with (completed, total) counts. Calls are serialized and monotonic
+	// in completed; they arrive on worker goroutines, so the callback must
+	// be fast and must not block on the caller's consumers.
+	OnBatch func(done, total int)
+}
+
+// RankPoolResult is the outcome of ranking one candidate pool. All slices
+// are aligned with RankPool's srcs argument; entries for nil sources stay
+// nil.
+type RankPoolResult struct {
+	// FPs holds each candidate's fingerprint trace (default path).
+	FPs []*testbench.FPTrace
+	// Traces holds each candidate's printed trace (LegacyTraces path).
+	Traces []*testbench.Trace
+	// Clusters groups candidates by strict full-trace agreement, scored by
+	// size and sorted by (Score desc, Fingerprint asc); Members hold
+	// indices into srcs.
+	Clusters []Cluster
+	// UniqueJobs is the number of canonically distinct designs simulated.
+	UniqueJobs int
+}
+
+// RankPool simulates a pool of candidate sources under one stimulus and
+// clusters them by strict full-trace agreement — the paper's ranking by
+// simulation consistency (Eq. 2-3), extracted from Pipeline so the daemon
+// can rank a (golden, candidate-pool) job directly. srcs is the pool;
+// a nil entry marks an ineligible candidate (invalid, filtered) that takes
+// no part in simulation or clustering but keeps indices aligned.
+//
+// Canonically identical candidates share one simulation; unique designs run
+// gang-batched on a Workers-bounded pool. Results are bit-identical for any
+// worker count and gang size.
+//
+// RankPool observes ctx between gang batches and (through the testbench)
+// between test cases, so a cancel lands in bounded time; on cancellation it
+// returns ctx's error with every fingerprint-memo claim released, leaving
+// all process-wide caches reusable — re-running the same pool yields
+// bit-identical results. A panic while simulating one candidate is confined
+// to that candidate's trace error; a panic outside the per-candidate
+// recovery errors only its own batch. Neither kills the calling process.
+func RankPool(ctx context.Context, srcs []*ast.Source, st *testbench.Stimulus, cfg RankPoolConfig) (*RankPoolResult, error) {
+	// Pass 1: dedup canonically identical candidates, first-seen order.
+	jobOf := make([]int, len(srcs))
+	jobIdx := make(map[string]int, len(srcs))
+	jobs := make([]*ast.Source, 0, len(srcs))
+	for i, src := range srcs {
+		if src == nil {
+			continue
+		}
+		key := sim.CanonicalKey(src)
+		j, dup := jobIdx[key]
+		if !dup {
+			j = len(jobs)
+			jobIdx[key] = j
+			jobs = append(jobs, src)
+		}
+		jobOf[i] = j
+	}
+	out := &RankPoolResult{UniqueJobs: len(jobs)}
+
+	// Pass 2: simulate each unique design. The fingerprint path batches
+	// jobs into gangs of GangSize lanes advancing in lockstep over the
+	// shared schedule; a worker picks up a whole gang. Gang results are
+	// bit-identical to solo runs, and batches are indexed, so results are
+	// bit-identical for any gang size and worker count. The legacy-trace
+	// referee keeps its one-candidate-per-worker shape.
+	var (
+		traces []*testbench.Trace
+		fps    []*testbench.FPTrace
+		run    func(b int) error
+		nUnits int
+	)
+	gang := cfg.GangSize
+	if gang <= 0 {
+		gang = DefaultGangSize
+	}
+	if cfg.LegacyTraces {
+		nUnits = len(jobs)
+		traces = make([]*testbench.Trace, len(jobs))
+		run = func(j int) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			// A crash while tracing one candidate becomes that candidate's
+			// private error; the worker and its siblings keep going.
+			defer func() {
+				if r := recover(); r != nil {
+					traces[j] = &testbench.Trace{Ifc: st.Ifc, Err: fmt.Errorf("%w: %v", testbench.ErrSimPanic, r)}
+				}
+			}()
+			traces[j] = testbench.RunBackend(jobs[j], eval.TopModule, st, cfg.Backend)
+			return nil
+		}
+	} else {
+		nUnits = (len(jobs) + gang - 1) / gang
+		fps = make([]*testbench.FPTrace, len(jobs))
+		mode := testbench.GangSoA
+		if cfg.PerLaneGang {
+			mode = testbench.GangPerLane
+		}
+		// The compiled golden anchors every gang: it is the delta-compilation
+		// base for candidate lanes AND the owner of the shared SoA program.
+		// Candidates habitually rename internal registers while keeping whole
+		// processes identical to the golden, so anchoring on the golden (not
+		// on whichever candidate happens to lead the batch) is what lets the
+		// name-blind sharing criterion coalesce those processes into one
+		// gang-program walk. Parse and compile are both process-wide caches,
+		// so this costs one lookup per rank call.
+		var base *sim.Design
+		if cfg.Golden != nil && cfg.Backend != testbench.BackendInterpreter {
+			if d, derr := sim.CompileCached(cfg.Golden, eval.TopModule); derr == nil {
+				base = d
+			}
+		}
+		// Gang-aware batching: order jobs by behavior class before slicing
+		// into gangs, so alpha-equivalent candidates (register renames,
+		// repeated mutations — the bulk of an LLM pool's redundancy) land in
+		// the same gang, where the SoA backend dedups whole lanes and shares
+		// kernels. Each lane's fingerprints are independent of its batch, so
+		// any ordering yields bit-identical decisions; sorting is stable on
+		// first-seen order, keeping results deterministic. The delta compile
+		// feeds the same process-wide cache the gang's bind step uses, so
+		// this costs one cache lookup per job per rank call.
+		if base != nil && len(jobs) > gang {
+			type jobKey struct {
+				h uint64
+				j int
+			}
+			keys := make([]jobKey, len(jobs))
+			for j, src := range jobs {
+				keys[j] = jobKey{j: j}
+				if d, derr := sim.CompileDeltaCached(base, src, eval.TopModule); derr == nil {
+					keys[j].h = d.GangClassHash()
+				}
+			}
+			sort.Slice(keys, func(a, b int) bool {
+				if keys[a].h != keys[b].h {
+					return keys[a].h < keys[b].h
+				}
+				return keys[a].j < keys[b].j
+			})
+			sorted := make([]*ast.Source, len(jobs))
+			inv := make([]int, len(jobs))
+			for k := range keys {
+				sorted[k] = jobs[keys[k].j]
+				inv[keys[k].j] = k
+			}
+			jobs = sorted
+			for i, src := range srcs {
+				if src != nil {
+					jobOf[i] = inv[jobOf[i]]
+				}
+			}
+		}
+		run = func(b int) error {
+			lo := b * gang
+			hi := lo + gang
+			if hi > len(jobs) {
+				hi = len(jobs)
+			}
+			// Per-candidate crashes are already confined inside the gang
+			// (crashed walks re-run unresolved lanes solo); this recover is
+			// the last line for anything outside that, erroring only this
+			// batch's candidates instead of unwinding the worker.
+			defer func() {
+				if r := recover(); r != nil {
+					perr := fmt.Errorf("%w: %v", testbench.ErrSimPanic, r)
+					for j := lo; j < hi; j++ {
+						if fps[j] == nil {
+							fps[j] = &testbench.FPTrace{Ifc: st.Ifc, Err: perr}
+						}
+					}
+				}
+			}()
+			faultinject.Fire(faultinject.PointRankBatch, "")
+			batch, err := testbench.RunFingerprintGangModeCtx(ctx, jobs[lo:hi], eval.TopModule, st, cfg.Backend, base, mode)
+			if err != nil {
+				return err
+			}
+			copy(fps[lo:hi], batch)
+			return nil
+		}
+	}
+	if err := runUnits(ctx, nUnits, cfg.Workers, cfg.OnBatch, run); err != nil {
+		return nil, err
+	}
+
+	// Pass 3a: attach results in candidate order and count cluster sizes,
+	// so member slices below allocate exactly once at final size.
+	fpOf := make([]uint64, len(srcs))
+	okOf := make([]bool, len(srcs))
+	counts := make(map[uint64]int, len(jobs))
+	if cfg.LegacyTraces {
+		out.Traces = make([]*testbench.Trace, len(srcs))
+	} else {
+		out.FPs = make([]*testbench.FPTrace, len(srcs))
+	}
+	for i, src := range srcs {
+		if src == nil {
+			continue
+		}
+		if cfg.LegacyTraces {
+			tr := traces[jobOf[i]]
+			out.Traces[i] = tr
+			if tr.Err != nil {
+				continue // runtime failures agree with nobody
+			}
+			fpOf[i] = tr.Fingerprint()
+		} else {
+			fp := fps[jobOf[i]]
+			out.FPs[i] = fp
+			if fp.Err != nil {
+				continue
+			}
+			fpOf[i] = fp.Fingerprint()
+		}
+		okOf[i] = true
+		counts[fpOf[i]]++
+	}
+
+	// Pass 3b: cluster sequentially in candidate order (deterministic; the
+	// final (score, fingerprint) sort is a total order, so insertion order
+	// never shows through).
+	byFP := make(map[uint64]*Cluster, len(counts))
+	out.Clusters = make([]Cluster, 0, len(counts))
+	for i := range srcs {
+		if !okOf[i] {
+			continue
+		}
+		fp := fpOf[i]
+		cl := byFP[fp]
+		if cl == nil {
+			out.Clusters = append(out.Clusters, Cluster{
+				Fingerprint: fp,
+				Members:     make([]int, 0, counts[fp]),
+			})
+			cl = &out.Clusters[len(out.Clusters)-1]
+			byFP[fp] = cl
+		}
+		cl.Members = append(cl.Members, i)
+	}
+	for i := range out.Clusters {
+		out.Clusters[i].Score = len(out.Clusters[i].Members)
+	}
+	sort.Slice(out.Clusters, func(a, b int) bool {
+		if out.Clusters[a].Score != out.Clusters[b].Score {
+			return out.Clusters[a].Score > out.Clusters[b].Score
+		}
+		return out.Clusters[a].Fingerprint < out.Clusters[b].Fingerprint
+	})
+	return out, nil
+}
+
+// runUnits drives run(0..n-1) on a workers-bounded pool. Feeding stops on
+// the first error or on ctx cancellation; already-started units run to
+// their own ctx checks. The first error wins (a ctx error if nothing else
+// failed first).
+func runUnits(ctx context.Context, n, workers int, onDone func(done, total int), run func(b int) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for b := 0; b < n; b++ {
+			if err := run(b); err != nil {
+				return err
+			}
+			if onDone != nil {
+				onDone(b+1, n)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return nil
+	}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+		done     int
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range next {
+				err := run(b)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil {
+					done++
+					if onDone != nil {
+						onDone(done, n)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for b := 0; b < n; b++ {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
+		select {
+		case next <- b:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/serve/faultinject"
+	"repro/internal/sim"
+	"repro/internal/testbench"
+	"repro/internal/verilog/ast"
+)
+
+// gatePool parses a pool of two-input gate candidates for cmb_gate_00_and2:
+// the golden AND, an OR mutant, an XOR mutant, a duplicate of the OR mutant
+// (dedup must coalesce it), and a nil slot standing in for an invalid
+// candidate. Returns (task, golden, srcs).
+func gatePool(t *testing.T) (eval.Task, *ast.Source, []*ast.Source) {
+	t.Helper()
+	task := pickTask(t, "cmb_gate_00_and2")
+	exprs := []string{"a & b", "a | b", "a ^ b", "a | b"}
+	srcs := make([]*ast.Source, 0, len(exprs)+1)
+	for _, e := range exprs {
+		src, err := eval.ParseCached("module top_module(\n    input a,\n    input b,\n    output y\n);\n    assign y = " + e + ";\nendmodule\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs = append(srcs, src)
+	}
+	srcs = append(srcs, nil)
+	golden, err := eval.ParseCached(task.Golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task, golden, srcs
+}
+
+// clusterMembers flattens clusters to their member index sets, dropping the
+// fingerprints — the representation-independent part two ranking paths must
+// agree on.
+func clusterMembers(cls []Cluster) [][]int {
+	out := make([][]int, len(cls))
+	for i, cl := range cls {
+		out[i] = cl.Members
+	}
+	return out
+}
+
+// TestRankPoolPanicConfinedToCandidate injects a sticky simulator crash
+// into one candidate of a worker-pool rank (satellite 3): the panicking
+// candidate must come back with its own ErrSimPanic, every other candidate
+// must be bit-identical to a clean run, and after disarming, re-running the
+// pool is bit-identical to a never-faulted run.
+func TestRankPoolPanicConfinedToCandidate(t *testing.T) {
+	defer faultinject.Reset()
+	task, golden, srcs := gatePool(t)
+	st := testbench.RankingCached(9101, 0, task.Ifc)
+	cfg := RankPoolConfig{Backend: testbench.BackendCompiled, Workers: 3, GangSize: 2, Golden: golden}
+
+	// srcs[2] is the XOR mutant; sticky, so the solo re-run the gang falls
+	// back to after the crash panics again.
+	faultinject.ArmFrom(faultinject.PointSimCase, sim.CanonicalKey(srcs[2]), 1, func() {
+		panic("injected simulator crash")
+	})
+	faulted, err := RankPool(context.Background(), srcs, st, cfg)
+	if err != nil {
+		t.Fatalf("faulted RankPool returned pool-level error: %v", err)
+	}
+	if faulted.FPs[2] == nil || faulted.FPs[2].Err == nil || !errors.Is(faulted.FPs[2].Err, testbench.ErrSimPanic) {
+		t.Fatalf("victim FPs[2] = %+v, want ErrSimPanic", faulted.FPs[2])
+	}
+	if faulted.FPs[4] != nil {
+		t.Fatalf("nil source got a trace: %+v", faulted.FPs[4])
+	}
+
+	faultinject.Reset()
+	clean, err := RankPool(context.Background(), srcs, st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 3} {
+		f, c := faulted.FPs[i], clean.FPs[i]
+		if f.Err != nil || c.Err != nil {
+			t.Fatalf("survivor %d errored: faulted=%v clean=%v", i, f.Err, c.Err)
+		}
+		if f.Fingerprint() != c.Fingerprint() || !reflect.DeepEqual(f.CaseFPs, c.CaseFPs) {
+			t.Fatalf("survivor %d diverged between faulted and clean runs", i)
+		}
+	}
+	if clean.FPs[2].Err != nil {
+		t.Fatalf("victim still failing after disarm: %v", clean.FPs[2].Err)
+	}
+	// Clean clusters: {1,3} (the duplicated OR) first, then {0} and {2} in
+	// fingerprint order; the faulted run must be the same minus the victim.
+	cm := clusterMembers(clean.Clusters)
+	if len(cm) != 3 || !reflect.DeepEqual(cm[0], []int{1, 3}) ||
+		!(reflect.DeepEqual(cm[1], []int{0}) || reflect.DeepEqual(cm[2], []int{0})) ||
+		!(reflect.DeepEqual(cm[1], []int{2}) || reflect.DeepEqual(cm[2], []int{2})) {
+		t.Fatalf("clean clusters = %v, want [[1 3] [0] [2]] (singletons in either order)", cm)
+	}
+	if want := [][]int{{1, 3}, {0}}; !reflect.DeepEqual(clusterMembers(faulted.Clusters), want) {
+		t.Fatalf("faulted clusters = %v, want %v", clusterMembers(faulted.Clusters), want)
+	}
+	if clean.UniqueJobs != 3 {
+		t.Fatalf("UniqueJobs = %d, want 3 (OR duplicate must dedup)", clean.UniqueJobs)
+	}
+}
+
+// TestRankPoolCancelLeavesCachesReusable cancels a rank mid-flight (at the
+// second gang batch) and then re-runs the identical pool twice: the cancel
+// must surface as the context error, and — the ISSUE's acceptance bar — the
+// aborted run must leave every process-wide memo reusable, with the re-runs
+// bit-identical to each other AND agreeing with the independent legacy
+// full-trace referee that shares none of the fingerprint memos.
+func TestRankPoolCancelLeavesCachesReusable(t *testing.T) {
+	defer faultinject.Reset()
+	task, golden, _ := gatePool(t)
+	exprs := []string{"a & b", "a | b", "a ^ b", "~(a & b)", "~(a | b)", "~(a ^ b)", "a", "b"}
+	srcs := make([]*ast.Source, len(exprs))
+	for i, e := range exprs {
+		src, err := eval.ParseCached("module top_module(\n    input a,\n    input b,\n    output y\n);\n    assign y = " + e + ";\nendmodule\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[i] = src
+	}
+	st := testbench.RankingCached(9103, 0, task.Ifc)
+	cfg := RankPoolConfig{Backend: testbench.BackendCompiled, Workers: 1, GangSize: 2, Golden: golden}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.Arm(faultinject.PointRankBatch, "", 2, cancel)
+	if _, err := RankPool(ctx, srcs, st, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RankPool err = %v, want context.Canceled", err)
+	}
+
+	faultinject.Reset()
+	first, err := RankPool(context.Background(), srcs, st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RankPool(context.Background(), srcs, st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Clusters, second.Clusters) {
+		t.Fatalf("post-cancel re-runs diverged:\n%v\nvs\n%v", first.Clusters, second.Clusters)
+	}
+	for i := range srcs {
+		if first.FPs[i].Err != nil || first.FPs[i].Fingerprint() != second.FPs[i].Fingerprint() {
+			t.Fatalf("candidate %d not bit-identical across post-cancel re-runs", i)
+		}
+	}
+
+	// Independent referee: the legacy full-trace path re-simulates from
+	// scratch (no fingerprint memo), so agreement here rules out a stale or
+	// poisoned memo entry surviving the cancel.
+	legacy, err := RankPool(context.Background(), srcs, st, RankPoolConfig{
+		Backend: testbench.BackendCompiled, LegacyTraces: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clusterMembers(first.Clusters), clusterMembers(legacy.Clusters)) {
+		t.Fatalf("fingerprint clusters %v disagree with legacy referee %v",
+			clusterMembers(first.Clusters), clusterMembers(legacy.Clusters))
+	}
+}
+
+// TestRankPoolDeterministicAcrossWorkers: identical pools ranked with
+// different worker counts and gang sizes must produce identical clusters,
+// and OnBatch progress must be serialized and monotonic up to completion.
+func TestRankPoolDeterministicAcrossWorkers(t *testing.T) {
+	task, golden, srcs := gatePool(t)
+	st := testbench.RankingCached(9107, 0, task.Ifc)
+
+	var ref *RankPoolResult
+	for _, w := range []int{1, 2, 4} {
+		for _, gangN := range []int{1, 2, 8} {
+			var progress []int
+			res, err := RankPool(context.Background(), srcs, st, RankPoolConfig{
+				Backend: testbench.BackendCompiled, Workers: w, GangSize: gangN, Golden: golden,
+				OnBatch: func(done, total int) { progress = append(progress, done, total) },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = res
+			} else if !reflect.DeepEqual(res.Clusters, ref.Clusters) {
+				t.Fatalf("workers=%d gang=%d clusters diverged: %v vs %v", w, gangN, res.Clusters, ref.Clusters)
+			}
+			nUnits := (res.UniqueJobs + gangN - 1) / gangN
+			if len(progress) != 2*nUnits {
+				t.Fatalf("workers=%d gang=%d: %d OnBatch calls, want %d", w, gangN, len(progress)/2, nUnits)
+			}
+			for u := 0; u < nUnits; u++ {
+				if progress[2*u] != u+1 || progress[2*u+1] != nUnits {
+					t.Fatalf("workers=%d gang=%d: OnBatch call %d = (%d,%d), want (%d,%d)",
+						w, gangN, u, progress[2*u], progress[2*u+1], u+1, nUnits)
+				}
+			}
+		}
+	}
+}

@@ -7,12 +7,10 @@ import (
 	"hash/fnv"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/eval"
 	"repro/internal/llm"
-	"repro/internal/sim"
 	"repro/internal/testbench"
 	"repro/internal/verilog/ast"
 	"repro/internal/xrng"
@@ -66,7 +64,10 @@ const minFilteredPool = 8
 // keep the filter from destroying the pool: it never removes every
 // candidate, and it backs off entirely when it would leave fewer than
 // minFilteredPool candidates for ranking.
-func (p *Pipeline) densityFilter(res *Result) {
+func (p *Pipeline) densityFilter(ctx context.Context, res *Result) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	var lens []int
 	for i := range res.Candidates {
 		c := &res.Candidates[i]
@@ -75,7 +76,7 @@ func (p *Pipeline) densityFilter(res *Result) {
 		}
 	}
 	if len(lens) < 4 {
-		return // not enough signal to estimate the sweet spot
+		return nil // not enough signal to estimate the sweet spot
 	}
 	minL, maxL := lens[0], lens[0]
 	for _, l := range lens {
@@ -88,7 +89,7 @@ func (p *Pipeline) densityFilter(res *Result) {
 	}
 	span := maxL - minL
 	if span == 0 {
-		return
+		return nil
 	}
 	kept := 0
 	for i := range res.Candidates {
@@ -114,220 +115,63 @@ func (p *Pipeline) densityFilter(res *Result) {
 			res.Candidates[i].Filtered = false
 		}
 	}
+	return nil
 }
 
 // rank simulates every usable candidate under the generated printing
 // testbench and clusters by strict full-trace agreement, scoring clusters by
-// size (the paper's Eq. 2-3). Candidates whose source is canonically
-// identical (same printed code, common under n-sample generation) share a
-// single simulation run; the unique designs are simulated concurrently on a
-// Workers-bounded pool (the compiled Design is shared, each run gets its own
-// pooled Engine), and clustering stays sequential in candidate order so the
-// result is bit-identical for any worker count.
+// size (the paper's Eq. 2-3). The work — dedup, gang-batched concurrent
+// simulation, clustering — lives in RankPool; rank maps the candidate pool
+// in and attaches the aligned results back. Results are bit-identical for
+// any worker count and gang size.
 //
 // By default each run streams straight to a per-case fingerprint record
 // (testbench.RunFingerprint): no trace string is ever built, and the only
 // per-candidate retention is a handful of uint64s. Config.LegacyTraces
 // restores the retained-Trace path; both cluster on the same fingerprint
 // values, so every downstream decision is identical.
-func (p *Pipeline) rank(res *Result) error {
+func (p *Pipeline) rank(ctx context.Context, res *Result) error {
 	// Cached: every variant of a (task, run) pair re-derives this exact
 	// stimulus, and it is read-only from here on.
 	st := testbench.RankingCached(p.cfg.TBSeed+int64(res.Task.Index), p.cfg.TBImperfection, res.Task.Ifc)
 	res.rankingStimulus = st
 
-	// Pass 1: dedup canonically identical candidates, first-seen order.
-	jobOf := make([]int, len(res.Candidates))
-	jobIdx := make(map[string]int, len(res.Candidates))
-	jobs := make([]*ast.Source, 0, len(res.Candidates))
+	srcs := make([]*ast.Source, len(res.Candidates))
 	for i := range res.Candidates {
 		c := &res.Candidates[i]
-		if !c.Valid || c.Filtered {
-			continue
-		}
-		key := sim.CanonicalKey(c.Source)
-		j, dup := jobIdx[key]
-		if !dup {
-			j = len(jobs)
-			jobIdx[key] = j
-			jobs = append(jobs, c.Source)
-		}
-		jobOf[i] = j
-	}
-
-	// Pass 2: simulate each unique design. The fingerprint path batches
-	// jobs into gangs of GangSize lanes advancing in lockstep over the
-	// shared schedule; a worker picks up a whole gang. Gang results are
-	// bit-identical to solo runs, and batches are indexed, so results are
-	// bit-identical for any gang size and worker count. The legacy-trace
-	// referee keeps its one-candidate-per-worker shape.
-	var (
-		traces []*testbench.Trace
-		fps    []*testbench.FPTrace
-		run    func(j int)
-		nUnits int
-	)
-	gang := p.cfg.GangSize
-	if gang <= 0 {
-		gang = DefaultGangSize
-	}
-	if p.cfg.LegacyTraces {
-		nUnits = len(jobs)
-		traces = make([]*testbench.Trace, len(jobs))
-		run = func(j int) {
-			traces[j] = testbench.RunBackend(jobs[j], eval.TopModule, st, p.cfg.Backend)
-		}
-	} else {
-		nUnits = (len(jobs) + gang - 1) / gang
-		fps = make([]*testbench.FPTrace, len(jobs))
-		mode := testbench.GangSoA
-		if p.cfg.PerLaneGang {
-			mode = testbench.GangPerLane
-		}
-		// The compiled golden anchors every gang: it is the delta-compilation
-		// base for candidate lanes AND the owner of the shared SoA program.
-		// Candidates habitually rename internal registers while keeping whole
-		// processes identical to the golden, so anchoring on the golden (not
-		// on whichever candidate happens to lead the batch) is what lets the
-		// name-blind sharing criterion coalesce those processes into one
-		// gang-program walk. Parse and compile are both process-wide caches,
-		// so this costs one lookup per rank call.
-		var base *sim.Design
-		if p.cfg.Backend != testbench.BackendInterpreter {
-			if gsrc, gerr := eval.ParseCached(res.Task.Golden); gerr == nil {
-				if d, derr := sim.CompileCached(gsrc, eval.TopModule); derr == nil {
-					base = d
-				}
-			}
-		}
-		// Gang-aware batching: order jobs by behavior class before slicing
-		// into gangs, so alpha-equivalent candidates (register renames,
-		// repeated mutations — the bulk of an LLM pool's redundancy) land in
-		// the same gang, where the SoA backend dedups whole lanes and shares
-		// kernels. Each lane's fingerprints are independent of its batch, so
-		// any ordering yields bit-identical decisions; sorting is stable on
-		// first-seen order, keeping results deterministic. The delta compile
-		// feeds the same process-wide cache the gang's bind step uses, so
-		// this costs one cache lookup per job per rank call.
-		if base != nil && len(jobs) > gang {
-			type jobKey struct {
-				h uint64
-				j int
-			}
-			keys := make([]jobKey, len(jobs))
-			for j, src := range jobs {
-				keys[j] = jobKey{j: j}
-				if d, derr := sim.CompileDeltaCached(base, src, eval.TopModule); derr == nil {
-					keys[j].h = d.GangClassHash()
-				}
-			}
-			sort.Slice(keys, func(a, b int) bool {
-				if keys[a].h != keys[b].h {
-					return keys[a].h < keys[b].h
-				}
-				return keys[a].j < keys[b].j
-			})
-			sorted := make([]*ast.Source, len(jobs))
-			inv := make([]int, len(jobs))
-			for k := range keys {
-				sorted[k] = jobs[keys[k].j]
-				inv[keys[k].j] = k
-			}
-			jobs = sorted
-			for i := range jobOf {
-				jobOf[i] = inv[jobOf[i]]
-			}
-		}
-		run = func(b int) {
-			lo := b * gang
-			hi := lo + gang
-			if hi > len(jobs) {
-				hi = len(jobs)
-			}
-			copy(fps[lo:hi], testbench.RunFingerprintGangMode(jobs[lo:hi], eval.TopModule, st, p.cfg.Backend, base, mode))
+		if c.Valid && !c.Filtered {
+			srcs[i] = c.Source
 		}
 	}
-	if workers := p.workerCount(nUnits); workers <= 1 {
-		for j := 0; j < nUnits; j++ {
-			run(j)
+	var golden *ast.Source
+	if p.cfg.Backend != testbench.BackendInterpreter {
+		if gsrc, gerr := eval.ParseCached(res.Task.Golden); gerr == nil {
+			golden = gsrc
 		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for j := range next {
-					run(j)
-				}
-			}()
-		}
-		for j := 0; j < nUnits; j++ {
-			next <- j
-		}
-		close(next)
-		wg.Wait()
 	}
-	res.Stats.SimRuns += len(jobs)
-
-	// Pass 3a: attach results in candidate order and count cluster sizes,
-	// so member slices below allocate exactly once at final size.
-	fpOf := make([]uint64, len(res.Candidates))
-	okOf := make([]bool, len(res.Candidates))
-	counts := make(map[uint64]int, len(jobs))
+	pool, err := RankPool(ctx, srcs, st, RankPoolConfig{
+		Backend:      p.cfg.Backend,
+		Workers:      p.cfg.Workers,
+		GangSize:     p.cfg.GangSize,
+		PerLaneGang:  p.cfg.PerLaneGang,
+		LegacyTraces: p.cfg.LegacyTraces,
+		Golden:       golden,
+	})
+	if err != nil {
+		return err
+	}
 	for i := range res.Candidates {
-		c := &res.Candidates[i]
-		if !c.Valid || c.Filtered {
+		if srcs[i] == nil {
 			continue
 		}
 		if p.cfg.LegacyTraces {
-			c.Trace = traces[jobOf[i]]
-			if c.Trace.Err != nil {
-				continue // runtime failures agree with nobody
-			}
-			fpOf[i] = c.Trace.Fingerprint()
+			res.Candidates[i].Trace = pool.Traces[i]
 		} else {
-			c.FPTrace = fps[jobOf[i]]
-			if c.FPTrace.Err != nil {
-				continue
-			}
-			fpOf[i] = c.FPTrace.Fingerprint()
+			res.Candidates[i].FPTrace = pool.FPs[i]
 		}
-		okOf[i] = true
-		counts[fpOf[i]]++
 	}
-
-	// Pass 3b: cluster sequentially in candidate order (deterministic; the
-	// final (score, fingerprint) sort is a total order, so insertion order
-	// never shows through).
-	byFP := make(map[uint64]*Cluster, len(counts))
-	res.Clusters = make([]Cluster, 0, len(counts))
-	for i := range res.Candidates {
-		if !okOf[i] {
-			continue
-		}
-		fp := fpOf[i]
-		cl := byFP[fp]
-		if cl == nil {
-			res.Clusters = append(res.Clusters, Cluster{
-				Fingerprint: fp,
-				Members:     make([]int, 0, counts[fp]),
-			})
-			cl = &res.Clusters[len(res.Clusters)-1]
-			byFP[fp] = cl
-		}
-		cl.Members = append(cl.Members, i)
-	}
-	for i := range res.Clusters {
-		res.Clusters[i].Score = len(res.Clusters[i].Members)
-	}
-	sort.Slice(res.Clusters, func(a, b int) bool {
-		if res.Clusters[a].Score != res.Clusters[b].Score {
-			return res.Clusters[a].Score > res.Clusters[b].Score
-		}
-		return res.Clusters[a].Fingerprint < res.Clusters[b].Fingerprint
-	})
+	res.Stats.SimRuns += pool.UniqueJobs
+	res.Clusters = pool.Clusters
 	return nil
 }
 

@@ -1,0 +1,244 @@
+// Package sched is a bounded job scheduler in the taskerlite shape: a
+// fixed pool of worker slots pulls jobs from a hard-capped FIFO queue, each
+// job runs under its own cancellable context, and shutdown is graceful —
+// intake stops first, in-flight jobs drain under a deadline, stragglers are
+// force-cancelled. The scheduler knows nothing about HTTP or ranking; it
+// runs opaque Task functions and reports their outcomes through per-job
+// callbacks, which is what keeps the pipeline core transport-agnostic.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/serve/faultinject"
+)
+
+// Sentinel errors. ErrQueueFull maps to HTTP 429 at the transport layer,
+// ErrDraining to 503; both are rejections at submit time, before any
+// resources are committed to the job.
+var (
+	ErrQueueFull = errors.New("sched: queue full")
+	ErrDraining  = errors.New("sched: draining, intake closed")
+	ErrDuplicate = errors.New("sched: duplicate job id")
+	// ErrJobPanic wraps a panic recovered from a job's Task. The worker
+	// survives; only the panicking job fails.
+	ErrJobPanic = errors.New("sched: job panicked")
+)
+
+// Task is one unit of schedulable work. It must observe ctx: cancellation
+// (cancel-by-ID, job deadline, force-cancelled shutdown) is delivered only
+// through it.
+type Task func(ctx context.Context) error
+
+// Job couples a Task with its identity and completion callback.
+type Job struct {
+	// ID names the job for Cancel; it must be unique among live jobs.
+	ID string
+	// Run does the work.
+	Run Task
+	// Done, when set, is called exactly once with the job's outcome: nil on
+	// success, the Task's error, the context error for jobs cancelled
+	// before or during their run, or an ErrJobPanic-wrapped error for a
+	// recovered panic. It runs on the worker goroutine.
+	Done func(err error)
+}
+
+// Config sizes a Scheduler.
+type Config struct {
+	// Workers is the number of concurrent job slots (minimum 1).
+	Workers int
+	// QueueCap bounds the jobs accepted but not yet started (minimum 1).
+	// Submits past the cap are rejected with ErrQueueFull.
+	QueueCap int
+	// JobTimeout, when positive, bounds each job's run measured from the
+	// moment a worker picks it up (time spent queued does not count).
+	JobTimeout time.Duration
+}
+
+type job struct {
+	id     string
+	run    Task
+	done   func(error)
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Scheduler is the bounded worker pool. Create with New, stop with
+// Shutdown.
+type Scheduler struct {
+	cfg Config
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	queue    chan *job
+	live     map[string]*job // queued + running, for Cancel
+	running  int
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a scheduler with cfg.Workers worker goroutines.
+func New(cfg Config) *Scheduler {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *job, cfg.QueueCap),
+		live:       make(map[string]*job),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues j. It never blocks: a full queue rejects with
+// ErrQueueFull, a draining scheduler with ErrDraining, a live duplicate ID
+// with ErrDuplicate. The job is cancellable by ID from the moment Submit
+// returns, including while it is still queued.
+func (s *Scheduler) Submit(j Job) error {
+	if j.Run == nil {
+		return errors.New("sched: nil Run")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	if _, dup := s.live[j.ID]; dup {
+		return ErrDuplicate
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	jb := &job{id: j.ID, run: j.Run, done: j.Done, ctx: ctx, cancel: cancel}
+	select {
+	case s.queue <- jb:
+	default:
+		cancel()
+		return ErrQueueFull
+	}
+	s.live[j.ID] = jb
+	return nil
+}
+
+// Cancel cancels the job's context — whether it is still queued or already
+// running — and reports whether the ID named a live job. A queued job is
+// skipped by the worker that pops it; a running job unwinds at its next
+// ctx check. Completion (with the context error) is still reported through
+// the job's Done.
+func (s *Scheduler) Cancel(id string) bool {
+	s.mu.Lock()
+	jb := s.live[id]
+	s.mu.Unlock()
+	if jb == nil {
+		return false
+	}
+	jb.cancel()
+	return true
+}
+
+// Stats reports the current queue depth and running-job count.
+func (s *Scheduler) Stats() (queued, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), s.running
+}
+
+// Draining reports whether Shutdown has closed intake.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown stops intake, lets queued and in-flight jobs drain for up to
+// drain, then force-cancels every remaining job and waits for the workers
+// to exit. Safe to call once; Submit after Shutdown returns ErrDraining.
+func (s *Scheduler) Shutdown(drain time.Duration) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	// Submit holds mu and checks draining before sending, so no send can
+	// race this close.
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(drain)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		// Drain deadline passed: force-cancel everything still live. The
+		// workers observe their job contexts and exit; jobs still report
+		// through Done with the cancellation error.
+		s.baseCancel()
+		<-done
+	}
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for jb := range s.queue {
+		s.runJob(jb)
+	}
+}
+
+func (s *Scheduler) runJob(jb *job) {
+	defer func() {
+		jb.cancel()
+		s.mu.Lock()
+		delete(s.live, jb.id)
+		s.running--
+		s.mu.Unlock()
+	}()
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+
+	err := jb.ctx.Err()
+	if err == nil {
+		ctx := jb.ctx
+		if s.cfg.JobTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+			defer cancel()
+		}
+		err = func() (err error) {
+			// A panicking job must not take its worker slot down with it:
+			// convert to a per-job error and keep serving.
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("%w: %v", ErrJobPanic, r)
+				}
+			}()
+			faultinject.Fire(faultinject.PointSchedRun, jb.id)
+			return jb.run(ctx)
+		}()
+	}
+	if jb.done != nil {
+		jb.done(err)
+	}
+}

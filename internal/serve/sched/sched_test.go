@@ -1,0 +1,343 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve/faultinject"
+)
+
+// outcome collects Done callbacks for assertions.
+type outcome struct {
+	mu   sync.Mutex
+	errs map[string]error
+	done chan string
+}
+
+func newOutcome(cap int) *outcome {
+	return &outcome{errs: make(map[string]error), done: make(chan string, cap)}
+}
+
+func (o *outcome) fn(id string) func(error) {
+	return func(err error) {
+		o.mu.Lock()
+		o.errs[id] = err
+		o.mu.Unlock()
+		o.done <- id
+	}
+}
+
+// resubmit reuses a completed job's ID: it forgets the recorded outcome and
+// retries past the window where the worker has reported Done but not yet
+// retired the old job from the live set.
+func (o *outcome) resubmit(t *testing.T, s *Scheduler, j Job) {
+	t.Helper()
+	o.mu.Lock()
+	delete(o.errs, j.ID)
+	o.mu.Unlock()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := s.Submit(j)
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, ErrDuplicate) || time.Now().After(deadline) {
+			t.Fatalf("resubmit %s: %v", j.ID, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (o *outcome) wait(t *testing.T, id string) error {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		o.mu.Lock()
+		err, ok := o.errs[id]
+		o.mu.Unlock()
+		if ok {
+			return err
+		}
+		select {
+		case <-o.done: // some job finished; re-check the map
+		case <-deadline:
+			t.Fatalf("job %s never completed", id)
+		}
+	}
+}
+
+// TestSubmitRunsJobs: submitted jobs run, complete with their Task's error,
+// and leave the live set.
+func TestSubmitRunsJobs(t *testing.T) {
+	s := New(Config{Workers: 2, QueueCap: 4})
+	defer s.Shutdown(time.Second)
+	o := newOutcome(4)
+
+	boom := errors.New("boom")
+	if err := s.Submit(Job{ID: "ok", Run: func(context.Context) error { return nil }, Done: o.fn("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(Job{ID: "bad", Run: func(context.Context) error { return boom }, Done: o.fn("bad")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.wait(t, "ok"); err != nil {
+		t.Fatalf("ok job: %v", err)
+	}
+	if err := o.wait(t, "bad"); !errors.Is(err, boom) {
+		t.Fatalf("bad job: %v, want boom", err)
+	}
+	// IDs are reusable once the old job retires from the live set.
+	o.resubmit(t, s, Job{ID: "ok", Run: func(context.Context) error { return nil }, Done: o.fn("ok")})
+	if err := o.wait(t, "ok"); err != nil {
+		t.Fatalf("resubmitted job: %v", err)
+	}
+	if q, r := s.Stats(); q != 0 {
+		t.Fatalf("stats after drain: queued=%d running=%d", q, r)
+	}
+}
+
+// TestQueueOverflow fills every worker slot and the whole queue, then
+// asserts the next submit is rejected with ErrQueueFull without blocking,
+// and that releasing the workers drains everything accepted.
+func TestQueueOverflow(t *testing.T) {
+	const workers, queueCap = 2, 3
+	s := New(Config{Workers: workers, QueueCap: queueCap})
+	defer s.Shutdown(time.Second)
+	o := newOutcome(workers + queueCap + 1)
+
+	release := make(chan struct{})
+	started := make(chan string, workers+queueCap)
+	blocker := func(id string) Task {
+		return func(ctx context.Context) error {
+			started <- id
+			select {
+			case <-release:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	for i := 0; i < workers; i++ {
+		id := fmt.Sprintf("run-%d", i)
+		if err := s.Submit(Job{ID: id, Run: blocker(id), Done: o.fn(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < workers; i++ {
+		<-started // both slots occupied before we fill the queue
+	}
+	for i := 0; i < queueCap; i++ {
+		id := fmt.Sprintf("queued-%d", i)
+		if err := s.Submit(Job{ID: id, Run: blocker(id), Done: o.fn(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := s.Submit(Job{ID: "overflow", Run: blocker("overflow")})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
+	}
+	if q, r := s.Stats(); q != queueCap || r != workers {
+		t.Fatalf("stats at saturation: queued=%d running=%d", q, r)
+	}
+	// Duplicate of a queued job is also rejected, not double-queued.
+	if err := s.Submit(Job{ID: "queued-0", Run: blocker("dup")}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate submit: %v, want ErrDuplicate", err)
+	}
+
+	close(release)
+	for i := 0; i < workers; i++ {
+		if err := o.wait(t, fmt.Sprintf("run-%d", i)); err != nil {
+			t.Fatalf("run-%d: %v", i, err)
+		}
+	}
+	for i := 0; i < queueCap; i++ {
+		if err := o.wait(t, fmt.Sprintf("queued-%d", i)); err != nil {
+			t.Fatalf("queued-%d: %v", i, err)
+		}
+	}
+}
+
+// TestCancelQueuedAndRunning cancels one running job (it must unwind at its
+// next ctx check with context.Canceled) and one still-queued job (the
+// worker must skip its Task entirely and report the context error).
+func TestCancelQueuedAndRunning(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 4})
+	defer s.Shutdown(time.Second)
+	o := newOutcome(4)
+
+	started := make(chan struct{})
+	ran := make(chan string, 4)
+	if err := s.Submit(Job{ID: "running", Done: o.fn("running"), Run: func(ctx context.Context) error {
+		close(started)
+		ran <- "running"
+		<-ctx.Done()
+		return ctx.Err()
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := s.Submit(Job{ID: "victim", Done: o.fn("victim"), Run: func(context.Context) error {
+		ran <- "victim"
+		return nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(Job{ID: "after", Done: o.fn("after"), Run: func(context.Context) error {
+		ran <- "after"
+		return nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !s.Cancel("victim") {
+		t.Fatal("Cancel(victim) found no live job")
+	}
+	if !s.Cancel("running") {
+		t.Fatal("Cancel(running) found no live job")
+	}
+	if s.Cancel("nope") {
+		t.Fatal("Cancel of unknown id reported true")
+	}
+
+	if err := o.wait(t, "running"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("running job: %v, want context.Canceled", err)
+	}
+	if err := o.wait(t, "victim"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued victim: %v, want context.Canceled", err)
+	}
+	if err := o.wait(t, "after"); err != nil {
+		t.Fatalf("untouched job: %v", err)
+	}
+	for len(ran) > 0 {
+		if id := <-ran; id == "victim" {
+			t.Fatal("cancelled queued job's Task still ran")
+		}
+	}
+}
+
+// TestJobPanicKeepsWorkerAlive: a panicking Task fails with ErrJobPanic and
+// the worker slot keeps serving later jobs.
+func TestJobPanicKeepsWorkerAlive(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 4})
+	defer s.Shutdown(time.Second)
+	o := newOutcome(4)
+
+	if err := s.Submit(Job{ID: "bomb", Done: o.fn("bomb"), Run: func(context.Context) error {
+		panic("kaboom")
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.wait(t, "bomb"); !errors.Is(err, ErrJobPanic) {
+		t.Fatalf("panicking job: %v, want ErrJobPanic", err)
+	}
+	if err := s.Submit(Job{ID: "next", Done: o.fn("next"), Run: func(context.Context) error { return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.wait(t, "next"); err != nil {
+		t.Fatalf("job after panic: %v", err)
+	}
+}
+
+// TestInjectedSchedPanic drives the same recovery through the fault
+// injection point instead of a cooperating Task.
+func TestInjectedSchedPanic(t *testing.T) {
+	defer faultinject.Reset()
+	s := New(Config{Workers: 1, QueueCap: 4})
+	defer s.Shutdown(time.Second)
+	o := newOutcome(2)
+
+	faultinject.Arm(faultinject.PointSchedRun, "target", 1, func() {
+		panic("injected scheduler fault")
+	})
+	if err := s.Submit(Job{ID: "target", Done: o.fn("target"), Run: func(context.Context) error { return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.wait(t, "target"); !errors.Is(err, ErrJobPanic) {
+		t.Fatalf("injected panic: %v, want ErrJobPanic", err)
+	}
+	faultinject.Reset()
+	o.resubmit(t, s, Job{ID: "target", Done: o.fn("target"), Run: func(context.Context) error { return nil }})
+	if err := o.wait(t, "target"); err != nil {
+		t.Fatalf("post-fault rerun: %v", err)
+	}
+}
+
+// TestJobTimeout: a job exceeding JobTimeout is cancelled through its ctx
+// and reports context.DeadlineExceeded.
+func TestJobTimeout(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 2, JobTimeout: 20 * time.Millisecond})
+	defer s.Shutdown(time.Second)
+	o := newOutcome(2)
+
+	if err := s.Submit(Job{ID: "slow", Done: o.fn("slow"), Run: func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.wait(t, "slow"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("slow job: %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestShutdownDrains: Shutdown with headroom lets queued work finish; once
+// draining, Submit rejects with ErrDraining.
+func TestShutdownDrains(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 4})
+	o := newOutcome(4)
+
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("j%d", i)
+		if err := s.Submit(Job{ID: id, Done: o.fn(id), Run: func(context.Context) error {
+			time.Sleep(5 * time.Millisecond)
+			return nil
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Shutdown(10 * time.Second)
+	if err := s.Submit(Job{ID: "late", Run: func(context.Context) error { return nil }}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after shutdown: %v, want ErrDraining", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := o.wait(t, fmt.Sprintf("j%d", i)); err != nil {
+			t.Fatalf("j%d not drained cleanly: %v", i, err)
+		}
+	}
+}
+
+// TestShutdownForceCancels: a job ignoring the drain deadline is
+// force-cancelled through its context; Shutdown still returns and the job
+// still reports through Done.
+func TestShutdownForceCancels(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 2})
+	o := newOutcome(2)
+
+	started := make(chan struct{})
+	if err := s.Submit(Job{ID: "stuck", Done: o.fn("stuck"), Run: func(ctx context.Context) error {
+		close(started)
+		<-ctx.Done() // refuses to finish until force-cancelled
+		return ctx.Err()
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	finished := make(chan struct{})
+	go func() {
+		s.Shutdown(10 * time.Millisecond)
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown hung past the drain deadline")
+	}
+	if err := o.wait(t, "stuck"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("force-cancelled job: %v, want context.Canceled", err)
+	}
+}

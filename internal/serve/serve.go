@@ -1,0 +1,501 @@
+// Package serve is the HTTP/JSON transport of the vfocusd daemon: it
+// accepts (golden, buggy-candidate-pool) ranking jobs, runs them on a
+// bounded scheduler (internal/serve/sched), and streams ranked clusters
+// back as newline-delimited JSON. The package holds no simulation logic —
+// jobs call core.RankPool, and all heavy state (compiled designs,
+// schedules, stimulus plans, fingerprint memos) lives in the process-wide
+// caches those paths already share, so concurrent jobs against one golden
+// automatically share one compiled Design and stimulus stream.
+//
+// Streaming is slow-client-proof by construction: workers append events to
+// a per-job log under a mutex and move on; each streaming handler replays
+// the log and follows at its own pace, so a stalled reader blocks only its
+// own connection, never a worker slot.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/serve/sched"
+	"repro/internal/testbench"
+	"repro/internal/verilog/ast"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers is the number of concurrent ranking jobs (scheduler slots).
+	Workers int
+	// QueueCap bounds accepted-but-not-started jobs; past it, submits are
+	// rejected with 429 + Retry-After.
+	QueueCap int
+	// JobTimeout bounds each job's run (scheduler-enforced); 0 = none.
+	JobTimeout time.Duration
+	// RankWorkers is the per-job simulation worker count passed to
+	// core.RankPool (0 = sequential).
+	RankWorkers int
+	// Model is the default simulated-LLM profile for jobs that ask the
+	// server to generate their candidate pool.
+	Model string
+	// MaxSamples caps server-side candidate generation per job.
+	MaxSamples int
+}
+
+// finishedCap bounds how many completed job records the server retains for
+// late status/stream readers; the oldest finished jobs are evicted first.
+const finishedCap = 256
+
+// Server owns the job table and the scheduler. Create with New, mount
+// Handler on an http.Server, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	sched *sched.Scheduler
+	tasks map[string]eval.Task
+
+	mu       sync.Mutex
+	jobs     map[string]*jobRecord
+	finished []string // completion order, for bounded retention
+	seq      int
+}
+
+// New builds a Server over the benchmark suite.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 8
+	}
+	if cfg.RankWorkers < 1 {
+		cfg.RankWorkers = 1
+	}
+	if cfg.Model == "" {
+		cfg.Model = "deepseek-r1"
+	}
+	if cfg.MaxSamples < 1 {
+		cfg.MaxSamples = 200
+	}
+	tasks := make(map[string]eval.Task)
+	for _, t := range eval.Suite() {
+		tasks[t.ID] = t
+	}
+	return &Server{
+		cfg: cfg,
+		sched: sched.New(sched.Config{
+			Workers:    cfg.Workers,
+			QueueCap:   cfg.QueueCap,
+			JobTimeout: cfg.JobTimeout,
+		}),
+		tasks: tasks,
+		jobs:  make(map[string]*jobRecord),
+	}
+}
+
+// Shutdown stops intake and drains in-flight jobs for up to drain before
+// force-cancelling them. It returns when every worker has exited.
+func (s *Server) Shutdown(drain time.Duration) {
+	s.sched.Shutdown(drain)
+}
+
+// SubmitRequest is the POST /jobs body. TaskID names the golden design
+// (and its interface) from the benchmark suite. The buggy candidate pool
+// is either supplied verbatim in Candidates or generated server-side from
+// the simulated LLM (Samples completions of Model at Seed).
+type SubmitRequest struct {
+	ID         string   `json:"id,omitempty"`
+	TaskID     string   `json:"task_id"`
+	Candidates []string `json:"candidates,omitempty"`
+	Samples    int      `json:"samples,omitempty"`
+	Seed       int64    `json:"seed,omitempty"`
+	Model      string   `json:"model,omitempty"`
+	GangSize   int      `json:"gang_size,omitempty"`
+}
+
+// Event is one NDJSON line of a job's stream.
+//
+//	{"type":"progress","done":3,"total":7}
+//	{"type":"cluster","rank":1,"score":12,"fingerprint":"…","members":[0,4],"code":"…"}
+//	{"type":"done","status":"completed"}   (or "cancelled" / "failed" with error)
+type Event struct {
+	Type        string `json:"type"`
+	Done        int    `json:"done,omitempty"`
+	Total       int    `json:"total,omitempty"`
+	Rank        int    `json:"rank,omitempty"` // 1-based
+	Score       int    `json:"score,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Members     []int  `json:"members,omitempty"`
+	Code        string `json:"code,omitempty"`
+	Status      string `json:"status,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// Job lifecycle states.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusCompleted = "completed"
+	StatusCancelled = "cancelled"
+	StatusFailed    = "failed"
+)
+
+// jobRecord is the per-job event log and status. wake is a broadcast
+// channel replaced on every append: followers wait on the current channel
+// and re-check the log when it closes.
+type jobRecord struct {
+	id string
+
+	mu     sync.Mutex
+	status string
+	errMsg string
+	events []Event
+	wake   chan struct{}
+	final  bool
+}
+
+func newJobRecord(id string) *jobRecord {
+	return &jobRecord{id: id, status: StatusQueued, wake: make(chan struct{})}
+}
+
+func (j *jobRecord) append(ev Event) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	close(j.wake)
+	j.wake = make(chan struct{})
+	j.mu.Unlock()
+}
+
+func (j *jobRecord) setStatus(status string) {
+	j.mu.Lock()
+	j.status = status
+	j.mu.Unlock()
+}
+
+// finish records the terminal state and appends the terminal event.
+func (j *jobRecord) finish(err error) {
+	status := StatusCompleted
+	msg := ""
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = StatusCancelled
+		msg = err.Error()
+	default:
+		status = StatusFailed
+		msg = err.Error()
+	}
+	j.mu.Lock()
+	j.status = status
+	j.errMsg = msg
+	j.final = true
+	j.mu.Unlock()
+	ev := Event{Type: "done", Status: status}
+	if status == StatusFailed {
+		ev.Type = "error"
+		ev.Error = msg
+	}
+	if status == StatusCancelled {
+		ev.Type = "cancelled"
+		ev.Error = msg
+	}
+	j.append(ev)
+}
+
+// snapshot returns the events at or after index i, plus the wake channel
+// to wait on when the log is exhausted and the job is not final.
+func (j *jobRecord) snapshot(i int) (evs []Event, wake chan struct{}, final bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < len(j.events) {
+		evs = j.events[i:len(j.events):len(j.events)]
+	}
+	return evs, j.wake, j.final
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.handleSubmit(w, r)
+	})
+	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+		id, sub, _ := strings.Cut(rest, "/")
+		if id == "" {
+			http.NotFound(w, r)
+			return
+		}
+		switch {
+		case sub == "" && r.Method == http.MethodGet:
+			s.handleStatus(w, r, id)
+		case sub == "stream" && r.Method == http.MethodGet:
+			s.handleStream(w, r, id)
+		case sub == "cancel" && r.Method == http.MethodPost:
+			s.handleCancel(w, r, id)
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	task, ok := s.tasks[req.TaskID]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown task_id %q", req.TaskID), http.StatusBadRequest)
+		return
+	}
+	if len(req.Candidates) == 0 {
+		if req.Samples <= 0 {
+			req.Samples = 20
+		}
+		if req.Samples > s.cfg.MaxSamples {
+			req.Samples = s.cfg.MaxSamples
+		}
+	}
+
+	s.mu.Lock()
+	id := req.ID
+	if id == "" {
+		s.seq++
+		id = fmt.Sprintf("job-%d", s.seq)
+	}
+	if _, dup := s.jobs[id]; dup {
+		s.mu.Unlock()
+		http.Error(w, fmt.Sprintf("duplicate job id %q", id), http.StatusConflict)
+		return
+	}
+	rec := newJobRecord(id)
+	s.jobs[id] = rec
+	s.mu.Unlock()
+
+	err := s.sched.Submit(sched.Job{
+		ID: id,
+		Run: func(ctx context.Context) error {
+			rec.setStatus(StatusRunning)
+			return s.runJob(ctx, rec, req, task)
+		},
+		Done: func(err error) {
+			rec.finish(err)
+			s.retire(id)
+		},
+	})
+	if err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		switch {
+		case errors.Is(err, sched.ErrQueueFull):
+			queued, running := s.sched.Stats()
+			retry := 1 + (queued+running)/s.cfg.Workers
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+		case errors.Is(err, sched.ErrDraining):
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"id": id, "status": StatusQueued})
+}
+
+// retire moves a finished job into the bounded retention window.
+func (s *Server) retire(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished = append(s.finished, id)
+	for len(s.finished) > finishedCap {
+		old := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.jobs, old)
+	}
+}
+
+func (s *Server) lookup(id string) *jobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, id string) {
+	rec := s.lookup(id)
+	if rec == nil {
+		http.NotFound(w, r)
+		return
+	}
+	rec.mu.Lock()
+	resp := map[string]any{"id": rec.id, "status": rec.status, "events": len(rec.events)}
+	if rec.errMsg != "" {
+		resp["error"] = rec.errMsg
+	}
+	rec.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request, id string) {
+	rec := s.lookup(id)
+	if rec == nil {
+		http.NotFound(w, r)
+		return
+	}
+	found := s.sched.Cancel(id)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"id": id, "cancelled": found})
+}
+
+// handleStream replays the job's event log as NDJSON and follows until the
+// job reaches a terminal event or the client goes away. Each connection
+// paces itself; a slow reader never blocks the job.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, id string) {
+	rec := s.lookup(id)
+	if rec == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		evs, wake, final := rec.snapshot(next)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return // client gone
+			}
+		}
+		next += len(evs)
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		if final && len(evs) == 0 {
+			return
+		}
+		if len(evs) > 0 {
+			continue // drain before blocking
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// runJob executes one ranking job on a scheduler worker: build (or accept)
+// the candidate pool, rank it under the task's cached stimulus, and stream
+// progress + ranked clusters into the job's event log.
+func (s *Server) runJob(ctx context.Context, rec *jobRecord, req SubmitRequest, task eval.Task) error {
+	codes, srcs, err := s.candidatePool(ctx, req, task)
+	if err != nil {
+		return err
+	}
+	// RankingCached is keyed by (seed, imperfection, interface): every job
+	// naming the same task and seed shares one stimulus and one schedule.
+	st := testbench.RankingCached(req.Seed+int64(task.Index), 0, task.Ifc)
+	var golden *ast.Source
+	if gsrc, gerr := eval.ParseCached(task.Golden); gerr == nil {
+		golden = gsrc
+	}
+	pool, err := core.RankPool(ctx, srcs, st, core.RankPoolConfig{
+		Backend:  testbench.BackendCompiled,
+		Workers:  s.cfg.RankWorkers,
+		GangSize: req.GangSize,
+		Golden:   golden,
+		OnBatch: func(done, total int) {
+			rec.append(Event{Type: "progress", Done: done, Total: total})
+		},
+	})
+	if err != nil {
+		return err
+	}
+	for ci := range pool.Clusters {
+		cl := &pool.Clusters[ci]
+		rec.append(Event{
+			Type:        "cluster",
+			Rank:        ci + 1,
+			Score:       cl.Score,
+			Fingerprint: fmt.Sprintf("%016x", cl.Fingerprint),
+			Members:     cl.Members,
+			Code:        codes[cl.Members[0]],
+		})
+	}
+	return nil
+}
+
+// candidatePool resolves the job's buggy-candidate pool: the request's own
+// candidates when present (invalid ones stay in the pool as ineligible nil
+// sources, keeping member indices aligned with the submission), otherwise
+// Samples completions drawn from the simulated LLM.
+func (s *Server) candidatePool(ctx context.Context, req SubmitRequest, task eval.Task) ([]string, []*ast.Source, error) {
+	if len(req.Candidates) > 0 {
+		srcs := make([]*ast.Source, len(req.Candidates))
+		for i, code := range req.Candidates {
+			if src, ok := core.ValidateCandidate(code); ok {
+				srcs[i] = src
+			}
+		}
+		return req.Candidates, srcs, nil
+	}
+	model := req.Model
+	if model == "" {
+		model = s.cfg.Model
+	}
+	profile, err := llm.ProfileByName(model)
+	if err != nil {
+		return nil, nil, err
+	}
+	client, err := llm.NewSimClient(profile, req.Seed, []eval.Task{task})
+	if err != nil {
+		return nil, nil, err
+	}
+	codes := make([]string, 0, req.Samples)
+	srcs := make([]*ast.Source, 0, req.Samples)
+	for i := 0; i < req.Samples; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		resp, gerr := client.Generate(ctx, llm.GenerateRequest{
+			TaskID:      task.ID,
+			Spec:        task.Spec,
+			SampleIndex: i,
+		})
+		if gerr != nil {
+			if errors.Is(gerr, llm.ErrTransient) {
+				continue // simulated API hiccup: skip the sample
+			}
+			return nil, nil, gerr
+		}
+		codes = append(codes, resp.Code)
+		if src, ok := core.ValidateCandidate(resp.Code); ok {
+			srcs = append(srcs, src)
+		} else {
+			srcs = append(srcs, nil)
+		}
+	}
+	return codes, srcs, nil
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -91,11 +92,22 @@ type cacheEntry struct {
 
 // resolve runs the compilation exactly once (whichever caller gets here
 // first does the work; the rest block until it is done) and returns it.
+// A panicking compilation resolves to an error rather than escaping: the
+// once is spent either way, and without the recover the entry would be
+// poisoned — done never set (pinned against eviction forever) and every
+// waiter handed a nil design with a nil error. Compilation is a pure
+// function of the source, so caching the crash as a failure follows the
+// same policy as caching ordinary compile errors.
 func (e *cacheEntry) resolve() (*Design, error) {
 	e.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.d, e.err = nil, fmt.Errorf("compile panicked: %v", r)
+			}
+			e.compile = nil
+			e.done.Store(true)
+		}()
 		e.d, e.err = e.compile()
-		e.compile = nil
-		e.done.Store(true)
 	})
 	return e.d, e.err
 }

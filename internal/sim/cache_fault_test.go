@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompileCachePanicNotPoisoned: a panicking compilation must resolve
+// the single-flight entry to an error — not leave it pinned forever with
+// done unset and every caller seeing (nil, nil) — and must not recompile
+// on subsequent hits (crashes cache like any other compile failure).
+func TestCompileCachePanicNotPoisoned(t *testing.T) {
+	c := NewCompileCache(2)
+	calls := 0
+	key := cacheKey{hash: "deadbeef", top: "t"}
+	d, err := c.get(key, func() (*Design, error) {
+		calls++
+		panic("injected compile crash")
+	})
+	if d != nil {
+		t.Fatalf("crashed compile returned a design")
+	}
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want compile-panicked error", err)
+	}
+
+	// Cached as a failure: the hit path returns the same error without
+	// re-running the (crashing) compile.
+	d2, err2 := c.get(key, func() (*Design, error) {
+		t.Fatal("compile re-ran for a resolved entry")
+		return nil, nil
+	})
+	if d2 != nil || err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("second lookup: %v / %v", d2, err2)
+	}
+	if calls != 1 {
+		t.Fatalf("compile ran %d times, want 1", calls)
+	}
+
+	// And evictable: done flipped, so cap pressure can push it out.
+	c.get(cacheKey{hash: "a", top: "t"}, func() (*Design, error) { return nil, nil })
+	c.get(cacheKey{hash: "b", top: "t"}, func() (*Design, error) { return nil, nil })
+	if n := c.Len(); n > 2 {
+		t.Fatalf("crashed entry pinned against eviction: len=%d", n)
+	}
+}

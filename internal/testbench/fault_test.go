@@ -1,0 +1,192 @@
+package testbench
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/serve/faultinject"
+	"repro/internal/sim"
+	"repro/internal/verilog/ast"
+)
+
+// faultSrcs is the candidate mix the fault drills run: two healthy designs,
+// a functional mutant, and a duplicate of the golden.
+func faultSrcs(t *testing.T) []*ast.Source {
+	t.Helper()
+	golden := mustParse(t, schedSeqSrc)
+	return []*ast.Source{golden, mustParse(t, gangSeqVariant), golden}
+}
+
+// TestGangPanicIsolatedToCandidate injects a simulator crash into exactly
+// one candidate of a gang (sticky, so the solo re-run the gang falls back
+// to crashes too). The faulty candidate must resolve to its own
+// ErrSimPanic trace, every other lane must stay bit-identical to a clean
+// solo run, and after disarming, a re-run of the whole batch must be
+// bit-identical to a never-faulted run — the crash may not leave a
+// poisoned or stale memo entry behind.
+func TestGangPanicIsolatedToCandidate(t *testing.T) {
+	defer faultinject.Reset()
+	srcs := faultSrcs(t)
+	victim := sim.CanonicalKey(srcs[1])
+	st := NewGenerator(31).Ranking(schedSeqIfc())
+
+	faultinject.ArmFrom(faultinject.PointSimCase, victim, 1, func() {
+		panic("injected simulator crash")
+	})
+	out, err := RunFingerprintGangModeCtx(context.Background(), srcs, "top_module", st, BackendCompiled, nil, GangSoA)
+	if err != nil {
+		t.Fatalf("faulted batch returned batch-level error: %v", err)
+	}
+	if out[1].Err == nil || !errors.Is(out[1].Err, ErrSimPanic) {
+		t.Fatalf("victim error = %v, want ErrSimPanic", out[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		fpTraceEqual(t, "faulted/survivor", out[i], runFingerprintSolo(srcs[i], "top_module", st, BackendCompiled))
+	}
+
+	faultinject.Reset()
+	clean := RunFingerprintGangMode(srcs, "top_module", st, BackendCompiled, nil, GangSoA)
+	for i := range srcs {
+		fpTraceEqual(t, "post-fault rerun", clean[i], runFingerprintSolo(srcs[i], "top_module", st, BackendCompiled))
+	}
+	if clean[1].Err != nil {
+		t.Fatalf("victim still failing after disarm: %v", clean[1].Err)
+	}
+}
+
+// TestGangCancelAtCaseN cancels the batch context on the n-th simulated
+// case. The batch must unwind with the context's error in bounded time,
+// and the cancelled claims must be released: a clean re-run of the same
+// batch recomputes every entry to bit-identical results.
+func TestGangCancelAtCaseN(t *testing.T) {
+	defer faultinject.Reset()
+	srcs := faultSrcs(t)
+	st := NewGenerator(37).Ranking(schedSeqIfc())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.Arm(faultinject.PointSimCase, "", 3, cancel)
+	out, err := RunFingerprintGangModeCtx(ctx, srcs, "top_module", st, BackendCompiled, nil, GangSoA)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v (out=%v), want context.Canceled", err, out)
+	}
+
+	faultinject.Reset()
+	clean := RunFingerprintGangMode(srcs, "top_module", st, BackendCompiled, nil, GangSoA)
+	for i := range srcs {
+		fpTraceEqual(t, "post-cancel rerun", clean[i], runFingerprintSolo(srcs[i], "top_module", st, BackendCompiled))
+	}
+}
+
+// TestMemoClaimReleasedUnderCancel runs one cancellable claimant against a
+// crowd of waiters on the same (design, stimulus) memo entry, cancelling a
+// context mid-simulation. Whichever goroutine holds the claim when the
+// cancel lands must release it (abort), and every goroutine with a live
+// context must still converge — by adoption or by waiting on the next
+// owner — on the same clean trace, without deadlock (the -race test hangs
+// if waiters are stranded). Run with -race.
+func TestMemoClaimReleasedUnderCancel(t *testing.T) {
+	defer faultinject.Reset()
+	src := mustParse(t, schedSeqSrc)
+	st := NewGenerator(41).Ranking(schedSeqIfc())
+	want := runFingerprintSolo(src, "top_module", st, BackendCompiled)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.Arm(faultinject.PointSimCase, "", 2, cancel)
+
+	const waiters = 8
+	results := make([]*FPTrace, waiters)
+	errs := make([]error, waiters)
+	var cancelledErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, cancelledErr = RunFingerprintCtx(ctx, src, "top_module", st, BackendCompiled)
+	}()
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunFingerprintCtx(context.Background(), src, "top_module", st, BackendCompiled)
+		}(i)
+	}
+	wg.Wait()
+
+	// The cancellable goroutine either finished before the cancel landed or
+	// reports the context error; it must never report anything else.
+	if cancelledErr != nil && !errors.Is(cancelledErr, context.Canceled) {
+		t.Fatalf("cancelled claimant: %v", cancelledErr)
+	}
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		fpTraceEqual(t, "waiter", results[i], want)
+	}
+}
+
+// TestBindPanicDoesNotPoisonMemo crashes the single-flight binding
+// resolution. The crash must surface as a per-candidate ErrSimPanic (the
+// candidate's run dies, nobody else's), and the bind memo must drop the
+// half-resolved entry: the next run re-binds and produces bit-identical
+// clean results.
+func TestBindPanicDoesNotPoisonMemo(t *testing.T) {
+	defer faultinject.Reset()
+	src := mustParse(t, schedSeqSrc)
+	// The fault must land on a memo-cold binding, so the faulted stimulus
+	// is built fresh; the reference below uses a second, identical-content
+	// stimulus whose binding universe never saw the crash.
+	st := NewGenerator(43).Ranking(schedSeqIfc())
+
+	faultinject.Arm(faultinject.PointBind, "", 1, func() {
+		panic("injected bind crash")
+	})
+	tr := runFingerprintSolo(src, "top_module", st, BackendCompiled)
+	if tr.Err == nil || !errors.Is(tr.Err, ErrSimPanic) {
+		t.Fatalf("faulted bind error = %v, want ErrSimPanic", tr.Err)
+	}
+
+	faultinject.Reset()
+	want := runFingerprintSolo(src, "top_module", NewGenerator(43).Ranking(schedSeqIfc()), BackendCompiled)
+	fpTraceEqual(t, "post-bind-crash", runFingerprintSolo(src, "top_module", st, BackendCompiled), want)
+}
+
+// TestGangBindPanicFallsBackSolo crashes the bind once during a gang run:
+// the gang walk dies, the solo fallback re-binds cleanly (the one-shot arm
+// is spent and the entry was dropped), and every lane must come out
+// bit-identical to an unfaulted solo run.
+func TestGangBindPanicFallsBackSolo(t *testing.T) {
+	defer faultinject.Reset()
+	srcs := faultSrcs(t)
+	st := NewGenerator(47).Ranking(schedSeqIfc())
+
+	faultinject.Arm(faultinject.PointBind, "", 1, func() {
+		panic("injected bind crash")
+	})
+	out := RunFingerprintGangMode(srcs, "top_module", st, BackendCompiled, nil, GangSoA)
+	faultinject.Reset()
+	for i := range srcs {
+		fpTraceEqual(t, "gang-bind-crash", out[i], runFingerprintSolo(srcs[i], "top_module", st, BackendCompiled))
+	}
+}
+
+// TestRunFingerprintCtxPreCancelled: a context that is already dead must
+// reject the run before any simulation, leaving no claim behind.
+func TestRunFingerprintCtxPreCancelled(t *testing.T) {
+	src := mustParse(t, schedSeqSrc)
+	st := NewGenerator(53).Ranking(schedSeqIfc())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunFingerprintCtx(ctx, src, "top_module", st, BackendCompiled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The claim must have been released: a clean run still works.
+	tr, err := RunFingerprintCtx(context.Background(), src, "top_module", st, BackendCompiled)
+	if err != nil || tr.Err != nil {
+		t.Fatalf("post-cancel run: %v / %v", err, tr.Err)
+	}
+}

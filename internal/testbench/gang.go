@@ -1,10 +1,13 @@
 package testbench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/serve/faultinject"
 	"repro/internal/sim"
 	"repro/internal/verilog/ast"
 )
@@ -28,7 +31,11 @@ type fpKey struct {
 
 // fpEntry is one single-flight memo slot. claim marks the caller as the
 // computing owner; publish warms the trace's lazy whole-run fingerprint
-// (after which the shared FPTrace is read-only) and releases waiters.
+// (after which the shared FPTrace is read-only) and releases waiters;
+// abort releases an unfulfilled claim — the owner was cancelled or crashed
+// before producing a result — waking waiters so one of them can adopt the
+// claim and compute instead. An entry is therefore never poisoned: it is
+// either unclaimed, claimed by a live computing goroutine, or published.
 //
 // The slot is also its own LRU node (prev/next under fpMu) and allocates its
 // wakeup channel only when a waiter actually blocks: a memo-cold ranking call
@@ -52,28 +59,63 @@ func (e *fpEntry) publish(tr *FPTrace) {
 	e.finished.Store(true)
 	fpMu.Lock()
 	ready := e.ready
+	e.ready = nil
 	fpMu.Unlock()
 	if ready != nil {
 		close(ready)
 	}
 }
 
-func (e *fpEntry) wait() *FPTrace {
-	if e.finished.Load() {
-		return e.tr
-	}
+// abort releases the caller's claim without publishing: the entry returns
+// to the unclaimed state and any blocked waiters wake to race for the
+// claim themselves. A cancelled or crashed run must leave the memo exactly
+// as it found it, so the next job recomputes and gets a bit-identical
+// clean result.
+func (e *fpEntry) abort() {
 	fpMu.Lock()
-	if e.finished.Load() {
-		fpMu.Unlock()
-		return e.tr
-	}
-	if e.ready == nil {
-		e.ready = make(chan struct{})
-	}
 	ready := e.ready
+	e.ready = nil
+	e.claimed.Store(false)
 	fpMu.Unlock()
-	<-ready
-	return e.tr
+	if ready != nil {
+		close(ready)
+	}
+}
+
+// wait blocks until the entry publishes, its claim frees up, or ctx is
+// cancelled. It returns (tr, false, nil) for a published trace;
+// (nil, true, nil) when a previous owner aborted and this caller adopted
+// the claim — the caller now owns the entry and must publish or abort it;
+// and (nil, false, ctx.Err()) on cancellation, leaving the entry to its
+// current owner.
+func (e *fpEntry) wait(ctx context.Context) (*FPTrace, bool, error) {
+	for {
+		if e.finished.Load() {
+			return e.tr, false, nil
+		}
+		if e.claim() {
+			return nil, true, nil
+		}
+		fpMu.Lock()
+		if e.finished.Load() {
+			fpMu.Unlock()
+			return e.tr, false, nil
+		}
+		if !e.claimed.Load() {
+			fpMu.Unlock()
+			continue // claim freed between checks: retry the CAS
+		}
+		if e.ready == nil {
+			e.ready = make(chan struct{})
+		}
+		ready := e.ready
+		fpMu.Unlock()
+		select {
+		case <-ready:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
 }
 
 func (e *fpEntry) done() bool { return e.finished.Load() }
@@ -207,15 +249,43 @@ func RunFingerprintGang(srcs []*ast.Source, top string, st *Stimulus, backend Ba
 // RunFingerprintGangMode is RunFingerprintGang with an explicit gang
 // execution model.
 func RunFingerprintGangMode(srcs []*ast.Source, top string, st *Stimulus, backend Backend, base *sim.Design, mode GangMode) []*FPTrace {
+	out, err := RunFingerprintGangModeCtx(context.Background(), srcs, top, st, backend, base, mode)
+	if err != nil {
+		// Unreachable with a background context: the only errors the ctx
+		// variant returns are the context's own.
+		panic(err)
+	}
+	return out
+}
+
+// RunFingerprintGangCtx is RunFingerprintGang under a cancellable context:
+// the run observes ctx between test cases and between lanes, so a cancel
+// lands within one case's worth of simulation. On cancellation it returns
+// ctx's error, aborting (never publishing) the memo claims of unfinished
+// lanes so the next job recomputes them to bit-identical results.
+func RunFingerprintGangCtx(ctx context.Context, srcs []*ast.Source, top string, st *Stimulus, backend Backend, base *sim.Design) ([]*FPTrace, error) {
+	return RunFingerprintGangModeCtx(ctx, srcs, top, st, backend, base, GangSoA)
+}
+
+// RunFingerprintGangModeCtx is RunFingerprintGangCtx with an explicit gang
+// execution model. A panic inside the lockstep walk never escapes: the
+// crashed walk's unresolved lanes are re-run solo, where a lane that
+// crashes again resolves to a per-candidate ErrSimPanic trace and every
+// other lane reproduces its bit-identical clean result.
+func RunFingerprintGangModeCtx(ctx context.Context, srcs []*ast.Source, top string, st *Stimulus, backend Backend, base *sim.Design, mode GangMode) ([]*FPTrace, error) {
 	out := make([]*FPTrace, len(srcs))
 	if len(srcs) == 0 {
-		return out
+		return out, nil
 	}
 	if backend == BackendInterpreter {
 		for i, src := range srcs {
-			out[i] = runFingerprintSolo(src, top, st, backend)
+			tr, err := runFingerprintSoloCtx(ctx, src, top, st, backend)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = tr
 		}
-		return out
+		return out, nil
 	}
 	type waiter struct {
 		i int
@@ -227,7 +297,12 @@ func RunFingerprintGangMode(srcs []*ast.Source, top string, st *Stimulus, backen
 	for i, src := range srcs {
 		d, err := sim.CompileDeltaCached(base, src, top)
 		if err != nil {
-			out[i] = runFingerprintSolo(src, top, st, backend)
+			tr, serr := runFingerprintSoloCtx(ctx, src, top, st, backend)
+			if serr != nil {
+				abortLanes(lanes)
+				return nil, serr
+			}
+			out[i] = tr
 			continue
 		}
 		if base == nil {
@@ -244,28 +319,109 @@ func RunFingerprintGangMode(srcs []*ast.Source, top string, st *Stimulus, backen
 		lanes = append(lanes, gangLane{src: src, d: d, e: e})
 		laneIdx = append(laneIdx, i)
 	}
-	runGangLanes(lanes, top, st, backend, base, mode)
+	if err := runGangLanesCtx(ctx, lanes, top, st, backend, base, mode); err != nil {
+		abortLanes(lanes)
+		return nil, err
+	}
 	for k := range lanes {
 		out[laneIdx[k]] = lanes[k].tr
 	}
 	for _, w := range waits {
-		out[w.i] = w.e.wait()
+		tr, adopted, err := w.e.wait(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if adopted {
+			// The claim's previous owner aborted (cancelled or crashed
+			// elsewhere); this batch inherits the slot and computes solo.
+			if tr, err = runFingerprintOwned(ctx, w.e, srcs[w.i], top, st, backend); err != nil {
+				return nil, err
+			}
+		}
+		out[w.i] = tr
 	}
-	return out
+	return out, nil
 }
 
-// runGangLanes computes lanes[k].tr for every lane, publishing each lane's
-// memo entry (when present) as it resolves. Lanes that cannot join the
-// lockstep run — no schedule, or a binding failure — fall back to the solo
-// path, which reproduces the name-keyed behavior byte-for-byte.
-func runGangLanes(lanes []gangLane, top string, st *Stimulus, backend Backend, base *sim.Design, mode GangMode) {
-	sched := st.schedule()
-	finish := func(ln *gangLane, tr *FPTrace) {
-		ln.tr = tr
-		if ln.e != nil {
-			ln.e.publish(tr)
+// abortLanes releases the memo claims of every unresolved lane after a
+// cancelled batch. Lanes that already finished keep their published
+// entries (they are complete, valid results).
+func abortLanes(lanes []gangLane) {
+	for k := range lanes {
+		if lanes[k].tr == nil && lanes[k].e != nil {
+			lanes[k].e.abort()
 		}
 	}
+}
+
+// finishLane resolves a lane: crash traces are returned to this job only
+// (their memo claim aborts, keeping the memo clean for a retry), anything
+// else — clean runs and deterministic runtime errors alike — publishes.
+func finishLane(ln *gangLane, tr *FPTrace) {
+	ln.tr = tr
+	if ln.e == nil {
+		return
+	}
+	if tr.Err != nil && errors.Is(tr.Err, ErrSimPanic) {
+		ln.e.abort()
+	} else {
+		ln.e.publish(tr)
+	}
+}
+
+// runGangLanes is runGangLanesCtx without cancellation (tests drive it
+// directly with memo-bypassing lanes).
+func runGangLanes(lanes []gangLane, top string, st *Stimulus, backend Backend, base *sim.Design, mode GangMode) {
+	if err := runGangLanesCtx(context.Background(), lanes, top, st, backend, base, mode); err != nil {
+		panic(err) // unreachable: a background context never cancels
+	}
+}
+
+// runGangLanesCtx computes lanes[k].tr for every lane, publishing each
+// lane's memo entry (when present) as it resolves. Lanes that cannot join
+// the lockstep run — no schedule, or a binding failure — fall back to the
+// solo path, which reproduces the name-keyed behavior byte-for-byte. The
+// walk observes ctx between test cases; on cancellation it returns the
+// ctx error with unresolved lanes left untouched for the caller to abort.
+// A panic anywhere in the lockstep walk is confined: every unresolved lane
+// re-runs solo, isolating the crash to the candidate that caused it.
+func runGangLanesCtx(ctx context.Context, lanes []gangLane, top string, st *Stimulus, backend Backend, base *sim.Design, mode GangMode) error {
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%w: %v", errGangCrashed, r)
+			}
+		}()
+		return runGangLockstep(ctx, lanes, top, st, backend, base, mode)
+	}()
+	if err == nil || !errors.Is(err, errGangCrashed) {
+		return err // nil, or a context error the caller unwinds
+	}
+	// The lockstep walk crashed. Gang-vs-solo equivalence means every lane
+	// untouched by the fault reproduces its result solo bit-for-bit, and
+	// the faulty lane's own solo run converts the crash into its private
+	// ErrSimPanic trace (runFingerprintSoloCtx recovers per candidate).
+	for k := range lanes {
+		if lanes[k].tr != nil {
+			continue
+		}
+		tr, serr := runFingerprintSoloCtx(ctx, lanes[k].src, top, st, backend)
+		if serr != nil {
+			return serr
+		}
+		finishLane(&lanes[k], tr)
+	}
+	return nil
+}
+
+// errGangCrashed marks a recovered panic inside the lockstep gang walk; it
+// never leaves runGangLanesCtx.
+var errGangCrashed = errors.New("gang walk crashed")
+
+// runGangLockstep is the lockstep walk proper: bind every lane, then drive
+// all lanes through the shared schedule case by case.
+func runGangLockstep(ctx context.Context, lanes []gangLane, top string, st *Stimulus, backend Backend, base *sim.Design, mode GangMode) error {
+	sched := st.schedule()
 
 	var g laneGang
 	if mode == GangPerLane {
@@ -278,14 +434,22 @@ func runGangLanes(lanes []gangLane, top string, st *Stimulus, backend Backend, b
 	for li := range lanes {
 		ln := &lanes[li]
 		if sched == nil {
-			finish(ln, runFingerprintSolo(ln.src, top, st, backend))
+			tr, err := runFingerprintSoloCtx(ctx, ln.src, top, st, backend)
+			if err != nil {
+				return err
+			}
+			finishLane(ln, tr)
 			continue
 		}
 		en := ln.d.AcquireEngine()
 		b, ok := cachedBind(ln.d, sched, en, &st.Ifc)
 		if !ok {
 			ln.d.ReleaseEngine(en)
-			finish(ln, runFingerprintSolo(ln.src, top, st, backend))
+			tr, err := runFingerprintSoloCtx(ctx, ln.src, top, st, backend)
+			if err != nil {
+				return err
+			}
+			finishLane(ln, tr)
 			continue
 		}
 		if seq {
@@ -298,7 +462,18 @@ func runGangLanes(lanes []gangLane, top string, st *Stimulus, backend Backend, b
 		gangOf = append(gangOf, li)
 	}
 	if len(gangOf) == 0 {
-		return
+		return nil
+	}
+
+	// Fault-injection keys are derived only while a drill is armed: the
+	// canonical hash identifies a lane's candidate across gang and solo
+	// runs, so a drill can target one candidate deterministically.
+	var fiKeys []string
+	if faultinject.Enabled() {
+		fiKeys = make([]string, len(gangOf))
+		for k, li := range gangOf {
+			fiKeys[k] = sim.CanonicalKey(lanes[li].src)
+		}
 	}
 
 	// One backing block for every lane's per-case fingerprints: the lane
@@ -310,8 +485,20 @@ func runGangLanes(lanes []gangLane, top string, st *Stimulus, backend Backend, b
 		caseFPs[k] = fpBlock[k*len(st.Cases) : k*len(st.Cases) : (k+1)*len(st.Cases)]
 	}
 	for ci := range st.Cases {
+		// The per-case check bounds how long a cancel can go unobserved:
+		// one case, tens of steps.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if g.LiveLanes() == 0 {
 			break
+		}
+		if fiKeys != nil {
+			for k := range gangOf {
+				if g.Err(k) == nil {
+					faultinject.Fire(faultinject.PointSimCase, fiKeys[k])
+				}
+			}
 		}
 		g.BeginCase()
 		nSteps := int(sched.stepOff[ci+1] - sched.stepOff[ci])
@@ -344,9 +531,10 @@ func runGangLanes(lanes []gangLane, top string, st *Stimulus, backend Backend, b
 		if err := g.Err(k); err != nil {
 			tr.Err = fmt.Errorf("%w: %v", ErrRun, err)
 		}
-		finish(ln, tr)
+		finishLane(ln, tr)
 	}
 	// Close only after the last Err/Hash read: a closed SoA gang recycles
 	// its lane tables and scratch through the gang pool.
 	g.Close()
+	return nil
 }

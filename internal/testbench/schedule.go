@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/serve/faultinject"
 	"repro/internal/sim"
 )
 
@@ -254,8 +255,26 @@ func cachedBind(d *sim.Design, sc *Schedule, inst sim.Instance, ifc *Interface) 
 	}
 	bindMu.Unlock()
 	e.once.Do(func() {
+		defer func() {
+			e.done.Store(true)
+			if r := recover(); r != nil {
+				// The once is spent either way, so a crashed resolution
+				// must not poison the memo: drop the entry and let the
+				// next caller re-create it with a fresh once. Callers
+				// already blocked on this once see ok=false and take the
+				// solo fallback; the panic continues up to the per-
+				// candidate recovery.
+				bindMu.Lock()
+				if bindMemo[e.key] == e {
+					bindUnlink(e)
+					delete(bindMemo, e.key)
+				}
+				bindMu.Unlock()
+				panic(r)
+			}
+		}()
+		faultinject.Fire(faultinject.PointBind, "")
 		e.b, e.ok = sc.bind(inst, ifc)
-		e.done.Store(true)
 	})
 	return e.b, e.ok
 }

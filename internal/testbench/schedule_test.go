@@ -1,6 +1,7 @@
 package testbench
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/sim"
@@ -18,7 +19,7 @@ func runBackendLegacy(t *testing.T, src string, st *Stimulus, backend Backend) *
 	}
 	tr := &Trace{Ifc: st.Ifc, Cases: make([]CaseTrace, 0, len(st.Cases))}
 	cr := caseRunner{} // sched nil: every case takes the legacy path
-	tr.Err = forEachCase(parsed, "top_module", st, backend, &cr, func(s sim.Instance, ci int) error {
+	tr.Err = forEachCase(context.Background(), parsed, "top_module", st, backend, &cr, func(s sim.Instance, ci int) error {
 		ct, cerr := runCase(s, st, &st.Cases[ci])
 		if cerr != nil {
 			return cerr

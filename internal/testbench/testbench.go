@@ -15,6 +15,7 @@
 package testbench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -22,6 +23,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/serve/faultinject"
 	"repro/internal/sim"
 	"repro/internal/verilog/ast"
 	"repro/internal/xrng"
@@ -29,6 +31,12 @@ import (
 
 // ErrRun is the sentinel for stimulus execution failures.
 var ErrRun = errors.New("testbench run failed")
+
+// ErrSimPanic is the sentinel for a recovered crash while simulating one
+// candidate. It marks a result that must not be memoized: unlike an ErrRun
+// failure (a deterministic property of the candidate), a crash may be
+// transient, so the claim is released and the next run recomputes.
+var ErrSimPanic = errors.New("simulation panicked")
 
 // PortSpec describes one port of the design under test.
 type PortSpec struct {
@@ -857,8 +865,9 @@ func (cr *caseRunner) prepare(d *sim.Design, s sim.Instance, ifc *Interface) {
 // instance so cases are independent; combinational interfaces reuse one
 // instance across cases (deterministic for both golden and candidates, so
 // comparisons stay apples-to-apples even for buggy candidates with
-// accidental state). Errors are wrapped with ErrRun.
-func forEachCase(src *ast.Source, top string, st *Stimulus, backend Backend, cr *caseRunner, visit func(s sim.Instance, ci int) error) error {
+// accidental state). Run errors are wrapped with ErrRun; a context error is
+// returned bare so callers can tell cancellation from a failing candidate.
+func forEachCase(ctx context.Context, src *ast.Source, top string, st *Stimulus, backend Backend, cr *caseRunner, visit func(s sim.Instance, ci int) error) error {
 	is, err := newInstSource(src, top, backend)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrRun, err)
@@ -871,6 +880,9 @@ func forEachCase(src *ast.Source, top string, st *Stimulus, backend Backend, cr 
 		defer is.release(shared)
 	}
 	for i := range st.Cases {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		s := shared
 		if s == nil {
 			if s, err = is.acquire(); err != nil {
@@ -897,7 +909,7 @@ func forEachCase(src *ast.Source, top string, st *Stimulus, backend Backend, cr 
 func RunBackend(src *ast.Source, top string, st *Stimulus, backend Backend) *Trace {
 	tr := &Trace{Ifc: st.Ifc, Cases: make([]CaseTrace, 0, len(st.Cases))}
 	cr := caseRunner{sched: st.schedule()}
-	tr.Err = forEachCase(src, top, st, backend, &cr, func(s sim.Instance, ci int) error {
+	tr.Err = forEachCase(context.Background(), src, top, st, backend, &cr, func(s sim.Instance, ci int) error {
 		var ct CaseTrace
 		var err error
 		if cr.sched != nil {
@@ -930,25 +942,95 @@ func RunBackend(src *ast.Source, top string, st *Stimulus, backend Backend) *Tra
 // (exactly as ranking already shares one FPTrace across duplicate
 // candidates).
 func RunFingerprint(src *ast.Source, top string, st *Stimulus, backend Backend) *FPTrace {
+	tr, err := RunFingerprintCtx(context.Background(), src, top, st, backend)
+	if err != nil {
+		// Unreachable with a background context: the only errors the ctx
+		// variant returns are the context's own.
+		panic(err)
+	}
+	return tr
+}
+
+// RunFingerprintCtx is RunFingerprint under a cancellable context: the run
+// observes ctx between test cases, and on cancellation returns ctx's error
+// with any memo claim released so the next caller recomputes the entry.
+func RunFingerprintCtx(ctx context.Context, src *ast.Source, top string, st *Stimulus, backend Backend) (*FPTrace, error) {
 	if backend != BackendInterpreter {
 		if d, err := sim.CompileCached(src, top); err == nil {
 			e := fpClaim(d, st)
 			if e.claim() {
-				e.publish(runFingerprintSolo(src, top, st, backend))
+				return runFingerprintOwned(ctx, e, src, top, st, backend)
 			}
-			return e.wait()
+			tr, adopted, err := e.wait(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if adopted {
+				// The previous owner aborted; this caller inherits the
+				// claim and computes the entry itself.
+				return runFingerprintOwned(ctx, e, src, top, st, backend)
+			}
+			return tr, nil
 		}
 		// Compile errors skip the memo; the solo path reproduces the
 		// error trace and the compile cache makes the retry cheap.
 	}
-	return runFingerprintSolo(src, top, st, backend)
+	return runFingerprintSoloCtx(ctx, src, top, st, backend)
+}
+
+// runFingerprintOwned computes a claimed memo entry's trace solo and then
+// resolves the claim: clean runs and deterministic run errors publish,
+// while cancellation and recovered crashes abort — releasing the claim and
+// waking waiters — so the memo never retains a transient fault.
+func runFingerprintOwned(ctx context.Context, e *fpEntry, src *ast.Source, top string, st *Stimulus, backend Backend) (*FPTrace, error) {
+	published := false
+	defer func() {
+		if !published {
+			e.abort()
+		}
+	}()
+	tr, err := runFingerprintSoloCtx(ctx, src, top, st, backend)
+	if err != nil {
+		return nil, err
+	}
+	if tr.Err == nil || !errors.Is(tr.Err, ErrSimPanic) {
+		e.publish(tr)
+		published = true
+	}
+	return tr, nil
 }
 
 // runFingerprintSolo is the unmemoized single-candidate fingerprint run.
 func runFingerprintSolo(src *ast.Source, top string, st *Stimulus, backend Backend) *FPTrace {
-	tr := &FPTrace{Ifc: st.Ifc, CaseFPs: make([]uint64, 0, len(st.Cases))}
+	tr, err := runFingerprintSoloCtx(context.Background(), src, top, st, backend)
+	if err != nil {
+		panic(err) // unreachable: a background context never cancels
+	}
+	return tr
+}
+
+// runFingerprintSoloCtx is the unmemoized single-candidate fingerprint run.
+// A panic anywhere in the run — compile, bind, or simulation — is recovered
+// into the trace as an ErrSimPanic error, so one crashing candidate stays a
+// per-candidate result instead of taking down its worker.
+func runFingerprintSoloCtx(ctx context.Context, src *ast.Source, top string, st *Stimulus, backend Backend) (tr *FPTrace, err error) {
+	tr = &FPTrace{Ifc: st.Ifc, CaseFPs: make([]uint64, 0, len(st.Cases))}
+	defer func() {
+		if r := recover(); r != nil {
+			tr.Err = fmt.Errorf("%w: %v", ErrSimPanic, r)
+			err = nil
+		}
+	}()
+	fire := faultinject.Enabled()
+	var fiKey string
+	if fire {
+		fiKey = sim.CanonicalKey(src)
+	}
 	cr := caseRunner{sched: st.schedule()}
-	tr.Err = forEachCase(src, top, st, backend, &cr, func(s sim.Instance, ci int) error {
+	ferr := forEachCase(ctx, src, top, st, backend, &cr, func(s sim.Instance, ci int) error {
+		if fire {
+			faultinject.Fire(faultinject.PointSimCase, fiKey)
+		}
 		var fp uint64
 		var err error
 		if cr.sched != nil {
@@ -962,7 +1044,13 @@ func runFingerprintSolo(src *ast.Source, top string, st *Stimulus, backend Backe
 		tr.CaseFPs = append(tr.CaseFPs, fp)
 		return nil
 	})
-	return tr
+	if ferr != nil {
+		if cerr := ctx.Err(); cerr != nil && errors.Is(ferr, cerr) {
+			return nil, ferr
+		}
+		tr.Err = ferr
+	}
+	return tr, nil
 }
 
 // outputAppender is the zero-boxing trace-capture fast path the compiled
