@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/exp"
+	"repro/internal/resultstore"
 	"repro/internal/testbench"
 )
 
@@ -37,21 +38,35 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("vfocus-experiments", flag.ContinueOnError)
 	var (
-		expName = fs.String("exp", "all", "experiment: table1|fig3|fig4|all")
-		quick   = fs.Bool("quick", false, "reduced sizes for a fast smoke run")
-		seed    = fs.Int64("seed", 1, "random seed")
-		models  = fs.String("models", "", "comma-separated model list (default: paper's)")
-		runs    = fs.Int("runs", 0, "override run count (0 = paper defaults)")
-		samples = fs.Int("samples", 0, "override sample count n (0 = paper defaults)")
-		backend = fs.String("backend", "compiled", "simulation backend: compiled|interpreter")
-		legacy  = fs.Bool("legacy-traces", false, "rank and verify on the retained printed-trace path instead of streaming fingerprints (identical results; for differential benchmarking)")
-		soa     = fs.Bool("soa", true, "share struct-of-arrays planes across gang lanes (off: per-lane engines; identical results)")
-		workers = fs.Int("workers", core.DefaultWorkers(), "task-level worker pool size")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		expName   = fs.String("exp", "all", "experiment: table1|fig3|fig4|all")
+		quick     = fs.Bool("quick", false, "reduced sizes for a fast smoke run")
+		seed      = fs.Int64("seed", 1, "random seed")
+		models    = fs.String("models", "", "comma-separated model list (default: paper's)")
+		runs      = fs.Int("runs", 0, "override run count (0 = paper defaults)")
+		samples   = fs.Int("samples", 0, "override sample count n (0 = paper defaults)")
+		backend   = fs.String("backend", "compiled", "simulation backend: compiled|interpreter")
+		legacy    = fs.Bool("legacy-traces", false, "rank and verify on the retained printed-trace path instead of streaming fingerprints (identical results; for differential benchmarking)")
+		soa       = fs.Bool("soa", true, "share struct-of-arrays planes across gang lanes (off: per-lane engines; identical results)")
+		workers   = fs.Int("workers", core.DefaultWorkers(), "task-level worker pool size")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		storeSpec = fs.String("store", "off", "persistent result store: off, mem, disk, an http(s) URL, or a comma-separated tier list (nearest first)")
+		storeDir  = fs.String("store-dir", resultstore.DefaultDir, "root directory of the disk store tier")
+		storeCap  = fs.Int("store-cap", 0, "entry cap of the mem store tier (0 = default 4096)")
+		memoCap   = fs.Int("memo-cap", 0, "in-process fingerprint memo capacity (0 = default 4096)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	store, storeDesc, err := resultstore.Open(*storeSpec, *storeDir, *storeCap)
+	if err != nil {
+		return err
+	}
+	if store != nil {
+		testbench.SetStore(store)
+		defer store.Close()
+		fmt.Fprintf(os.Stderr, "result store: %s\n", storeDesc)
 	}
 
 	if *cpuProf != "" {
@@ -114,6 +129,7 @@ func run(args []string) error {
 			Backend:      be,
 			LegacyTraces: *legacy,
 			PerLaneGang:  !*soa,
+			FPMemoCap:    *memoCap,
 		}
 		start := time.Now()
 		res, err := exp.RunTable1(ctx, cfg)
@@ -135,6 +151,7 @@ func run(args []string) error {
 			Backend:      be,
 			LegacyTraces: *legacy,
 			PerLaneGang:  !*soa,
+			FPMemoCap:    *memoCap,
 		}
 		start := time.Now()
 		res, err := exp.RunFig3(ctx, cfg)
@@ -160,6 +177,7 @@ func run(args []string) error {
 			Backend:      be,
 			LegacyTraces: *legacy,
 			PerLaneGang:  !*soa,
+			FPMemoCap:    *memoCap,
 		}
 		start := time.Now()
 		res, err := exp.RunFig4(ctx, cfg)

@@ -20,6 +20,8 @@ import (
 	"repro/internal/eval"
 	"repro/internal/exp"
 	"repro/internal/llm"
+	"repro/internal/resultstore"
+	"repro/internal/testbench"
 )
 
 func main() {
@@ -56,9 +58,26 @@ func run(args []string) error {
 		showCode   = fs.Bool("code", false, "print the selected candidate's code")
 		verbose    = fs.Bool("v", false, "print cluster details")
 		soa        = fs.Bool("soa", true, "share struct-of-arrays planes across gang lanes (off: per-lane engines)")
+		storeSpec  = fs.String("store", "off", "persistent result store: off, mem, disk, an http(s) URL, or a comma-separated tier list (nearest first)")
+		storeDir   = fs.String("store-dir", resultstore.DefaultDir, "root directory of the disk store tier")
+		storeCap   = fs.Int("store-cap", 0, "entry cap of the mem store tier (0 = default 4096)")
+		memoCap    = fs.Int("memo-cap", 0, "in-process fingerprint memo capacity (0 = default 4096)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *memoCap > 0 {
+		testbench.SetFPMemoCap(*memoCap)
+	}
+	store, storeDesc, err := resultstore.Open(*storeSpec, *storeDir, *storeCap)
+	if err != nil {
+		return err
+	}
+	if store != nil {
+		testbench.SetStore(store)
+		defer store.Close()
+		fmt.Fprintf(os.Stderr, "result store: %s\n", storeDesc)
 	}
 
 	tasks := eval.Suite()

@@ -24,8 +24,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/resultstore"
 	"repro/internal/serve"
 	"repro/internal/serve/faultinject"
+	"repro/internal/testbench"
 )
 
 func main() {
@@ -45,9 +47,26 @@ func run(args []string) error {
 		drain       = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 		rankWorkers = fs.Int("rank-workers", 4, "simulation workers per job")
 		model       = fs.String("model", "deepseek-r1", "default simulated-LLM profile for generated pools")
+		storeSpec   = fs.String("store", "off", "persistent result store: off, mem, disk, an http(s) URL, or a comma-separated tier list (nearest first)")
+		storeDir    = fs.String("store-dir", resultstore.DefaultDir, "root directory of the disk store tier")
+		storeCap    = fs.Int("store-cap", 0, "entry cap of the mem store tier (0 = default 4096)")
+		memoCap     = fs.Int("memo-cap", 0, "in-process fingerprint memo capacity (0 = default 4096)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *memoCap > 0 {
+		testbench.SetFPMemoCap(*memoCap)
+	}
+	store, storeDesc, err := resultstore.Open(*storeSpec, *storeDir, *storeCap)
+	if err != nil {
+		return err
+	}
+	if store != nil {
+		testbench.SetStore(store)
+		defer store.Close()
+		log.Printf("result store: %s", storeDesc)
 	}
 
 	// Test-only throttle for black-box harnesses (scripts/smoke_vfocusd.sh):
@@ -70,6 +89,7 @@ func run(args []string) error {
 		JobTimeout:  *jobTimeout,
 		RankWorkers: *rankWorkers,
 		Model:       *model,
+		StoreDesc:   storeDesc,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -139,6 +139,11 @@ type Config struct {
 	// inspects. Both paths produce bit-identical results; the legacy path
 	// is kept as the differential referee.
 	LegacyTraces bool
+	// FPMemoCap sizes the in-process fingerprint memo — the memory tier of
+	// the result store (testbench.SetFPMemoCap). Zero keeps the current
+	// process-wide capacity (default 4096). The memo is process-wide state
+	// shared by every pipeline, so New applies a non-zero value globally.
+	FPMemoCap int
 }
 
 // DefaultWorkers is the worker-pool size used when a config leaves Workers
@@ -279,6 +284,9 @@ func New(client llm.Client, cfg Config) *Pipeline {
 	}
 	if cfg.EarlyExitFrac <= 0 {
 		cfg.EarlyExitFrac = 0.90
+	}
+	if cfg.FPMemoCap > 0 {
+		testbench.SetFPMemoCap(cfg.FPMemoCap)
 	}
 	return &Pipeline{client: client, cfg: cfg}
 }

@@ -41,6 +41,9 @@ type Fig3Config struct {
 	// instead of the default shared-plane SoA model (identical results;
 	// kept as the differential referee and escape hatch).
 	PerLaneGang bool
+	// FPMemoCap sizes the process-wide fingerprint memo (the result
+	// store's memory tier); zero keeps the current capacity.
+	FPMemoCap int
 }
 
 // Fig3Series is one model's panel.
@@ -82,6 +85,9 @@ func RunFig3(ctx context.Context, cfg Fig3Config) (*Fig3Result, error) {
 	}
 	if len(cfg.Models) == 0 {
 		cfg.Models = []string{"deepseek-r1", "o3-mini-high", "qwq-32b", "o3-mini-medium"}
+	}
+	if cfg.FPMemoCap > 0 {
+		testbench.SetFPMemoCap(cfg.FPMemoCap)
 	}
 	oracle := NewOracle(cfg.Tasks, cfg.Seed+7)
 	oracle.Backend = cfg.Backend

@@ -37,6 +37,9 @@ type Fig4Config struct {
 	// instead of the default shared-plane SoA model (identical results;
 	// kept as the differential referee and escape hatch).
 	PerLaneGang bool
+	// FPMemoCap sizes the process-wide fingerprint memo (the result
+	// store's memory tier); zero keeps the current capacity.
+	FPMemoCap int
 }
 
 // Fig4Point is one (model, n) measurement: mean ± std over runs for the
@@ -178,6 +181,7 @@ func fig4Task(ctx context.Context, cfg Fig4Config, oracle *Oracle, profile llm.P
 		pcfg.Backend = cfg.Backend
 		pcfg.LegacyTraces = cfg.LegacyTraces
 		pcfg.PerLaneGang = cfg.PerLaneGang
+		pcfg.FPMemoCap = cfg.FPMemoCap
 		return core.New(client, pcfg).Run(ctx, task)
 	}
 

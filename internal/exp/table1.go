@@ -39,6 +39,9 @@ type Table1Config struct {
 	// instead of the default shared-plane SoA model (identical results;
 	// kept as the differential referee and escape hatch).
 	PerLaneGang bool
+	// FPMemoCap sizes the process-wide fingerprint memo (the result
+	// store's memory tier); zero keeps the current capacity.
+	FPMemoCap int
 }
 
 // Table1Row is one (model, dataset) row of Table I.
@@ -182,6 +185,7 @@ func evalTaskRun(ctx context.Context, cfg Table1Config, oracle *Oracle, profile 
 		pcfg.Backend = cfg.Backend
 		pcfg.LegacyTraces = cfg.LegacyTraces
 		pcfg.PerLaneGang = cfg.PerLaneGang
+		pcfg.FPMemoCap = cfg.FPMemoCap
 		pipe := core.New(client, pcfg)
 		return pipe.Run(ctx, task)
 	}

@@ -1,0 +1,327 @@
+// Package contracts holds the behavioral contract every resultstore
+// adapter must satisfy, in the frameless contracts style: a test helper
+// that each adapter's test file invokes with a factory. One suite, three
+// adapters (memory, disk, remote reference), plus a corruption sub-suite
+// for adapters whose backing medium can rot underneath them.
+package contracts
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/resultstore"
+)
+
+func key(i int) resultstore.Key {
+	return resultstore.Key{
+		DesignHash:   fmt.Sprintf("%064x", 0xd0000+i),
+		ScheduleHash: fmt.Sprintf("%064x", 0x50000+i),
+	}
+}
+
+// Store runs the adapter contract against factory-built stores. Each
+// subtest gets a fresh store; the factory is responsible for cleanup
+// (t.TempDir, httptest.Server.Close via t.Cleanup, ...).
+func Store(t *testing.T, factory func(t *testing.T) resultstore.Store) {
+	t.Helper()
+	ctx := context.Background()
+
+	t.Run("GetMissing", func(t *testing.T) {
+		s := factory(t)
+		v, hit, err := s.Get(ctx, key(1))
+		if err != nil || hit || v != nil {
+			t.Fatalf("Get missing = (%v, %v, %v), want (nil, false, nil)", v, hit, err)
+		}
+	})
+
+	t.Run("PutGet", func(t *testing.T) {
+		s := factory(t)
+		want := []byte("fingerprint payload \x00\x01\xff binary safe")
+		if err := s.Put(ctx, key(1), want); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		got, hit, err := s.Get(ctx, key(1))
+		if err != nil || !hit {
+			t.Fatalf("Get = (_, %v, %v), want hit", hit, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("Get = %q, want %q", got, want)
+		}
+	})
+
+	t.Run("Overwrite", func(t *testing.T) {
+		s := factory(t)
+		if err := s.Put(ctx, key(1), []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(ctx, key(1), []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+		got, hit, err := s.Get(ctx, key(1))
+		if err != nil || !hit || string(got) != "new" {
+			t.Fatalf("Get after overwrite = (%q, %v, %v), want new", got, hit, err)
+		}
+		if n, err := s.Len(); err != nil || n != 1 {
+			t.Fatalf("Len after overwrite = (%d, %v), want 1", n, err)
+		}
+	})
+
+	t.Run("EmptyValue", func(t *testing.T) {
+		s := factory(t)
+		if err := s.Put(ctx, key(1), nil); err != nil {
+			t.Fatal(err)
+		}
+		got, hit, err := s.Get(ctx, key(1))
+		if err != nil || !hit || len(got) != 0 {
+			t.Fatalf("Get empty = (%q, %v, %v), want empty hit", got, hit, err)
+		}
+	})
+
+	t.Run("KeyIsolation", func(t *testing.T) {
+		s := factory(t)
+		a := key(1)
+		// Differs from a only in the schedule half; the adapters must not
+		// conflate the two hash components.
+		b := resultstore.Key{DesignHash: a.DesignHash, ScheduleHash: key(2).ScheduleHash}
+		if err := s.Put(ctx, a, []byte("va")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(ctx, b, []byte("vb")); err != nil {
+			t.Fatal(err)
+		}
+		ga, _, _ := s.Get(ctx, a)
+		gb, _, _ := s.Get(ctx, b)
+		if string(ga) != "va" || string(gb) != "vb" {
+			t.Fatalf("keys conflated: got %q/%q", ga, gb)
+		}
+		if n, _ := s.Len(); n != 2 {
+			t.Fatalf("Len = %d, want 2", n)
+		}
+	})
+
+	t.Run("Delete", func(t *testing.T) {
+		s := factory(t)
+		if err := s.Put(ctx, key(1), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Delete(ctx, key(1)); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		if _, hit, err := s.Get(ctx, key(1)); err != nil || hit {
+			t.Fatalf("Get after delete = (_, %v, %v), want miss", hit, err)
+		}
+		if n, _ := s.Len(); n != 0 {
+			t.Fatalf("Len after delete = %d, want 0", n)
+		}
+		if err := s.Delete(ctx, key(1)); err != nil {
+			t.Fatalf("Delete missing: %v", err)
+		}
+	})
+
+	t.Run("ValueAliasing", func(t *testing.T) {
+		s := factory(t)
+		in := []byte("original")
+		if err := s.Put(ctx, key(1), in); err != nil {
+			t.Fatal(err)
+		}
+		copy(in, "XXXXXXXX") // mutating the caller's buffer must not reach the store
+		got, _, _ := s.Get(ctx, key(1))
+		if string(got) != "original" {
+			t.Fatalf("store aliased Put buffer: got %q", got)
+		}
+		copy(got, "YYYYYYYY") // mutating a returned value must not corrupt the entry
+		got2, _, _ := s.Get(ctx, key(1))
+		if string(got2) != "original" {
+			t.Fatalf("store aliased Get buffer: got %q", got2)
+		}
+	})
+
+	t.Run("InvalidKey", func(t *testing.T) {
+		s := factory(t)
+		bad := []resultstore.Key{
+			{DesignHash: "", ScheduleHash: key(1).ScheduleHash},
+			{DesignHash: "../../etc/passwd", ScheduleHash: key(1).ScheduleHash},
+			{DesignHash: key(1).DesignHash, ScheduleHash: "UPPER"},
+			{DesignHash: "ab", ScheduleHash: key(1).ScheduleHash},
+		}
+		for _, k := range bad {
+			if err := s.Put(ctx, k, []byte("v")); err == nil {
+				t.Fatalf("Put(%+v) accepted invalid key", k)
+			}
+			if _, _, err := s.Get(ctx, k); err == nil {
+				t.Fatalf("Get(%+v) accepted invalid key", k)
+			}
+		}
+	})
+
+	// Stampede: every goroutine sees a miss and races to publish the same
+	// deterministic value — exactly what concurrent ranking workers do when
+	// the in-process single-flight spans processes that cannot share a
+	// claim. Any interleaving must end with one complete, correct entry.
+	t.Run("Stampede", func(t *testing.T) {
+		s := factory(t)
+		const goroutines = 16
+		k := key(7)
+		want := []byte("deterministic trace payload")
+		var wg sync.WaitGroup
+		errc := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, hit, err := s.Get(ctx, k); err != nil {
+					errc <- err
+					return
+				} else if !hit {
+					if err := s.Put(ctx, k, want); err != nil {
+						errc <- err
+						return
+					}
+				}
+				got, hit, err := s.Get(ctx, k)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if hit && !bytes.Equal(got, want) {
+					errc <- fmt.Errorf("stampede read tore: %q", got)
+				}
+			}()
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Fatal(err)
+		}
+		got, hit, err := s.Get(ctx, k)
+		if err != nil || !hit || !bytes.Equal(got, want) {
+			t.Fatalf("post-stampede Get = (%q, %v, %v)", got, hit, err)
+		}
+		if n, err := s.Len(); err != nil || n != 1 {
+			t.Fatalf("post-stampede Len = (%d, %v), want 1", n, err)
+		}
+	})
+
+	// ConcurrentMixed: readers, writers and deleters on a small key set.
+	// Primarily a -race drill; the only visible-state assertion is that a
+	// hit always returns one of the values ever written for that key.
+	t.Run("ConcurrentMixed", func(t *testing.T) {
+		s := factory(t)
+		const keys = 4
+		vals := make([][]byte, keys)
+		for i := range vals {
+			vals[i] = []byte(fmt.Sprintf("value-%d", i))
+		}
+		var wg sync.WaitGroup
+		errc := make(chan error, 3*keys*8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					ki := (g + i) % keys
+					k := key(ki)
+					switch i % 3 {
+					case 0:
+						if err := s.Put(ctx, k, vals[ki]); err != nil {
+							errc <- err
+							return
+						}
+					case 1:
+						got, hit, err := s.Get(ctx, k)
+						if err != nil {
+							errc <- err
+							return
+						}
+						if hit && !bytes.Equal(got, vals[ki]) {
+							errc <- fmt.Errorf("key %d read torn value %q", ki, got)
+							return
+						}
+					case 2:
+						if err := s.Delete(ctx, k); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Fatal(err)
+		}
+	})
+}
+
+// CorruptMode enumerates the ways a stored record can rot on its medium.
+type CorruptMode int
+
+const (
+	// CorruptTruncate cuts the record short mid-payload.
+	CorruptTruncate CorruptMode = iota
+	// CorruptFlipByte flips one payload byte.
+	CorruptFlipByte
+	// CorruptWrongVersion rewrites the record's version header.
+	CorruptWrongVersion
+	// CorruptEmpty truncates the record to zero bytes.
+	CorruptEmpty
+)
+
+// String names the mode for subtest labels.
+func (m CorruptMode) String() string {
+	switch m {
+	case CorruptTruncate:
+		return "truncated"
+	case CorruptFlipByte:
+		return "flipped-byte"
+	case CorruptWrongVersion:
+		return "wrong-version"
+	case CorruptEmpty:
+		return "empty-file"
+	}
+	return fmt.Sprintf("mode-%d", int(m))
+}
+
+// CorruptModes lists every mode the corruption matrix covers.
+var CorruptModes = []CorruptMode{CorruptTruncate, CorruptFlipByte, CorruptWrongVersion, CorruptEmpty}
+
+// Corruptible runs the corruption matrix: for each mode, a stored entry is
+// damaged through the adapter-supplied corrupt hook, and the contract is
+// that the damage is detected (never served as data), the key reads as a
+// clean miss, and a subsequent Put restores it. The factory returns a
+// fresh store and a hook that corrupts key k's record in place.
+func Corruptible(t *testing.T, factory func(t *testing.T) (resultstore.Store, func(t *testing.T, k resultstore.Key, mode CorruptMode))) {
+	t.Helper()
+	ctx := context.Background()
+	for _, mode := range CorruptModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			s, corrupt := factory(t)
+			k := key(3)
+			want := []byte("payload that will be damaged on the medium")
+			if err := s.Put(ctx, k, want); err != nil {
+				t.Fatal(err)
+			}
+			corrupt(t, k, mode)
+			v, hit, err := s.Get(ctx, k)
+			if err != nil {
+				t.Fatalf("corrupt entry surfaced an error instead of a miss: %v", err)
+			}
+			if hit {
+				t.Fatalf("corrupt entry served as data: %q", v)
+			}
+			// The key must remain usable: a re-run publishes again and the
+			// fresh record reads back intact.
+			if err := s.Put(ctx, k, want); err != nil {
+				t.Fatalf("Put after corruption: %v", err)
+			}
+			got, hit, err := s.Get(ctx, k)
+			if err != nil || !hit || !bytes.Equal(got, want) {
+				t.Fatalf("Get after re-put = (%q, %v, %v), want restored", got, hit, err)
+			}
+		})
+	}
+}

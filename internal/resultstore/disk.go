@@ -1,0 +1,249 @@
+package resultstore
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/serve/faultinject"
+)
+
+// Disk record layout (little-endian), one file per key:
+//
+//	offset 0  magic   "VFPR"
+//	offset 4  version u8
+//	offset 5  paylen  u32
+//	offset 9  crc32c  u32 (Castagnoli, over the payload only)
+//	offset 13 payload
+//
+// Writes go to a temp file in the destination shard directory followed by
+// an atomic rename, so a reader only ever sees complete records or nothing.
+// There is no fsync: a machine crash can tear a rename target, but the
+// checksum turns any torn or bit-rotted record into a verified miss — the
+// store can lose results, never invent them.
+const (
+	diskMagic      = "VFPR"
+	diskVersion    = 1
+	diskHeaderSize = 13
+	diskSuffix     = ".fpr"
+	diskTmpPrefix  = "tmp-"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Disk is the on-disk adapter: a sharded content-addressed layout
+// (root/<designHash[:2]>/<designHash[2:]>-<scheduleHash>.fpr) with
+// checksummed records. Entries that fail verification are quarantined
+// (renamed to <name>.bad), logged, and read as misses; the key stays
+// writable. Disk is safe for concurrent use in and across processes:
+// same-key writers race at the rename, and either winner's record is a
+// complete, valid encoding of the same pure function.
+type Disk struct {
+	root string
+	// Logf reports quarantined entries; defaults to log.Printf. Set before
+	// the store is shared across goroutines.
+	Logf func(format string, args ...any)
+
+	quarantined atomic.Uint64
+}
+
+// NewDisk opens (creating if needed) a disk store rooted at dir and sweeps
+// temp files abandoned by crashed writers.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &Disk{root: dir, Logf: log.Printf}
+	d.sweepTemps()
+	return d, nil
+}
+
+// Root returns the store's root directory.
+func (d *Disk) Root() string { return d.root }
+
+// Quarantined reports how many corrupt entries this store has quarantined.
+func (d *Disk) Quarantined() uint64 { return d.quarantined.Load() }
+
+// Path returns where k's record lives (whether or not it exists). Exposed
+// for ops tooling and the corruption drills; normal access goes through
+// Get/Put/Delete.
+func (d *Disk) Path(k Key) string {
+	return filepath.Join(d.root, k.DesignHash[:2], k.DesignHash[2:]+"-"+k.ScheduleHash+diskSuffix)
+}
+
+// sweepTemps removes temp files left by writers that died before their
+// rename. Runs once at open; shard directories are one level deep.
+func (d *Disk) sweepTemps() {
+	shards, err := os.ReadDir(d.root)
+	if err != nil {
+		return
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		dir := filepath.Join(d.root, sh.Name())
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			if strings.HasPrefix(e.Name(), diskTmpPrefix) {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+}
+
+func encodeDiskRecord(payload []byte) []byte {
+	rec := make([]byte, diskHeaderSize+len(payload))
+	copy(rec, diskMagic)
+	rec[4] = diskVersion
+	binary.LittleEndian.PutUint32(rec[5:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[9:], crc32.Checksum(payload, castagnoli))
+	copy(rec[diskHeaderSize:], payload)
+	return rec
+}
+
+// decodeDiskRecord verifies a raw record and returns its payload, or an
+// error describing which check failed.
+func decodeDiskRecord(rec []byte) ([]byte, error) {
+	if len(rec) < diskHeaderSize {
+		return nil, errors.New("short record")
+	}
+	if string(rec[:4]) != diskMagic {
+		return nil, errors.New("bad magic")
+	}
+	if rec[4] != diskVersion {
+		return nil, errors.New("unknown version")
+	}
+	paylen := binary.LittleEndian.Uint32(rec[5:])
+	if int(paylen) != len(rec)-diskHeaderSize {
+		return nil, errors.New("length mismatch")
+	}
+	payload := rec[diskHeaderSize:]
+	if binary.LittleEndian.Uint32(rec[9:]) != crc32.Checksum(payload, castagnoli) {
+		return nil, errors.New("checksum mismatch")
+	}
+	return payload, nil
+}
+
+// Get implements Store. Any record failing verification — truncated,
+// bit-flipped, wrong version, empty — is quarantined and reads as a miss.
+func (d *Disk) Get(_ context.Context, k Key) ([]byte, bool, error) {
+	if err := k.Validate(); err != nil {
+		return nil, false, err
+	}
+	path := d.Path(k)
+	rec, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	payload, derr := decodeDiskRecord(rec)
+	if derr != nil {
+		d.quarantine(path, derr)
+		return nil, false, nil
+	}
+	return payload, true, nil
+}
+
+// quarantine moves a corrupt record aside so it stops shadowing the key and
+// stays inspectable, and counts + logs the event.
+func (d *Disk) quarantine(path string, reason error) {
+	d.quarantined.Add(1)
+	if err := os.Rename(path, path+".bad"); err != nil {
+		// Renaming can race another reader quarantining the same record;
+		// losing that race still leaves the key readable-as-miss.
+		os.Remove(path)
+	}
+	if d.Logf != nil {
+		d.Logf("resultstore: quarantined corrupt entry %s (%v)", path, reason)
+	}
+}
+
+// Put implements Store: write a temp record in the destination shard, then
+// atomically rename it over the final path. Cancellation observed before
+// the rename removes the temp file and publishes nothing.
+func (d *Disk) Put(ctx context.Context, k Key, value []byte) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	final := d.Path(k)
+	shard := filepath.Dir(final)
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(shard, diskTmpPrefix+"*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(encodeDiskRecord(value))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	// The abort-safety drills land a cancel or a crash exactly here: the
+	// record is complete on disk but not yet visible under its key.
+	faultinject.Fire(faultinject.PointStorePut, k.DesignHash)
+	if err := ctx.Err(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Delete implements Store.
+func (d *Disk) Delete(_ context.Context, k Key) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	if err := os.Remove(d.Path(k)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// Len implements Store by counting record files across shards.
+func (d *Disk) Len() (int, error) {
+	shards, err := os.ReadDir(d.root)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		ents, err := os.ReadDir(filepath.Join(d.root, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name(), diskSuffix) {
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// Close implements Store.
+func (d *Disk) Close() error { return nil }

@@ -1,0 +1,110 @@
+package resultstore_test
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/resultstore"
+	"repro/internal/serve/faultinject"
+)
+
+func diskWithTemp(t *testing.T) *resultstore.Disk {
+	t.Helper()
+	d, err := resultstore.NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Logf = t.Logf
+	return d
+}
+
+func countTemps(t *testing.T, root string) int {
+	t.Helper()
+	n := 0
+	matches, err := filepath.Glob(filepath.Join(root, "*", "tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n += len(matches)
+	return n
+}
+
+// A Put cancelled between the temp write and the rename publishes nothing:
+// no partial entry, no leaked temp file, and the same Put succeeds
+// bit-identically afterwards.
+func TestDiskPutCancelledMidWrite(t *testing.T) {
+	defer faultinject.Reset()
+	d := diskWithTemp(t)
+	k := resultstore.Key{DesignHash: "feedface1234", ScheduleHash: "0a0b0c0d"}
+	want := []byte("trace payload")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	faultinject.Arm(faultinject.PointStorePut, k.DesignHash, 1, cancel)
+	if err := d.Put(ctx, k, want); err != context.Canceled {
+		t.Fatalf("Put under mid-write cancel = %v, want context.Canceled", err)
+	}
+	if _, hit, err := d.Get(context.Background(), k); err != nil || hit {
+		t.Fatalf("cancelled Put published an entry: (%v, %v)", hit, err)
+	}
+	if n, _ := d.Len(); n != 0 {
+		t.Fatalf("Len = %d after cancelled Put, want 0", n)
+	}
+	if n := countTemps(t, d.Root()); n != 0 {
+		t.Fatalf("%d temp files leaked by cancelled Put", n)
+	}
+
+	faultinject.Reset()
+	if err := d.Put(context.Background(), k, want); err != nil {
+		t.Fatalf("re-Put after cancel: %v", err)
+	}
+	got, hit, err := d.Get(context.Background(), k)
+	if err != nil || !hit || !bytes.Equal(got, want) {
+		t.Fatalf("re-run not bit-identical: (%q, %v, %v)", got, hit, err)
+	}
+}
+
+// A writer that crashes at the same instant leaves only a temp file; the
+// key reads as a miss immediately, and reopening the store sweeps the
+// debris.
+func TestDiskPutCrashMidWrite(t *testing.T) {
+	defer faultinject.Reset()
+	d := diskWithTemp(t)
+	k := resultstore.Key{DesignHash: "feedface5678", ScheduleHash: "0a0b0c0d"}
+
+	faultinject.Arm(faultinject.PointStorePut, k.DesignHash, 1, func() {
+		panic("injected: writer crash before rename")
+	})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injected crash did not fire")
+			}
+		}()
+		d.Put(context.Background(), k, []byte("doomed"))
+	}()
+	faultinject.Reset()
+
+	if _, hit, err := d.Get(context.Background(), k); err != nil || hit {
+		t.Fatalf("crashed Put published an entry: (%v, %v)", hit, err)
+	}
+	if n := countTemps(t, d.Root()); n != 1 {
+		t.Fatalf("expected exactly the crashed writer's temp file, found %d", n)
+	}
+
+	d2, err := resultstore.NewDisk(d.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Logf = t.Logf
+	if n := countTemps(t, d2.Root()); n != 0 {
+		t.Fatalf("reopen left %d temp files", n)
+	}
+	if err := d2.Put(context.Background(), k, []byte("retry")); err != nil {
+		t.Fatalf("Put after crash: %v", err)
+	}
+	if got, hit, _ := d2.Get(context.Background(), k); !hit || string(got) != "retry" {
+		t.Fatalf("store unusable after crash: (%q, %v)", got, hit)
+	}
+}

@@ -1,0 +1,125 @@
+package resultstore_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/resultstore"
+	"repro/internal/resultstore/contracts"
+)
+
+// TestDiskCorruptionMatrix runs the contract corruption matrix against the
+// disk adapter, damaging records directly on the filesystem: truncated
+// record, flipped payload byte, wrong-version header, empty file. Every
+// mode must be caught by the record checks (magic/version/length/CRC32C)
+// and read as a miss — never as data — with the damaged file quarantined
+// aside as <name>.bad.
+func TestDiskCorruptionMatrix(t *testing.T) {
+	var last *resultstore.Disk
+	contracts.Corruptible(t, func(t *testing.T) (resultstore.Store, func(t *testing.T, k resultstore.Key, mode contracts.CorruptMode)) {
+		d, err := resultstore.NewDisk(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Logf = t.Logf
+		last = d
+		corrupt := func(t *testing.T, k resultstore.Key, mode contracts.CorruptMode) {
+			path := d.Path(k)
+			rec, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch mode {
+			case contracts.CorruptTruncate:
+				rec = rec[:len(rec)-5]
+			case contracts.CorruptFlipByte:
+				rec[len(rec)-1] ^= 0x40
+			case contracts.CorruptWrongVersion:
+				rec[4] = 0x7f
+			case contracts.CorruptEmpty:
+				rec = nil
+			}
+			if err := os.WriteFile(path, rec, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// After the contract's post-corruption Get, the damaged record
+			// must be quarantined, not deleted or still shadowing the key.
+			t.Cleanup(func() {
+				if q := d.Quarantined(); q != 1 {
+					t.Errorf("Quarantined() = %d, want 1", q)
+				}
+				if _, err := os.Stat(path + ".bad"); err != nil {
+					t.Errorf("quarantine file missing: %v", err)
+				}
+			})
+		}
+		return d, corrupt
+	})
+	if last == nil {
+		t.Fatal("corruption matrix never built a store")
+	}
+}
+
+// A writer that dies between temp-write and rename leaves a tmp-* file;
+// the next open sweeps it and the key still reads as a clean miss.
+func TestDiskSweepsAbandonedTemps(t *testing.T) {
+	dir := t.TempDir()
+	d, err := resultstore.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Logf = t.Logf
+	k := resultstore.Key{DesignHash: "deadbeef00", ScheduleHash: "cafe1234"}
+	shard := filepath.Dir(d.Path(k))
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(shard, "tmp-abandoned")
+	if err := os.WriteFile(tmp, []byte("half a record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := resultstore.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Logf = t.Logf
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("abandoned temp survived reopen: %v", err)
+	}
+	if _, hit, err := d2.Get(context.Background(), k); err != nil || hit {
+		t.Fatalf("Get = (_, %v, %v), want clean miss", hit, err)
+	}
+	if n, err := d2.Len(); err != nil || n != 0 {
+		t.Fatalf("Len = (%d, %v), want 0", n, err)
+	}
+}
+
+// The sharded layout keys the shard by the design hash prefix, so entries
+// never pile into one directory and the path never embeds raw input.
+func TestDiskShardedLayout(t *testing.T) {
+	d, err := resultstore.NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Logf = t.Logf
+	k := resultstore.Key{DesignHash: "abcdef012345", ScheduleHash: "9876fedc"}
+	if err := d.Put(context.Background(), k, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(d.Root(), d.Path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := strings.Split(rel, string(filepath.Separator))
+	if len(parts) != 2 || parts[0] != "ab" || !strings.HasSuffix(parts[1], ".fpr") {
+		t.Fatalf("unexpected layout %q", rel)
+	}
+	if _, err := os.Stat(d.Path(k)); err != nil {
+		t.Fatalf("record not at Path(): %v", err)
+	}
+}

@@ -1,0 +1,92 @@
+package resultstore
+
+import "context"
+
+// Layered composes stores into a tier hierarchy, nearest first (e.g.
+// memory -> disk -> remote). Get probes tiers in order and backfills every
+// nearer tier on a hit, so a key served once from a far tier is local from
+// then on. Put and Delete apply to all tiers. Because entries are pure
+// functions of their key, backfill needs no coherence protocol: any copy
+// in any tier is equally valid.
+type Layered struct {
+	tiers []Store
+}
+
+// NewLayered builds a layered store over tiers, nearest first. At least
+// one tier is required.
+func NewLayered(tiers ...Store) *Layered {
+	if len(tiers) == 0 {
+		panic("resultstore: NewLayered needs at least one tier")
+	}
+	return &Layered{tiers: tiers}
+}
+
+// Get implements Store. Tier errors are treated as misses for that tier
+// (a flaky remote must not fail lookups the disk can serve); the error is
+// surfaced only if every tier errors.
+func (l *Layered) Get(ctx context.Context, k Key) ([]byte, bool, error) {
+	var firstErr error
+	errs := 0
+	for i, t := range l.tiers {
+		v, hit, err := t.Get(ctx, k)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			errs++
+			continue
+		}
+		if hit {
+			for j := 0; j < i; j++ {
+				// Best-effort backfill; a failed nearer-tier write only
+				// costs the next lookup another probe.
+				l.tiers[j].Put(ctx, k, v)
+			}
+			return v, true, nil
+		}
+	}
+	if errs == len(l.tiers) {
+		return nil, false, firstErr
+	}
+	return nil, false, nil
+}
+
+// Put implements Store, writing through every tier. The first error is
+// returned after all tiers are attempted.
+func (l *Layered) Put(ctx context.Context, k Key, value []byte) error {
+	var firstErr error
+	for _, t := range l.tiers {
+		if err := t.Put(ctx, k, value); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Delete implements Store, deleting from every tier.
+func (l *Layered) Delete(ctx context.Context, k Key) error {
+	var firstErr error
+	for _, t := range l.tiers {
+		if err := t.Delete(ctx, k); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Len implements Store, reporting the deepest tier — the most complete
+// one, since nearer tiers are bounded caches of it.
+func (l *Layered) Len() (int, error) {
+	return l.tiers[len(l.tiers)-1].Len()
+}
+
+// Close implements Store, closing every tier.
+func (l *Layered) Close() error {
+	var firstErr error
+	for _, t := range l.tiers {
+		if err := t.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,66 @@
+package resultstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultDir is the conventional on-disk store location (relative to the
+// working directory) used by the CLI flags when none is given.
+const DefaultDir = "vfocus-store"
+
+// Open builds a store from a -store flag spec. The spec is a comma-
+// separated list of tiers, nearest first; each tier is one of:
+//
+//	off            no persistent store (Open returns nil)
+//	mem            in-memory adapter (capacity = memCap)
+//	disk           on-disk adapter rooted at dir
+//	http(s)://URL  remote adapter against a Handler-speaking server
+//
+// A single tier returns that adapter directly; multiple tiers compose into
+// a Layered store (e.g. "disk,https://fp.example.com" reads through the
+// local disk into the shared remote and writes through both). An empty
+// spec means off. The returned description is human-readable for logs.
+func Open(spec, dir string, memCap int) (Store, string, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" || spec == "none" {
+		return nil, "off", nil
+	}
+	if dir == "" {
+		dir = DefaultDir
+	}
+	var tiers []Store
+	var descs []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		switch {
+		case part == "mem":
+			tiers = append(tiers, NewMemory(memCap))
+			descs = append(descs, fmt.Sprintf("mem(cap=%d)", effectiveCap(memCap)))
+		case part == "disk":
+			d, err := NewDisk(dir)
+			if err != nil {
+				return nil, "", fmt.Errorf("resultstore: open disk store at %s: %w", dir, err)
+			}
+			tiers = append(tiers, d)
+			descs = append(descs, "disk:"+dir)
+		case strings.HasPrefix(part, "http://") || strings.HasPrefix(part, "https://"):
+			tiers = append(tiers, NewRemote(part, nil))
+			descs = append(descs, "remote:"+part)
+		default:
+			return nil, "", fmt.Errorf("resultstore: unknown store spec %q (want off, mem, disk, or an http(s) URL)", part)
+		}
+	}
+	desc := strings.Join(descs, " -> ")
+	if len(tiers) == 1 {
+		return tiers[0], desc, nil
+	}
+	return NewLayered(tiers...), desc, nil
+}
+
+func effectiveCap(c int) int {
+	if c <= 0 {
+		return DefaultMemoryCap
+	}
+	return c
+}

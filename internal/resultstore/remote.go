@@ -1,0 +1,201 @@
+package resultstore
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Remote is the pluggable networked adapter: a thin HTTP client speaking
+// the protocol served by Handler. It is the seam for a shared fingerprint
+// store across vfocusd workers and machines — anything that answers these
+// four routes can back it:
+//
+//	GET    /v1/fp/<designHash>/<scheduleHash>  -> 200 body | 404
+//	PUT    /v1/fp/<designHash>/<scheduleHash>  <- body, 204
+//	DELETE /v1/fp/<designHash>/<scheduleHash>  -> 204
+//	GET    /v1/len                             -> 200 decimal count
+type Remote struct {
+	base string
+	c    *http.Client
+}
+
+// NewRemote returns a remote store against baseURL. A nil client gets a
+// dedicated one with a conservative timeout, so a hung store server can
+// never wedge a ranking worker indefinitely.
+func NewRemote(baseURL string, c *http.Client) *Remote {
+	if c == nil {
+		c = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Remote{base: strings.TrimRight(baseURL, "/"), c: c}
+}
+
+func (r *Remote) url(k Key) string {
+	return r.base + "/v1/fp/" + k.DesignHash + "/" + k.ScheduleHash
+}
+
+// Get implements Store.
+func (r *Remote) Get(ctx context.Context, k Key) ([]byte, bool, error) {
+	if err := k.Validate(); err != nil {
+		return nil, false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url(k), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := r.c.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, false, err
+		}
+		return body, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("resultstore: remote GET %s: %s", r.url(k), resp.Status)
+	}
+}
+
+// Put implements Store.
+func (r *Remote) Put(ctx context.Context, k Key, value []byte) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, r.url(k), bytes.NewReader(value))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.c.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("resultstore: remote PUT %s: %s", r.url(k), resp.Status)
+	}
+	return nil
+}
+
+// Delete implements Store.
+func (r *Remote) Delete(ctx context.Context, k Key) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, r.url(k), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.c.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent, http.StatusOK, http.StatusNotFound:
+		return nil
+	}
+	return fmt.Errorf("resultstore: remote DELETE %s: %s", r.url(k), resp.Status)
+}
+
+// Len implements Store.
+func (r *Remote) Len() (int, error) {
+	req, err := http.NewRequest(http.MethodGet, r.base+"/v1/len", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("resultstore: remote len: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(strings.TrimSpace(string(body)))
+}
+
+// Close implements Store.
+func (r *Remote) Close() error {
+	r.c.CloseIdleConnections()
+	return nil
+}
+
+// Handler serves the Remote protocol over any backing Store — the
+// reference server implementation the contract suite runs against
+// (httptest in-process; a real deployment mounts it behind net/http).
+func Handler(backing Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/len", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		n, err := backing.Len()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, n)
+	})
+	mux.HandleFunc("/v1/fp/", func(w http.ResponseWriter, req *http.Request) {
+		rest := strings.TrimPrefix(req.URL.Path, "/v1/fp/")
+		dh, sh, ok := strings.Cut(rest, "/")
+		k := Key{DesignHash: dh, ScheduleHash: sh}
+		if !ok || strings.Contains(sh, "/") || k.Validate() != nil {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		switch req.Method {
+		case http.MethodGet:
+			v, hit, err := backing.Get(req.Context(), k)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if !hit {
+				http.NotFound(w, req)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(v)
+		case http.MethodPut:
+			body, err := io.ReadAll(req.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := backing.Put(req.Context(), k, body); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodDelete:
+			if err := backing.Delete(req.Context(), k); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}

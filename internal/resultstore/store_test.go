@@ -1,0 +1,96 @@
+package resultstore_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/resultstore"
+	"repro/internal/resultstore/contracts"
+)
+
+// One behavioral contract, three adapters. The remote adapter runs against
+// the reference Handler over an in-memory backing via httptest, which also
+// exercises the server side of the protocol.
+
+func TestMemoryContract(t *testing.T) {
+	contracts.Store(t, func(t *testing.T) resultstore.Store {
+		return resultstore.NewMemory(0)
+	})
+}
+
+func TestDiskContract(t *testing.T) {
+	contracts.Store(t, func(t *testing.T) resultstore.Store {
+		d, err := resultstore.NewDisk(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Logf = t.Logf
+		return d
+	})
+}
+
+func TestRemoteContract(t *testing.T) {
+	contracts.Store(t, func(t *testing.T) resultstore.Store {
+		srv := httptest.NewServer(resultstore.Handler(resultstore.NewMemory(0)))
+		t.Cleanup(srv.Close)
+		return resultstore.NewRemote(srv.URL, srv.Client())
+	})
+}
+
+// The layered composite must itself satisfy the port contract end to end.
+func TestLayeredContract(t *testing.T) {
+	contracts.Store(t, func(t *testing.T) resultstore.Store {
+		d, err := resultstore.NewDisk(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Logf = t.Logf
+		return resultstore.NewLayered(resultstore.NewMemory(0), d)
+	})
+}
+
+func TestMemoryEvicts(t *testing.T) {
+	ctx := context.Background()
+	s := resultstore.NewMemory(2)
+	keys := make([]resultstore.Key, 3)
+	for i := range keys {
+		keys[i] = resultstore.Key{
+			DesignHash:   "d00d" + string(rune('a'+i)) + "bcdef",
+			ScheduleHash: "5eed5eed",
+		}
+		if err := s.Put(ctx, keys[i], []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := s.Len(); n != 2 {
+		t.Fatalf("Len = %d, want cap 2", n)
+	}
+	if _, hit, _ := s.Get(ctx, keys[0]); hit {
+		t.Fatal("oldest entry survived past capacity")
+	}
+	for _, k := range keys[1:] {
+		if _, hit, _ := s.Get(ctx, k); !hit {
+			t.Fatalf("recent entry %v evicted", k)
+		}
+	}
+}
+
+// A hit in a far tier must backfill the near tiers so the next lookup is
+// local.
+func TestLayeredBackfill(t *testing.T) {
+	ctx := context.Background()
+	near := resultstore.NewMemory(0)
+	far := resultstore.NewMemory(0)
+	k := resultstore.Key{DesignHash: "abcd1234", ScheduleHash: "beef5678"}
+	if err := far.Put(ctx, k, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	l := resultstore.NewLayered(near, far)
+	if _, hit, err := l.Get(ctx, k); err != nil || !hit {
+		t.Fatalf("layered Get = (_, %v, %v), want hit", hit, err)
+	}
+	if got, hit, _ := near.Get(ctx, k); !hit || string(got) != "v" {
+		t.Fatalf("near tier not backfilled: (%q, %v)", got, hit)
+	}
+}

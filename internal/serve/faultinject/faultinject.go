@@ -39,6 +39,11 @@ const (
 	// job's task, keyed by the job ID. Panicking here models a worker
 	// crash outside the compute path's own recovery.
 	PointSchedRun Point = "sched.worker.run"
+	// PointStorePut fires inside the disk result-store adapter after the
+	// temp record is fully written but before the atomic rename, keyed by
+	// the entry's design hash. Cancelling here models a job killed
+	// mid-publish; panicking models a crash with the temp file on disk.
+	PointStorePut Point = "resultstore.disk.put"
 )
 
 // armed flips on while at least one action is registered. It is the only

@@ -49,6 +49,10 @@ type Config struct {
 	Model string
 	// MaxSamples caps server-side candidate generation per job.
 	MaxSamples int
+	// StoreDesc describes the persistent result store the process runs
+	// with ("off" when none); surfaced by /statsz for operators and the
+	// warm-restart smoke.
+	StoreDesc string
 }
 
 // finishedCap bounds how many completed job records the server retains for
@@ -66,6 +70,14 @@ type Server struct {
 	jobs     map[string]*jobRecord
 	finished []string // completion order, for bounded retention
 	seq      int
+}
+
+// storeDesc names the configured persistent store for /statsz.
+func (s *Server) storeDesc() string {
+	if s.cfg.StoreDesc == "" {
+		return "off"
+	}
+	return s.cfg.StoreDesc
 }
 
 // New builds a Server over the benchmark suite.
@@ -226,6 +238,23 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	// /statsz exposes the process-wide simulation/result-store counters:
+	// fp_sims counts fingerprint simulations actually performed, so a
+	// fully store-warm process reports zero — the warm-restart smoke and
+	// capacity dashboards key off exactly that.
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		stats := testbench.ReadStoreStats()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"fp_sims":         stats.Sims,
+			"store_hits":      stats.Hits,
+			"store_misses":    stats.Misses,
+			"store_puts":      stats.Puts,
+			"store_put_fails": stats.PutFails,
+			"fp_memo_len":     testbench.FPMemoLen(),
+			"store":           s.storeDesc(),
+		})
 	})
 	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

@@ -47,6 +47,19 @@ func CanonicalKey(src *ast.Source) string {
 	return k
 }
 
+// contentHash folds a compile-cache key — canonical source hash plus top
+// module — into the single hex digest a Design carries as its persistent
+// content address. Delta-compiled and fresh-compiled designs of the same
+// source share it, which is exactly right: the gang equivalence gates hold
+// their fingerprints bit-identical.
+func contentHash(key cacheKey) string {
+	h := sha256.New()
+	h.Write([]byte(key.hash))
+	h.Write([]byte{0})
+	h.Write([]byte(key.top))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // CompileCache memoizes Compile results keyed by (CanonicalKey, top module).
 // It is safe for concurrent use and concurrent requests for the same design
 // share a single compilation. A bounded LRU keeps memory in check; failed
@@ -159,7 +172,13 @@ func (c *CompileCache) Get(src *ast.Source, top string) (*Design, error) {
 	if e := c.touch(key); e != nil {
 		return e.resolve()
 	}
-	return c.get(key, func() (*Design, error) { return Compile(src, top) })
+	return c.get(key, func() (*Design, error) {
+		d, err := Compile(src, top)
+		if err == nil {
+			d.canonHash = contentHash(key)
+		}
+		return d, err
+	})
 }
 
 // GetDelta is Get with a delta-compilation base: a cache miss compiles
@@ -173,7 +192,13 @@ func (c *CompileCache) GetDelta(base *Design, src *ast.Source, top string) (*Des
 	if e := c.touch(key); e != nil {
 		return e.resolve()
 	}
-	return c.get(key, func() (*Design, error) { return CompileDelta(base, src, top) })
+	return c.get(key, func() (*Design, error) {
+		d, err := CompileDelta(base, src, top)
+		if err == nil {
+			d.canonHash = contentHash(key)
+		}
+		return d, err
+	})
 }
 
 // touch returns the resident entry for key freshened to the LRU front, or

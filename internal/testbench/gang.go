@@ -159,10 +159,54 @@ func fpPushFront(e *fpEntry) {
 	fpLen++
 }
 
-// fpMemoCap bounds retained traces. A verification-grade FPTrace is a few
-// hundred uint64s, so the memo tops out around a few megabytes; like the
-// bind memo, its strong design keys pin at most one LRU's worth of designs.
-const fpMemoCap = 4096
+// DefaultFPMemoCap is the memory tier's default entry bound. A
+// verification-grade FPTrace is a few hundred uint64s, so the memo tops
+// out around a few megabytes; like the bind memo, its strong design keys
+// pin at most one LRU's worth of designs.
+const DefaultFPMemoCap = 4096
+
+// fpMemoCap bounds retained traces; guarded by fpMu, sized by SetFPMemoCap.
+var fpMemoCap = DefaultFPMemoCap
+
+// SetFPMemoCap sizes the in-process fingerprint memo — tier 1 of the
+// result store — and returns the previous capacity. Values <= 0 restore
+// DefaultFPMemoCap. Shrinking evicts finished entries down to the new cap
+// immediately (in-flight runs stay pinned, exactly like normal eviction).
+func SetFPMemoCap(n int) int {
+	if n <= 0 {
+		n = DefaultFPMemoCap
+	}
+	fpMu.Lock()
+	defer fpMu.Unlock()
+	prev := fpMemoCap
+	fpMemoCap = n
+	fpEvictLocked()
+	return prev
+}
+
+// FPMemoLen reports the memo's current entry count (ops introspection).
+func FPMemoLen() int {
+	fpMu.Lock()
+	defer fpMu.Unlock()
+	return fpLen
+}
+
+// fpEvictLocked drops least-recently-used finished entries until the memo
+// fits its cap. Entries whose run is still in flight are skipped: evicting
+// them would orphan waiters. Callers hold fpMu.
+func fpEvictLocked() {
+	for fpLen > fpMemoCap {
+		oldest := fpBack
+		for oldest != nil && !oldest.done() {
+			oldest = oldest.prev
+		}
+		if oldest == nil {
+			break
+		}
+		fpUnlink(oldest)
+		delete(fpMemo, oldest.key)
+	}
+}
 
 // fpClaim returns the memo entry for (d, st), inserting a fresh unclaimed
 // one on a miss. Eviction skips entries whose run is still in flight.
@@ -180,17 +224,7 @@ func fpClaim(d *sim.Design, st *Stimulus) *fpEntry {
 	e := &fpEntry{key: key}
 	fpMemo[key] = e
 	fpPushFront(e)
-	for fpLen > fpMemoCap {
-		oldest := fpBack
-		for oldest != nil && !oldest.done() {
-			oldest = oldest.prev
-		}
-		if oldest == nil {
-			break
-		}
-		fpUnlink(oldest)
-		delete(fpMemo, oldest.key)
-	}
+	fpEvictLocked()
 	return e
 }
 
@@ -316,6 +350,14 @@ func RunFingerprintGangModeCtx(ctx context.Context, srcs []*ast.Source, top stri
 			waits = append(waits, waiter{i: i, e: e})
 			continue
 		}
+		// The claim is this key's single flight across tiers: consult the
+		// persistent store before the lane joins a gang, so a warm store
+		// keeps the candidate out of the lockstep walk entirely.
+		if tr := storeLookup(ctx, d, st); tr != nil {
+			e.publish(tr)
+			out[i] = tr
+			continue
+		}
 		lanes = append(lanes, gangLane{src: src, d: d, e: e})
 		laneIdx = append(laneIdx, i)
 	}
@@ -325,6 +367,11 @@ func RunFingerprintGangModeCtx(ctx context.Context, srcs []*ast.Source, top stri
 	}
 	for k := range lanes {
 		out[laneIdx[k]] = lanes[k].tr
+		// Lanes whose entry published (clean runs and deterministic
+		// errors; never ErrSimPanic aborts) flow through to the store.
+		if lanes[k].tr != nil && lanes[k].e != nil && lanes[k].e.done() {
+			storePut(ctx, lanes[k].d, st, lanes[k].tr)
+		}
 	}
 	for _, w := range waits {
 		tr, adopted, err := w.e.wait(ctx)
@@ -460,6 +507,7 @@ func runGangLockstep(ctx context.Context, lanes []gangLane, top string, st *Stim
 		}
 		g.AddLane(ln.d, en, b.clock, b.ins, b.outs)
 		gangOf = append(gangOf, li)
+		statSims.Add(1) // one fingerprint simulation per gang lane
 	}
 	if len(gangOf) == 0 {
 		return nil

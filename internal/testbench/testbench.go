@@ -118,6 +118,11 @@ type Stimulus struct {
 	// because cached stimuli are shared across ranking workers).
 	schedOnce sync.Once
 	sched     *Schedule
+
+	// chash caches the stimulus's persistent-store content hash ("" for
+	// irregular stimuli); see (*Stimulus).contentHash in store.go.
+	chashOnce sync.Once
+	chash     string
 }
 
 // NumCases returns the number of test cases.
@@ -989,6 +994,14 @@ func runFingerprintOwned(ctx context.Context, e *fpEntry, src *ast.Source, top s
 			e.abort()
 		}
 	}()
+	// The claim is held, so this is the key's single flight across every
+	// tier: probe the persistent store first and publish a hit without
+	// simulating at all.
+	if tr := storeLookup(ctx, e.key.d, st); tr != nil {
+		e.publish(tr)
+		published = true
+		return tr, nil
+	}
 	tr, err := runFingerprintSoloCtx(ctx, src, top, st, backend)
 	if err != nil {
 		return nil, err
@@ -996,6 +1009,7 @@ func runFingerprintOwned(ctx context.Context, e *fpEntry, src *ast.Source, top s
 	if tr.Err == nil || !errors.Is(tr.Err, ErrSimPanic) {
 		e.publish(tr)
 		published = true
+		storePut(ctx, e.key.d, st, tr)
 	}
 	return tr, nil
 }
@@ -1014,6 +1028,7 @@ func runFingerprintSolo(src *ast.Source, top string, st *Stimulus, backend Backe
 // into the trace as an ErrSimPanic error, so one crashing candidate stays a
 // per-candidate result instead of taking down its worker.
 func runFingerprintSoloCtx(ctx context.Context, src *ast.Source, top string, st *Stimulus, backend Backend) (tr *FPTrace, err error) {
+	statSims.Add(1)
 	tr = &FPTrace{Ifc: st.Ifc, CaseFPs: make([]uint64, 0, len(st.Cases))}
 	defer func() {
 		if r := recover(); r != nil {

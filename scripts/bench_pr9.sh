@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Pinned PR 9 persistent-store benchmark protocol (BENCH_PR9.json).
+#
+# Measures the warm-restart rank: a fresh process pointed at a disk store
+# populated by a PREVIOUS process ranks the Table I pool with zero
+# simulations. Invariants this script exists to pin:
+#   - The store directory is populated once, by its own fresh process, before
+#     any measurement. Population is not timed.
+#   - Each measurement runs SOLO in a fresh `go test` process. In-process
+#     repeats are memo-warm by design; only a fresh process proves the
+#     restart story (empty memo, every fingerprint off disk on first touch).
+#   - Warm rows run with VFOCUS_BENCH_EXPECT_WARM=1, so the benchmark itself
+#     FAILS if even one fingerprint simulated — the speedup can never come
+#     from accidentally-cold measurements.
+#   - Rounds interleave /cold and /disk-warm and the headline speedup is the
+#     median of PER-ROUND ratios: adjacent runs see similar machine load, so
+#     load drift cancels out of the ratio.
+#   - Fixed -benchtime (iteration count, not wall time) so every run does
+#     identical work; median of 3 rounds.
+#
+# Usage: scripts/bench_pr9.sh [output.json]
+# Writes the machine-readable result row set to output.json (default
+# /tmp/bench_pr9_raw.json) and echoes progress to stderr. Exits non-zero if
+# the disk-warm speedup over /cold lands under the 5x acceptance gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME=${BENCHTIME:-1000x}
+ROUNDS=${ROUNDS:-3}
+MIN_SPEEDUP=${MIN_SPEEDUP:-5.0}
+OUT=${1:-/tmp/bench_pr9_raw.json}
+
+STOREDIR=$(mktemp -d /tmp/vfocus-bench-store.XXXXXX)
+trap 'rm -rf "$STOREDIR"' EXIT
+
+run_once() { # $1 row name, $2.. extra env -> "ns bytes allocs"
+    local name=$1
+    shift
+    local line
+    line=$(env "$@" go test ./internal/core/ -run '^$' -bench "^BenchmarkRankStage/${name}\$" \
+        -benchtime "$BENCHTIME" -benchmem 2>/dev/null |
+        awk -v want="BenchmarkRankStage/${name}" \
+            '$1 == want || index($1, want "-") == 1 {print $3, $5, $7}')
+    [ -n "$line" ] || { echo "no output for row ${name}" >&2; exit 1; }
+    echo "$line"
+}
+
+median() { sort -n | awk '{a[NR]=$1} END{print a[int((NR+1)/2)]}'; }
+
+echo "populating disk store at ${STOREDIR} (fresh process, untimed)..." >&2
+read -r pns pby pal <<<"$(run_once disk-warm VFOCUS_BENCH_STORE_DIR="$STOREDIR")"
+echo "  populate pass: ${pns} ns/op (includes simulation + store writes)" >&2
+
+rows=(cold disk-warm)
+declare -A NSRUNS BYRUNS ALRUNS
+ratios=""
+for ((r = 1; r <= ROUNDS; r++)); do
+    echo "round ${r}/${ROUNDS} (benchtime ${BENCHTIME}, one fresh process per row)..." >&2
+    declare -A round_ns
+    for row in "${rows[@]}"; do
+        if [ "$row" = disk-warm ]; then
+            read -r ns by al <<<"$(run_once disk-warm \
+                VFOCUS_BENCH_STORE_DIR="$STOREDIR" VFOCUS_BENCH_EXPECT_WARM=1)"
+        else
+            read -r ns by al <<<"$(run_once "$row")"
+        fi
+        echo "  ${row}: ${ns} ns/op, ${by} B/op, ${al} allocs/op" >&2
+        NSRUNS[$row]+="${ns} "
+        BYRUNS[$row]+="${by} "
+        ALRUNS[$row]+="${al} "
+        round_ns[$row]=$ns
+    done
+    ratio=$(awk -v c="${round_ns[cold]}" -v w="${round_ns[disk-warm]}" 'BEGIN{printf "%.3f", c/w}')
+    echo "  round ${r} warm-restart speedup (cold/disk-warm): ${ratio}x" >&2
+    ratios+="${ratio} "
+done
+
+declare -A NS BY AL
+for row in "${rows[@]}"; do
+    NS[$row]=$(printf '%s\n' ${NSRUNS[$row]} | median)
+    BY[$row]=$(printf '%s\n' ${BYRUNS[$row]} | median)
+    AL[$row]=$(printf '%s\n' ${ALRUNS[$row]} | median)
+done
+speedup=$(printf '%s\n' $ratios | median)
+
+{
+    echo '{'
+    echo "  \"benchtime\": \"${BENCHTIME}\", \"rounds\": ${ROUNDS},"
+    for row in "${rows[@]}"; do
+        key=${row//-/_}
+        echo "  \"${key}\": {\"ns_per_op\": ${NS[$row]}, \"bytes_per_op\": ${BY[$row]}, \"allocs_per_op\": ${AL[$row]}},"
+    done
+    echo "  \"per_round_warm_speedups\": [$(printf '%s\n' $ratios | paste -sd, -)],"
+    echo "  \"disk_warm_speedup_vs_cold\": ${speedup}"
+    echo '}'
+} >"$OUT"
+echo "wrote ${OUT} (disk-warm speedup over cold: median of per-round ratios = ${speedup}x)" >&2
+
+awk -v s="$speedup" -v min="$MIN_SPEEDUP" 'BEGIN{exit !(s >= min)}' || {
+    echo "FAIL: disk-warm speedup ${speedup}x is under the ${MIN_SPEEDUP}x gate" >&2
+    exit 1
+}

@@ -76,4 +76,59 @@ if ! wait "$PID"; then
 fi
 trap 'cat "$LOG"' EXIT
 grep -q "drained cleanly" "$LOG" || { echo "FAIL: no clean-drain log line"; exit 1; }
+
+# --- warm restart via the persistent result store -------------------------
+# Run the same job in two daemon processes sharing one -store-dir. The first
+# simulates and publishes fingerprints; the second must complete the job with
+# ZERO simulations — every fingerprint comes off disk — which /statsz makes
+# externally observable.
+STOREDIR="$(mktemp -d)"
+trap 'kill -9 $PID 2>/dev/null || true; rm -rf "$STOREDIR"; cat "$LOG"' EXIT
+
+start_store_daemon() {
+    "$BIN" -addr "127.0.0.1:${PORT}" -workers 1 -store disk -store-dir "$STOREDIR" >"$LOG" 2>&1 &
+    PID=$!
+    for _ in $(seq 1 100); do
+        curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+        sleep 0.1
+    done
+    curl -fsS "$BASE/healthz" >/dev/null
+}
+
+run_store_job() { # $1 job id -> streams the fixed job to completion
+    curl -fsS -X POST "$BASE/jobs" -d "{
+      \"id\": \"$1\",
+      \"task_id\": \"cmb_gate_00_and2\",
+      \"seed\": 7,
+      \"candidates\": [\"$(cand 'a & b')\", \"$(cand 'a | b')\", \"$(cand 'a | b')\", \"$(cand 'a ^ b')\"]
+    }" >/dev/null
+    STREAM=$(curl -fsS --max-time 60 "$BASE/jobs/$1/stream")
+    tail -n1 <<<"$STREAM" | grep -q '"status":"completed"' || { echo "FAIL: $1 did not complete"; exit 1; }
+}
+
+statsz() { # $1 field name -> value
+    curl -fsS "$BASE/statsz" | sed -E "s/.*\"$1\":([0-9]+).*/\1/"
+}
+
+start_store_daemon
+run_store_job smoke-store-cold
+COLD_SIMS=$(statsz fp_sims)
+COLD_PUTS=$(statsz store_puts)
+echo "cold daemon: fp_sims=$COLD_SIMS store_puts=$COLD_PUTS"
+[ "$COLD_SIMS" -gt 0 ] || { echo "FAIL: cold daemon simulated nothing"; exit 1; }
+[ "$COLD_PUTS" -gt 0 ] || { echo "FAIL: cold daemon published nothing to the store"; exit 1; }
+kill -TERM "$PID"
+wait "$PID" || { echo "FAIL: store daemon exited non-zero on SIGTERM"; exit 1; }
+
+start_store_daemon
+run_store_job smoke-store-warm
+WARM_SIMS=$(statsz fp_sims)
+WARM_HITS=$(statsz store_hits)
+echo "warm-restarted daemon: fp_sims=$WARM_SIMS store_hits=$WARM_HITS"
+[ "$WARM_SIMS" -eq 0 ] || { echo "FAIL: warm-restarted daemon simulated ($WARM_SIMS sims)"; exit 1; }
+[ "$WARM_HITS" -gt 0 ] || { echo "FAIL: warm-restarted daemon reported no store hits"; exit 1; }
+kill -TERM "$PID"
+wait "$PID" || { echo "FAIL: store daemon exited non-zero on SIGTERM"; exit 1; }
+
+trap 'rm -rf "$STOREDIR"; cat "$LOG"' EXIT
 echo "PASS: vfocusd smoke"
