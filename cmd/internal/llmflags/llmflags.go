@@ -1,0 +1,64 @@
+// Package llmflags registers the LLM-backend flag block shared by the
+// vfocus, vfocus-experiments and vfocusd binaries and turns it into an
+// httpclient factory. Keeping the mapping in one place guarantees the three
+// commands expose identical -llm semantics.
+package llmflags
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/llm/httpclient"
+)
+
+// Flags holds the parsed LLM-backend flag values.
+type Flags struct {
+	Mode     string
+	URL      string
+	Fixtures string
+	RPS      float64
+	Retries  int
+}
+
+// Register installs the -llm* flags on fs and returns the value holder.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Mode, "llm", "off", "LLM backend mode: off (simulated, hermetic), record (live HTTP, fixtures written), replay (fixtures only, zero egress)")
+	fs.StringVar(&f.URL, "llm-url", "", "OpenAI-style completions endpoint base URL; with -llm off selects live HTTP, with -llm record empty runs the embedded reference server")
+	fs.StringVar(&f.Fixtures, "llm-fixtures", "", "fixture directory for -llm record/replay")
+	fs.Float64Var(&f.RPS, "llm-rps", 0, "client-side sustained request rate limit in requests/sec (0 = unlimited)")
+	fs.IntVar(&f.Retries, "llm-retries", 4, "retry budget per LLM request: the pipeline's transient-retry bound and the HTTP backend's wire retry budget (keep 4 to reproduce published request streams)")
+	return f
+}
+
+// Factory validates the flag block and builds the client factory. The
+// returned stats hook is nil for the hermetic simulated backend; close must
+// run at exit (it releases the shared transport and any embedded server).
+func (f *Flags) Factory() (factory httpclient.ClientFactory, stats func() httpclient.Stats, close func() error, err error) {
+	switch f.Mode {
+	case httpclient.ModeOff, httpclient.ModeRecord, httpclient.ModeReplay:
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown -llm mode %q (want off|record|replay)", f.Mode)
+	}
+	if f.Mode != httpclient.ModeOff && f.Fixtures == "" {
+		return nil, nil, nil, fmt.Errorf("-llm %s requires -llm-fixtures", f.Mode)
+	}
+	return httpclient.Factory(httpclient.Options{
+		URL:        f.URL,
+		Mode:       f.Mode,
+		FixtureDir: f.Fixtures,
+		RPS:        f.RPS,
+		Retries:    f.Retries,
+	})
+}
+
+// Desc names the effective backend for logs and /statsz.
+func (f *Flags) Desc() string {
+	if f.Mode == httpclient.ModeOff && f.URL == "" {
+		return "sim"
+	}
+	if f.URL == "" {
+		return f.Mode
+	}
+	return f.Mode + " " + f.URL
+}

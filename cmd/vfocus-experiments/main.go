@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/cmd/internal/llmflags"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/exp"
@@ -55,6 +56,7 @@ func run(args []string) error {
 		storeCap  = fs.Int("store-cap", 0, "entry cap of the mem store tier (0 = default 4096)")
 		memoCap   = fs.Int("memo-cap", 0, "in-process fingerprint memo capacity (0 = default 4096)")
 	)
+	llmf := llmflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +69,18 @@ func run(args []string) error {
 		testbench.SetStore(store)
 		defer store.Close()
 		fmt.Fprintf(os.Stderr, "result store: %s\n", storeDesc)
+	}
+
+	newClient, llmStats, llmClose, err := llmf.Factory()
+	if err != nil {
+		return err
+	}
+	defer llmClose()
+	if llmStats != nil {
+		fmt.Fprintf(os.Stderr, "llm backend: %s\n", llmf.Desc())
+		defer func() {
+			fmt.Fprintf(os.Stderr, "llm stats: %+v\n", llmStats())
+		}()
 	}
 
 	if *cpuProf != "" {
@@ -130,6 +144,8 @@ func run(args []string) error {
 			LegacyTraces: *legacy,
 			PerLaneGang:  !*soa,
 			FPMemoCap:    *memoCap,
+			NewClient:    newClient,
+			LLMRetries:   llmf.Retries,
 		}
 		start := time.Now()
 		res, err := exp.RunTable1(ctx, cfg)
@@ -152,6 +168,7 @@ func run(args []string) error {
 			LegacyTraces: *legacy,
 			PerLaneGang:  !*soa,
 			FPMemoCap:    *memoCap,
+			NewClient:    newClient,
 		}
 		start := time.Now()
 		res, err := exp.RunFig3(ctx, cfg)
@@ -178,6 +195,8 @@ func run(args []string) error {
 			LegacyTraces: *legacy,
 			PerLaneGang:  !*soa,
 			FPMemoCap:    *memoCap,
+			NewClient:    newClient,
+			LLMRetries:   llmf.Retries,
 		}
 		start := time.Now()
 		res, err := exp.RunFig4(ctx, cfg)

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/cmd/internal/llmflags"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/exp"
@@ -63,6 +64,7 @@ func run(args []string) error {
 		storeCap   = fs.Int("store-cap", 0, "entry cap of the mem store tier (0 = default 4096)")
 		memoCap    = fs.Int("memo-cap", 0, "in-process fingerprint memo capacity (0 = default 4096)")
 	)
+	llmf := llmflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,7 +120,18 @@ func run(args []string) error {
 		}
 	}
 
-	client, err := llm.NewSimClient(profile, *seed, selected)
+	newClient, llmStats, llmClose, err := llmf.Factory()
+	if err != nil {
+		return err
+	}
+	defer llmClose()
+	if llmStats != nil {
+		fmt.Fprintf(os.Stderr, "llm backend: %s\n", llmf.Desc())
+		defer func() {
+			fmt.Fprintf(os.Stderr, "llm stats: %+v\n", llmStats())
+		}()
+	}
+	client, err := newClient(profile.Name, *seed, selected)
 	if err != nil {
 		return err
 	}
@@ -129,6 +142,7 @@ func run(args []string) error {
 	cfg.TBSeed = *seed
 	cfg.SelectSeed = *seed
 	cfg.RetryBaseDelay = 0
+	cfg.LLMRetries = llmf.Retries
 	cfg.PerLaneGang = !*soa
 	oracle.PerLaneGang = !*soa
 	pipe := core.New(client, cfg)

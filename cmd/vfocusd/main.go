@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/cmd/internal/llmflags"
 	"repro/internal/resultstore"
 	"repro/internal/serve"
 	"repro/internal/serve/faultinject"
@@ -52,6 +53,7 @@ func run(args []string) error {
 		storeCap    = fs.Int("store-cap", 0, "entry cap of the mem store tier (0 = default 4096)")
 		memoCap     = fs.Int("memo-cap", 0, "in-process fingerprint memo capacity (0 = default 4096)")
 	)
+	llmf := llmflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,14 +85,29 @@ func run(args []string) error {
 		})
 	}
 
-	srv := serve.New(serve.Config{
+	newClient, llmStats, llmClose, err := llmf.Factory()
+	if err != nil {
+		return err
+	}
+	defer llmClose()
+	if llmStats != nil {
+		log.Printf("llm backend: %s", llmf.Desc())
+	}
+
+	scfg := serve.Config{
 		Workers:     *workers,
 		QueueCap:    *queueCap,
 		JobTimeout:  *jobTimeout,
 		RankWorkers: *rankWorkers,
 		Model:       *model,
 		StoreDesc:   storeDesc,
-	})
+		NewClient:   newClient,
+		LLMDesc:     llmf.Desc(),
+	}
+	if llmStats != nil {
+		scfg.LLMStats = func() map[string]int64 { return llmStats().Map() }
+	}
+	srv := serve.New(scfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)

@@ -144,6 +144,12 @@ type Config struct {
 	// process-wide capacity (default 4096). The memo is process-wide state
 	// shared by every pipeline, so New applies a non-zero value globally.
 	FPMemoCap int
+	// LLMRetries bounds the pipeline-level transient-retry loops around
+	// Generate/Refine/JudgeOutput. Zero selects the default (4). The value
+	// also strides the Attempt field of generate requests, so changing it
+	// changes the deterministic request stream — keep the default for
+	// reproducing published numbers.
+	LLMRetries int
 }
 
 // DefaultWorkers is the worker-pool size used when a config leaves Workers
@@ -285,6 +291,9 @@ func New(client llm.Client, cfg Config) *Pipeline {
 	if cfg.EarlyExitFrac <= 0 {
 		cfg.EarlyExitFrac = 0.90
 	}
+	if cfg.LLMRetries <= 0 {
+		cfg.LLMRetries = 4
+	}
 	if cfg.FPMemoCap > 0 {
 		testbench.SetFPMemoCap(cfg.FPMemoCap)
 	}
@@ -394,7 +403,7 @@ func (p *Pipeline) generateOne(ctx context.Context, task eval.Task, sampleIdx in
 // generateWithTransientRetry retries ErrTransient failures with linear
 // backoff, mirroring production API clients.
 func (p *Pipeline) generateWithTransientRetry(ctx context.Context, task eval.Task, sampleIdx, attempt int) (llm.Response, error) {
-	const transientRetries = 4
+	transientRetries := p.cfg.LLMRetries
 	var lastErr error
 	for t := 0; t < transientRetries; t++ {
 		resp, err := p.client.Generate(ctx, llm.GenerateRequest{

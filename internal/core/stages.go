@@ -546,7 +546,7 @@ func (p *Pipeline) pickFinal(res *Result) {
 
 // refineWithTransientRetry mirrors generateWithTransientRetry for Refine.
 func (p *Pipeline) refineWithTransientRetry(ctx context.Context, req llm.RefineRequest) (llm.Response, error) {
-	const transientRetries = 4
+	transientRetries := p.cfg.LLMRetries
 	var lastErr error
 	for t := 0; t < transientRetries; t++ {
 		resp, err := p.client.Refine(ctx, req)
@@ -565,7 +565,7 @@ func (p *Pipeline) refineWithTransientRetry(ctx context.Context, req llm.RefineR
 
 // judgeWithTransientRetry mirrors generateWithTransientRetry for JudgeOutput.
 func (p *Pipeline) judgeWithTransientRetry(ctx context.Context, req llm.JudgeRequest) (llm.JudgeResponse, error) {
-	const transientRetries = 4
+	transientRetries := p.cfg.LLMRetries
 	var lastErr error
 	for t := 0; t < transientRetries; t++ {
 		resp, err := p.client.JudgeOutput(ctx, req)

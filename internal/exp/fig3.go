@@ -44,6 +44,9 @@ type Fig3Config struct {
 	// FPMemoCap sizes the process-wide fingerprint memo (the result
 	// store's memory tier); zero keeps the current capacity.
 	FPMemoCap int
+	// NewClient, when non-nil, replaces llm.NewSimClient as the source of
+	// per-task clients (HTTP backend or fixture replay).
+	NewClient ClientFactory
 }
 
 // Fig3Series is one model's panel.
@@ -169,7 +172,7 @@ func runFig3Model(ctx context.Context, cfg Fig3Config, oracle *Oracle, model str
 // fig3Task samples one task, verifies every sample, and normalizes lengths.
 func fig3Task(ctx context.Context, cfg Fig3Config, oracle *Oracle, profile llm.Profile, task eval.Task) taskFig3 {
 	var out taskFig3
-	client, err := llm.NewSimClient(profile, cfg.Seed, []eval.Task{task})
+	client, err := mintClient(cfg.NewClient, profile, cfg.Seed, []eval.Task{task})
 	if err != nil {
 		out.err = err
 		return out

@@ -40,6 +40,12 @@ type Fig4Config struct {
 	// FPMemoCap sizes the process-wide fingerprint memo (the result
 	// store's memory tier); zero keeps the current capacity.
 	FPMemoCap int
+	// NewClient, when non-nil, replaces llm.NewSimClient as the source of
+	// per-(task, run) clients (HTTP backend or fixture replay).
+	NewClient ClientFactory
+	// LLMRetries overrides the pipeline transient-retry bound (zero keeps
+	// the default, 4); see core.Config.LLMRetries.
+	LLMRetries int
 }
 
 // Fig4Point is one (model, n) measurement: mean ± std over runs for the
@@ -167,7 +173,7 @@ func runFig4Model(ctx context.Context, cfg Fig4Config, oracle *Oracle, model str
 func fig4Task(ctx context.Context, cfg Fig4Config, oracle *Oracle, profile llm.Profile, task eval.Task, run, n int) fig4Cell {
 	var cell fig4Cell
 	clientSeed := cfg.Seed + int64(run)*1009
-	client, err := llm.NewSimClient(profile, clientSeed, []eval.Task{task})
+	client, err := mintClient(cfg.NewClient, profile, clientSeed, []eval.Task{task})
 	if err != nil {
 		cell.err = err
 		return cell
@@ -182,6 +188,7 @@ func fig4Task(ctx context.Context, cfg Fig4Config, oracle *Oracle, profile llm.P
 		pcfg.LegacyTraces = cfg.LegacyTraces
 		pcfg.PerLaneGang = cfg.PerLaneGang
 		pcfg.FPMemoCap = cfg.FPMemoCap
+		pcfg.LLMRetries = cfg.LLMRetries
 		return core.New(client, pcfg).Run(ctx, task)
 	}
 

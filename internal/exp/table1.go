@@ -42,6 +42,14 @@ type Table1Config struct {
 	// FPMemoCap sizes the process-wide fingerprint memo (the result
 	// store's memory tier); zero keeps the current capacity.
 	FPMemoCap int
+	// NewClient, when non-nil, replaces llm.NewSimClient as the source of
+	// per-(task, run) clients — the hook that points an experiment at a
+	// real HTTP backend (httpclient.Factory) or replayed fixtures.
+	NewClient ClientFactory
+	// LLMRetries overrides the pipeline transient-retry bound (zero keeps
+	// the default, 4). Changing it changes the deterministic request
+	// stream; see core.Config.LLMRetries.
+	LLMRetries int
 }
 
 // Table1Row is one (model, dataset) row of Table I.
@@ -171,7 +179,7 @@ func runModelOutcomes(ctx context.Context, cfg Table1Config, oracle *Oracle, mod
 func evalTaskRun(ctx context.Context, cfg Table1Config, oracle *Oracle, profile llm.Profile, task eval.Task, run int) (taskRunOutcome, error) {
 	out := taskRunOutcome{taskID: task.ID, category: task.Category, n: cfg.Samples}
 	clientSeed := cfg.Seed + int64(run)*1009
-	client, err := llm.NewSimClient(profile, clientSeed, []eval.Task{task})
+	client, err := mintClient(cfg.NewClient, profile, clientSeed, []eval.Task{task})
 	if err != nil {
 		return out, err
 	}
@@ -186,6 +194,7 @@ func evalTaskRun(ctx context.Context, cfg Table1Config, oracle *Oracle, profile 
 		pcfg.LegacyTraces = cfg.LegacyTraces
 		pcfg.PerLaneGang = cfg.PerLaneGang
 		pcfg.FPMemoCap = cfg.FPMemoCap
+		pcfg.LLMRetries = cfg.LLMRetries
 		pipe := core.New(client, pcfg)
 		return pipe.Run(ctx, task)
 	}

@@ -1,0 +1,29 @@
+package llm_test
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/llm/contracts"
+)
+
+// TestSimClientContract holds the deterministic simulated backend to the
+// shared llm.Client contract. SimClient has no wire, breaker, or limiter,
+// so those drills skip; determinism, cancellation, error identity, and the
+// stampede result-consistency checks all apply.
+func TestSimClientContract(t *testing.T) {
+	contracts.Run(t, contracts.Harness{
+		NewClient: func(t *testing.T, seed int64) llm.Client {
+			profile, err := llm.ProfileByName("deepseek-r1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := llm.NewSimClient(profile, seed, eval.Suite()[:1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
+	})
+}

@@ -1,0 +1,264 @@
+// Package contracts holds the behavioral contract every llm.Client
+// implementation must satisfy, in the frameless contracts style of
+// resultstore/contracts: a test helper each adapter's test file invokes
+// with a harness. One suite, both clients — the deterministic SimClient
+// and the resilient HTTP adapter (live and over replay fixtures) — so a
+// pipeline cannot observe which backend it is ranking completions from.
+package contracts
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/sim"
+	"repro/internal/testbench"
+)
+
+// Harness adapts one client implementation to the suite. NewClient is
+// required; the remaining hooks gate backend-specific drills — a nil hook
+// skips its subtest (SimClient has no wire, no breaker, no pacing).
+type Harness struct {
+	// NewClient returns a client bound to the given seed. Two clients
+	// built with the same seed must be behaviorally identical.
+	NewClient func(t *testing.T, seed int64) llm.Client
+
+	// WireCount, when set, reports the cumulative wire requests issued by
+	// every client this harness built — the stampede drill pins M
+	// concurrent identical Generates to exactly one.
+	WireCount func() int64
+
+	// FailingClient, when set, returns a client whose every wire attempt
+	// fails transiently, plus the number of *logical calls* after which
+	// the circuit must be open (threshold and retry budget folded in by
+	// the harness).
+	FailingClient func(t *testing.T) (c llm.Client, callsToTrip int)
+
+	// PacedClient, when set, returns a client rate-limited to rps with a
+	// burst of one, for the pacing drill.
+	PacedClient func(t *testing.T, rps float64) llm.Client
+}
+
+// task returns the benchmark task the suite drives requests against.
+func task() eval.Task { return eval.Suite()[0] }
+
+// genReq builds a deterministic Generate request.
+func genReq(tk eval.Task, sample int) llm.GenerateRequest {
+	return llm.GenerateRequest{
+		TaskID:      tk.ID,
+		Spec:        tk.Spec,
+		Guidelines:  "contract-suite guidelines",
+		SampleIndex: sample,
+	}
+}
+
+// judgeCase builds a small all-zero-input case over the task's interface.
+func judgeCase(tk eval.Task) testbench.Case {
+	var c testbench.Case
+	for s := 0; s < 2; s++ {
+		ins := make(map[string]sim.Value, len(tk.Ifc.Inputs))
+		for _, p := range tk.Ifc.Inputs {
+			ins[p.Name] = sim.NewKnown(p.Width, uint64(s))
+		}
+		c.Steps = append(c.Steps, testbench.Step{Inputs: ins})
+	}
+	return c
+}
+
+// Run drives the full contract against the harness.
+func Run(t *testing.T, h Harness) {
+	t.Helper()
+	ctx := context.Background()
+	tk := task()
+
+	// Determinism: two independently built clients answer an identical
+	// request stream identically — responses, reasoning, token counts,
+	// judge traces, and errors all match.
+	t.Run("Determinism", func(t *testing.T) {
+		a := h.NewClient(t, 1)
+		b := h.NewClient(t, 1)
+		for sample := 0; sample < 4; sample++ {
+			ra, errA := a.Generate(ctx, genReq(tk, sample))
+			rb, errB := b.Generate(ctx, genReq(tk, sample))
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("sample %d: error divergence: %v vs %v", sample, errA, errB)
+			}
+			if errA != nil {
+				if !errors.Is(errA, llm.ErrTransient) {
+					t.Fatalf("sample %d: unexpected permanent error %v", sample, errA)
+				}
+				continue
+			}
+			if ra != rb {
+				t.Fatalf("sample %d: response divergence:\n%+v\nvs\n%+v", sample, ra, rb)
+			}
+			if ra.Code == "" {
+				t.Fatalf("sample %d: empty completion", sample)
+			}
+		}
+		// Judge determinism over a concrete case.
+		jreq := llm.JudgeRequest{TaskID: tk.ID, Spec: tk.Spec, Case: judgeCase(tk), SampleIndex: 0}
+		ja, errA := a.JudgeOutput(ctx, jreq)
+		jb, errB := b.JudgeOutput(ctx, jreq)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("judge error divergence: %v vs %v", errA, errB)
+		}
+		if errA == nil {
+			if ja.Predicted == nil || jb.Predicted == nil {
+				t.Fatal("judge returned nil trace")
+			}
+			if ja.Predicted.Fingerprint() != jb.Predicted.Fingerprint() {
+				t.Fatal("judge trace divergence")
+			}
+		}
+	})
+
+	// Repeatability: the same client asked twice gives the same answer.
+	t.Run("Repeatable", func(t *testing.T) {
+		c := h.NewClient(t, 2)
+		r1, err1 := c.Generate(ctx, genReq(tk, 0))
+		r2, err2 := c.Generate(ctx, genReq(tk, 0))
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error divergence: %v vs %v", err1, err2)
+		}
+		if err1 == nil && r1 != r2 {
+			t.Fatalf("repeat divergence:\n%+v\nvs\n%+v", r1, r2)
+		}
+	})
+
+	// Cancellation propagation: a cancelled caller context surfaces as the
+	// context's own error — never reclassified as a transient the pipeline
+	// would retry.
+	t.Run("Cancellation", func(t *testing.T) {
+		c := h.NewClient(t, 3)
+		cctx, cancel := context.WithCancel(ctx)
+		cancel()
+		_, err := c.Generate(cctx, genReq(tk, 0))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled Generate = %v, want context.Canceled", err)
+		}
+		if errors.Is(err, llm.ErrTransient) {
+			t.Fatalf("cancellation misclassified as transient: %v", err)
+		}
+		_, err = c.Refine(cctx, llm.RefineRequest{TaskID: tk.ID, Spec: tk.Spec, CandidateA: "a", CandidateB: "b"})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled Refine = %v, want context.Canceled", err)
+		}
+		_, err = c.JudgeOutput(cctx, llm.JudgeRequest{TaskID: tk.ID, Spec: tk.Spec, Case: judgeCase(tk)})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled JudgeOutput = %v, want context.Canceled", err)
+		}
+	})
+
+	// Error identity: unknown tasks answer llm.ErrUnknownTask through any
+	// backend, and the error is permanent (not transient).
+	t.Run("ErrorIdentity", func(t *testing.T) {
+		c := h.NewClient(t, 4)
+		_, err := c.Generate(ctx, llm.GenerateRequest{TaskID: "no_such_task", Spec: "?"})
+		if !errors.Is(err, llm.ErrUnknownTask) {
+			t.Fatalf("unknown task = %v, want ErrUnknownTask", err)
+		}
+		if errors.Is(err, llm.ErrTransient) {
+			t.Fatalf("unknown task classified transient: %v", err)
+		}
+	})
+
+	// Stampede: M concurrent identical Generates all succeed with the
+	// identical completion, and — when the backend exposes a wire counter
+	// — cost exactly one wire request.
+	t.Run("Stampede", func(t *testing.T) {
+		c := h.NewClient(t, 5)
+		var before int64
+		if h.WireCount != nil {
+			before = h.WireCount()
+		}
+		const callers = 16
+		req := genReq(tk, 1)
+		var wg sync.WaitGroup
+		results := make([]llm.Response, callers)
+		errs := make([]error, callers)
+		for g := 0; g < callers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				results[g], errs[g] = c.Generate(ctx, req)
+			}(g)
+		}
+		wg.Wait()
+		for g := 0; g < callers; g++ {
+			if errs[g] != nil {
+				t.Fatalf("caller %d: %v", g, errs[g])
+			}
+			if results[g] != results[0] {
+				t.Fatalf("caller %d diverged from caller 0", g)
+			}
+		}
+		if h.WireCount != nil {
+			if got := h.WireCount() - before; got != 1 {
+				t.Fatalf("stampede issued %d wire requests, want exactly 1", got)
+			}
+		}
+	})
+
+	// Breaker: after enough consecutive wire failures the circuit opens
+	// and callers fast-fail — still transient (the pipeline may retry
+	// later), but with zero wire traffic while open.
+	t.Run("BreakerFastFail", func(t *testing.T) {
+		if h.FailingClient == nil {
+			t.Skip("backend has no circuit breaker")
+		}
+		c, calls := h.FailingClient(t)
+		for i := 0; i < calls; i++ {
+			// Distinct samples: each logical call is a fresh request, so
+			// coalescing and caching cannot absorb the failures.
+			if _, err := c.Generate(ctx, genReq(tk, i)); err == nil {
+				t.Fatalf("call %d unexpectedly succeeded", i)
+			}
+		}
+		var before int64
+		if h.WireCount != nil {
+			before = h.WireCount()
+		}
+		_, err := c.Generate(ctx, genReq(tk, calls))
+		if !errors.Is(err, llm.ErrTransient) {
+			t.Fatalf("breaker-open error = %v, want transient", err)
+		}
+		if !strings.Contains(err.Error(), "breaker") {
+			t.Fatalf("breaker-open error %v does not identify the breaker", err)
+		}
+		if h.WireCount != nil {
+			if got := h.WireCount() - before; got != 0 {
+				t.Fatalf("open breaker let %d wire requests through, want 0", got)
+			}
+		}
+	})
+
+	// Pacing: a client limited to rps with burst 1 cannot finish N
+	// distinct requests faster than the bucket refills.
+	t.Run("RateLimitPacing", func(t *testing.T) {
+		if h.PacedClient == nil {
+			t.Skip("backend has no rate limiter")
+		}
+		const rps = 50.0
+		const n = 5
+		c := h.PacedClient(t, rps)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := c.Generate(ctx, genReq(tk, i)); err != nil && !errors.Is(err, llm.ErrTransient) {
+				t.Fatalf("paced call %d: %v", i, err)
+			}
+		}
+		elapsed := time.Since(start)
+		// Burst 1 admits the first immediately; the remaining n-1 wait a
+		// token each. Allow generous scheduling slack below the ideal.
+		min := time.Duration(float64(n-1) / rps * float64(time.Second) / 2)
+		if elapsed < min {
+			t.Fatalf("paced %d calls finished in %v, want >= %v", n, elapsed, min)
+		}
+	})
+}

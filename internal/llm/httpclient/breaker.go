@@ -1,0 +1,115 @@
+package httpclient
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a consecutive-failure circuit breaker. Closed it admits
+// everything; after threshold consecutive wire failures it opens and
+// fast-fails every caller for cooldown; then it half-opens and admits
+// exactly one probe — the probe's outcome closes the breaker or re-opens
+// it for another cooldown. Successes anywhere reset the failure count.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	failures int
+	openedAt time.Time
+	state    breakerState
+	probing  bool // a half-open probe is in flight
+
+	trips int64 // cumulative, read via stats
+
+	now func() time.Time // test hook
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a wire attempt may proceed. In half-open state
+// only the first caller gets through (as the probe); the rest fast-fail
+// until the probe reports.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// report records the outcome of an admitted wire attempt.
+func (b *breaker) report(ok bool) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.failures = 0
+		b.state = breakerClosed
+		b.probing = false
+		return
+	}
+	if b.state == breakerHalfOpen {
+		// Failed probe: back to open for a full cooldown.
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.trips++
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold && b.state == breakerClosed {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.trips++
+	}
+}
+
+// abort releases an admission whose attempt never reached the wire (e.g.
+// the caller cancelled while waiting for a rate token): no outcome is
+// recorded, and a half-open probe slot is handed back.
+func (b *breaker) abort() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+}
+
+func (b *breaker) tripCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

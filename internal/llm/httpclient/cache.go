@@ -1,0 +1,92 @@
+package httpclient
+
+import "sync"
+
+// respCache is a prompt-hash → response LRU using the intrusive-link idiom
+// from internal/testbench: entries carry their own prev/next pointers, so
+// hits relink in O(1) with zero allocation. Only terminal successful
+// responses are cached — transients and permanent errors always re-enter
+// the resilience stack. Single-flight runs in front of the cache, so there
+// is no in-flight state to pin here.
+type respCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	head    *cacheEntry // most recent
+	tail    *cacheEntry // least recent
+}
+
+type cacheEntry struct {
+	hash       string
+	resp       *wireResponse
+	prev, next *cacheEntry
+}
+
+func newRespCache(capacity int) *respCache {
+	if capacity <= 0 {
+		return &respCache{}
+	}
+	return &respCache{cap: capacity, entries: make(map[string]*cacheEntry, capacity)}
+}
+
+func (c *respCache) get(hash string) *wireResponse {
+	if c.cap <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[hash]
+	if e == nil {
+		return nil
+	}
+	c.unlink(e)
+	c.pushFront(e)
+	return e.resp
+}
+
+func (c *respCache) put(hash string, resp *wireResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.entries[hash]; e != nil {
+		e.resp = resp
+		c.unlink(e)
+		c.pushFront(e)
+		return
+	}
+	e := &cacheEntry{hash: hash, resp: resp}
+	c.entries[hash] = e
+	c.pushFront(e)
+	for len(c.entries) > c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.entries, lru.hash)
+	}
+}
+
+func (c *respCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *respCache) pushFront(e *cacheEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}

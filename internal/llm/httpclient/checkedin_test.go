@@ -1,0 +1,136 @@
+package httpclient
+
+// Checked-in fixture coverage: testdata/fixtures holds recorded exchanges
+// for a small pinned request set (model deepseek-r1, seed 1, the suite's
+// first task), so CI replays a real wire-shaped conversation with zero
+// network egress. Regenerate after a deliberate wire-format change with
+//
+//	go test ./internal/llm/httpclient -run TestCheckedInFixturesReplay -update-fixtures
+//
+// The staleness gate (VerifyFixtureDir) fails this test when the checked-in
+// request bodies no longer hash to their file names — i.e. when the wire
+// encoding drifted without the fixtures being re-recorded.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/sim"
+	"repro/internal/testbench"
+)
+
+var updateFixtures = flag.Bool("update-fixtures", false, "re-record testdata/fixtures against the embedded reference server")
+
+const checkedInDir = "testdata/fixtures"
+
+// pinnedJudgeCase is the deterministic two-step stimulus the judge fixture
+// is recorded against.
+func pinnedJudgeCase(tk eval.Task) testbench.Case {
+	var c testbench.Case
+	for s := 0; s < 2; s++ {
+		ins := make(map[string]sim.Value, len(tk.Ifc.Inputs))
+		for _, p := range tk.Ifc.Inputs {
+			ins[p.Name] = sim.NewKnown(p.Width, uint64(s))
+		}
+		c.Steps = append(c.Steps, testbench.Step{Inputs: ins})
+	}
+	return c
+}
+
+// drivePinned issues the pinned request stream — four generates, one
+// refine, one judge — and sanity-checks every answer. Simulated transients
+// are part of the recorded conversation and acceptable on generates.
+func drivePinned(t *testing.T, c *Client, tk eval.Task) {
+	t.Helper()
+	ctx := context.Background()
+	var codes []string
+	for sample := 0; sample < 4; sample++ {
+		r, err := c.Generate(ctx, testGenReq(tk, sample))
+		if err != nil {
+			if !errors.Is(err, llm.ErrTransient) {
+				t.Fatalf("generate sample %d: %v", sample, err)
+			}
+			continue
+		}
+		if r.Code == "" {
+			t.Fatalf("generate sample %d returned empty code", sample)
+		}
+		codes = append(codes, r.Code)
+	}
+	if len(codes) < 2 {
+		t.Fatalf("only %d/4 pinned generates succeeded; fixture set too thin", len(codes))
+	}
+	rr, err := c.Refine(ctx, llm.RefineRequest{
+		TaskID:     tk.ID,
+		Spec:       tk.Spec,
+		CandidateA: codes[0],
+		CandidateB: codes[1],
+		FocusHint:  "checked-in fixture divergence",
+	})
+	if err != nil && !errors.Is(err, llm.ErrTransient) {
+		t.Fatalf("refine: %v", err)
+	}
+	if err == nil && rr.Code == "" {
+		t.Fatal("refine returned empty code")
+	}
+	jr, err := c.JudgeOutput(ctx, llm.JudgeRequest{
+		TaskID: tk.ID,
+		Spec:   tk.Spec,
+		Case:   pinnedJudgeCase(tk),
+	})
+	if err != nil && !errors.Is(err, llm.ErrTransient) {
+		t.Fatalf("judge: %v", err)
+	}
+	if err == nil && jr.Predicted == nil {
+		t.Fatal("judge returned nil trace")
+	}
+}
+
+// TestCheckedInFixturesReplay replays the checked-in fixture set with a
+// transport that fails the test on any dial, after the staleness gate has
+// vouched for every file.
+func TestCheckedInFixturesReplay(t *testing.T) {
+	tk := eval.Suite()[0]
+	if *updateFixtures {
+		if err := os.RemoveAll(checkedInDir); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := New("deepseek-r1", 1, Options{
+			Mode:       ModeRecord,
+			FixtureDir: checkedInDir,
+			Tasks:      eval.Suite()[:1],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		drivePinned(t, rec, tk)
+		rec.Close()
+	}
+
+	n, err := VerifyFixtureDir(checkedInDir)
+	if err != nil {
+		t.Fatalf("checked-in fixtures failed the staleness gate: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("no checked-in fixtures found; run with -update-fixtures to record them")
+	}
+
+	rep, err := New("deepseek-r1", 1, Options{
+		Mode:       ModeReplay,
+		FixtureDir: checkedInDir,
+		Transport:  dialBomb{t},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	drivePinned(t, rep, tk)
+	if st := rep.ReadStats(); st.FixtureHits == 0 || st.FixtureMisses != 0 {
+		t.Fatalf("replay fixture counters = %d hits / %d misses, want all hits", st.FixtureHits, st.FixtureMisses)
+	}
+}

@@ -1,0 +1,109 @@
+package httpclient_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/llm/contracts"
+	"repro/internal/llm/httpclient"
+)
+
+// tasks1 is the single-task set the contract suite drives (contracts uses
+// eval.Suite()[0]).
+func tasks1() []eval.Task { return eval.Suite()[:1] }
+
+// liveOptions are fast-failing resilience knobs for drills against a local
+// server.
+func liveOptions(url string) httpclient.Options {
+	return httpclient.Options{
+		URL:            url,
+		AttemptTimeout: 5 * time.Second,
+		BackoffBase:    time.Millisecond,
+		BackoffCap:     5 * time.Millisecond,
+	}
+}
+
+// harnessFor builds the shared-contract harness for one mode. clients
+// accumulate so WireCount can aggregate stats across everything the
+// harness minted.
+func harnessFor(t *testing.T, srv *httpclient.Server, url, mode, fixtureDir string) contracts.Harness {
+	var mu sync.Mutex
+	var minted []*httpclient.Client
+	mint := func(t *testing.T, seed int64, opts httpclient.Options) *httpclient.Client {
+		t.Helper()
+		opts.Mode = mode
+		opts.FixtureDir = fixtureDir
+		c, err := httpclient.New("deepseek-r1", seed, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		mu.Lock()
+		minted = append(minted, c)
+		mu.Unlock()
+		return c
+	}
+	h := contracts.Harness{
+		NewClient: func(t *testing.T, seed int64) llm.Client {
+			return mint(t, seed, liveOptions(url))
+		},
+		PacedClient: func(t *testing.T, rps float64) llm.Client {
+			opts := liveOptions(url)
+			opts.RPS = rps
+			opts.Burst = 1
+			return mint(t, 6, opts)
+		},
+	}
+	if mode == httpclient.ModeReplay {
+		// No server in replay: count fixture lookups via client stats.
+		h.WireCount = func() int64 {
+			mu.Lock()
+			defer mu.Unlock()
+			var n int64
+			for _, c := range minted {
+				n += c.ReadStats().WireRequests
+			}
+			return n
+		}
+		return h
+	}
+	h.WireCount = srv.WireRequests
+	h.FailingClient = func(t *testing.T) (llm.Client, int) {
+		failing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, `{"error":{"type":"internal","message":"down"}}`, http.StatusInternalServerError)
+		}))
+		t.Cleanup(failing.Close)
+		opts := liveOptions(failing.URL)
+		opts.Retries = -1 // one wire attempt per call
+		opts.BreakerThreshold = 3
+		opts.BreakerCooldown = time.Minute
+		return mint(t, 7, opts), 3
+	}
+	return h
+}
+
+// TestHTTPClientContract runs the shared contract twice: live against the
+// reference server in record mode (persisting fixtures as it goes), then
+// again in replay mode over the fixtures the first pass wrote — proving
+// the replayed backend is behaviorally indistinguishable.
+func TestHTTPClientContract(t *testing.T) {
+	srv := httpclient.NewServer(tasks1())
+	url, stop, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stop)
+	dir := t.TempDir()
+
+	t.Run("record", func(t *testing.T) {
+		contracts.Run(t, harnessFor(t, srv, url, httpclient.ModeRecord, dir))
+	})
+	t.Run("replay", func(t *testing.T) {
+		contracts.Run(t, harnessFor(t, nil, "", httpclient.ModeReplay, dir))
+	})
+}

@@ -1,0 +1,155 @@
+package httpclient
+
+// Record/replay fixtures keep CI hermetic: record mode captures every
+// terminal application-level exchange (200s and deterministic 4xx/429s —
+// retried-past transients are terminal too, because the pipeline's own
+// retry issues a *different* request with a bumped attempt/sample index)
+// into one JSON file per request content hash; replay mode serves those
+// files with zero network egress and fails typed on a miss.
+//
+// A fixture file is self-verifying: its name and embedded hash must both
+// equal the SHA-256 of the embedded request body, so a stale artifact
+// (request format drifted, fixture not re-recorded) is detected instead of
+// silently replayed against a different request.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Fixture modes.
+const (
+	ModeOff    = "off"    // no fixtures: live HTTP (or SimClient fallback)
+	ModeRecord = "record" // live HTTP, terminal exchanges written to disk
+	ModeReplay = "replay" // no network: every request served from disk
+)
+
+// fixture is the on-disk record of one exchange.
+type fixture struct {
+	Hash       string          `json:"hash"`        // SHA-256 of Request
+	Request    json.RawMessage `json:"request"`     // canonical request body
+	Status     int             `json:"status"`      // HTTP status replayed
+	RetryAfter string          `json:"retry_after"` // Retry-After header, if any
+	Response   json.RawMessage `json:"response"`    // response body
+}
+
+// fixtureStore reads and writes hash-named fixture files under one
+// directory. Writes are last-wins and atomic (temp + rename) so record
+// mode is safe under concurrent identical requests.
+type fixtureStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+func newFixtureStore(dir string) *fixtureStore { return &fixtureStore{dir: dir} }
+
+func (fs *fixtureStore) path(hash string) string {
+	return filepath.Join(fs.dir, hash+".json")
+}
+
+// load returns the fixture for hash, ErrNoFixture when absent, or a
+// validation error when the file exists but is stale/corrupt.
+func (s *fixtureStore) load(hash string) (*fixture, error) {
+	data, err := os.ReadFile(s.path(hash))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s", ErrNoFixture, hash)
+		}
+		return nil, err
+	}
+	var fx fixture
+	if err := json.Unmarshal(data, &fx); err != nil {
+		return nil, fmt.Errorf("fixture %s: %v", hash, err)
+	}
+	if err := verifyFixture(&fx, hash); err != nil {
+		return nil, err
+	}
+	return &fx, nil
+}
+
+// save writes the fixture atomically under its hash name.
+func (s *fixtureStore) save(fx *fixture) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(fx, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(s.dir, ".fx-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, s.path(fx.Hash))
+}
+
+// verifyFixture checks a fixture's internal consistency against the hash
+// it is filed under.
+func verifyFixture(fx *fixture, wantHash string) error {
+	if fx.Hash != wantHash {
+		return fmt.Errorf("stale fixture %s: embedded hash %s", wantHash, fx.Hash)
+	}
+	_, gotHash, err := encodeRawRequest(fx.Request)
+	if err != nil {
+		return fmt.Errorf("stale fixture %s: bad request body: %v", wantHash, err)
+	}
+	if gotHash != wantHash {
+		return fmt.Errorf("stale fixture %s: request body hashes to %s", wantHash, gotHash)
+	}
+	return nil
+}
+
+// encodeRawRequest re-canonicalizes a stored raw request body and hashes
+// it, so verification notices both bit-rot and format drift.
+func encodeRawRequest(raw json.RawMessage) ([]byte, string, error) {
+	var wr wireRequest
+	if err := json.Unmarshal(raw, &wr); err != nil {
+		return nil, "", err
+	}
+	return encodeRequest(wr)
+}
+
+// VerifyFixtureDir validates every fixture in dir (the CI staleness gate):
+// each file's name, embedded hash, and re-canonicalized request hash must
+// agree. Returns the number of fixtures checked.
+func VerifyFixtureDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	st := newFixtureStore(dir)
+	for _, name := range names {
+		hash := strings.TrimSuffix(name, ".json")
+		if _, err := st.load(hash); err != nil {
+			return 0, err
+		}
+	}
+	return len(names), nil
+}

@@ -1,0 +1,486 @@
+package httpclient
+
+// The fault matrix: every failure mode a real completions dependency
+// exhibits, driven against the resilience stack with scripted handlers and
+// the faultinject points, under -race, with a goroutine-leak gate on the
+// heaviest drill.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/serve/faultinject"
+)
+
+func testTask(t *testing.T) eval.Task {
+	t.Helper()
+	return eval.Suite()[0]
+}
+
+func testGenReq(tk eval.Task, sample int) llm.GenerateRequest {
+	return llm.GenerateRequest{TaskID: tk.ID, Spec: tk.Spec, SampleIndex: sample}
+}
+
+// fastOptions are millisecond-scale resilience knobs for drills.
+func fastOptions(url string) Options {
+	return Options{
+		URL:            url,
+		AttemptTimeout: 2 * time.Second,
+		BackoffBase:    time.Millisecond,
+		BackoffCap:     4 * time.Millisecond,
+	}
+}
+
+func mustClient(t *testing.T, opts Options) *Client {
+	t.Helper()
+	c, err := New("deepseek-r1", 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// scriptedServer runs fn per request, capturing request bodies.
+type scriptedServer struct {
+	ts     *httptest.Server
+	mu     sync.Mutex
+	bodies [][]byte
+	fn     func(n int, w http.ResponseWriter)
+}
+
+func newScripted(t *testing.T, fn func(n int, w http.ResponseWriter)) *scriptedServer {
+	s := &scriptedServer{fn: fn}
+	s.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		s.mu.Lock()
+		s.bodies = append(s.bodies, body)
+		n := len(s.bodies)
+		s.mu.Unlock()
+		s.fn(n, w)
+	}))
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+func (s *scriptedServer) requestBodies() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]byte, len(s.bodies))
+	copy(out, s.bodies)
+	return out
+}
+
+// okBody renders a minimal valid completion.
+func okBody() []byte {
+	b, _ := json.Marshal(&wireResponse{
+		Choices: []wireChoice{{
+			Message:      wireRespMessage{Content: "module top_module(); endmodule"},
+			FinishReason: "stop",
+		}},
+		Usage: wireUsage{ReasoningTokens: 42},
+	})
+	return b
+}
+
+// TestTornBodyTypedErrorAndBitIdenticalRetry is the torn-response drill:
+// a truncated JSON body must surface as ErrTornBody (classified
+// transient), never as a half-parsed completion, and the automatic retry
+// must put bit-identical request bytes back on the wire and succeed.
+func TestTornBodyTypedErrorAndBitIdenticalRetry(t *testing.T) {
+	tk := testTask(t)
+	full := okBody()
+
+	// Retries disabled: the typed error is caller-visible.
+	s0 := newScripted(t, func(n int, w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(full[:20])
+	})
+	opts := fastOptions(s0.ts.URL)
+	opts.Retries = -1
+	c0 := mustClient(t, opts)
+	_, err := c0.Generate(context.Background(), testGenReq(tk, 0))
+	if !errors.Is(err, ErrTornBody) {
+		t.Fatalf("torn body error = %v, want ErrTornBody", err)
+	}
+	if !errors.Is(err, llm.ErrTransient) {
+		t.Fatalf("torn body error %v must classify transient", err)
+	}
+
+	// Retries enabled: first attempt torn, second identical and whole.
+	s1 := newScripted(t, func(n int, w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		if n == 1 {
+			w.Write(full[:20])
+			return
+		}
+		w.Write(full)
+	})
+	c1 := mustClient(t, fastOptions(s1.ts.URL))
+	resp, err := c1.Generate(context.Background(), testGenReq(tk, 0))
+	if err != nil {
+		t.Fatalf("Generate after torn retry: %v", err)
+	}
+	if resp.Code == "" || resp.ReasoningTokens != 42 {
+		t.Fatalf("unexpected completion %+v", resp)
+	}
+	bodies := s1.requestBodies()
+	if len(bodies) != 2 {
+		t.Fatalf("server saw %d requests, want 2", len(bodies))
+	}
+	if string(bodies[0]) != string(bodies[1]) {
+		t.Fatalf("retry was not bit-identical:\n%s\nvs\n%s", bodies[0], bodies[1])
+	}
+	if st := c1.ReadStats(); st.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", st.Retries)
+	}
+}
+
+// TestRetryAfterHonored pins the 429 path: the client waits at least the
+// advertised Retry-After before the retry.
+func TestRetryAfterHonored(t *testing.T) {
+	tk := testTask(t)
+	var firstRetryGap atomic.Int64
+	var last atomic.Int64
+	s := newScripted(t, func(n int, w http.ResponseWriter) {
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); n == 2 {
+			firstRetryGap.Store(now - prev)
+		}
+		if n == 1 {
+			w.Header().Set("Retry-After", "0.2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"type":"rate_limited","message":"slow down"}}`))
+			return
+		}
+		w.Write(okBody())
+	})
+	c := mustClient(t, fastOptions(s.ts.URL))
+	if _, err := c.Generate(context.Background(), testGenReq(tk, 0)); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if gap := time.Duration(firstRetryGap.Load()); gap < 150*time.Millisecond {
+		t.Fatalf("retry after 429 came %v after the 429, want >= 150ms (Retry-After: 0.2)", gap)
+	}
+}
+
+// Test5xxBurstRetriedThrough pins the 5xx path: a burst of 500s inside the
+// retry budget is absorbed.
+func Test5xxBurstRetriedThrough(t *testing.T) {
+	tk := testTask(t)
+	s := newScripted(t, func(n int, w http.ResponseWriter) {
+		if n <= 3 {
+			http.Error(w, `{"error":{"type":"internal","message":"blip"}}`, http.StatusInternalServerError)
+			return
+		}
+		w.Write(okBody())
+	})
+	c := mustClient(t, fastOptions(s.ts.URL))
+	if _, err := c.Generate(context.Background(), testGenReq(tk, 0)); err != nil {
+		t.Fatalf("Generate through 5xx burst: %v", err)
+	}
+	if st := c.ReadStats(); st.Retries != 3 {
+		t.Fatalf("Retries = %d, want 3", st.Retries)
+	}
+}
+
+// TestPerAttemptTimeout pins the slow-upstream path using the reference
+// server and the PointLLMRequest sleep fault: the first attempt stalls
+// past AttemptTimeout, the retry (fault exhausted) succeeds, and the
+// caller's own context stays live throughout.
+func TestPerAttemptTimeout(t *testing.T) {
+	defer faultinject.Reset()
+	tk := testTask(t)
+	srv := NewServer(eval.Suite()[:1])
+	url, stop, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stop)
+	faultinject.Arm(faultinject.PointLLMRequest, tk.ID, 1, func() {
+		time.Sleep(400 * time.Millisecond)
+	})
+	opts := fastOptions(url)
+	opts.AttemptTimeout = 50 * time.Millisecond
+	c := mustClient(t, opts)
+	start := time.Now()
+	if _, err := c.Generate(context.Background(), testGenReq(tk, 0)); err != nil {
+		t.Fatalf("Generate past slow attempt: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("recovery took %v; per-attempt timeout did not cut the stall", elapsed)
+	}
+	if st := c.ReadStats(); st.Retries < 1 {
+		t.Fatalf("Retries = %d, want >= 1", st.Retries)
+	}
+}
+
+// TestServerTornConnection drives the PointLLMResponse panic fault: the
+// reference server tears the connection between decode and response, the
+// client classifies it transient and retries to success.
+func TestServerTornConnection(t *testing.T) {
+	defer faultinject.Reset()
+	tk := testTask(t)
+	srv := NewServer(eval.Suite()[:1])
+	url, stop, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stop)
+	faultinject.Arm(faultinject.PointLLMResponse, tk.ID, 1, func() {
+		panic("torn connection")
+	})
+	c := mustClient(t, fastOptions(url))
+	if _, err := c.Generate(context.Background(), testGenReq(tk, 0)); err != nil {
+		t.Fatalf("Generate past torn connection: %v", err)
+	}
+	if st := c.ReadStats(); st.Retries < 1 {
+		t.Fatalf("Retries = %d, want >= 1", st.Retries)
+	}
+}
+
+// TestBreakerTripHalfOpenRecovery walks the breaker lifecycle: trip on
+// consecutive failures (fast-fail while open, zero wire traffic), then a
+// half-open probe against a recovered upstream closes it again.
+func TestBreakerTripHalfOpenRecovery(t *testing.T) {
+	tk := testTask(t)
+	var healthy atomic.Bool
+	s := newScripted(t, func(n int, w http.ResponseWriter) {
+		if !healthy.Load() {
+			http.Error(w, `{"error":{"type":"internal","message":"down"}}`, http.StatusInternalServerError)
+			return
+		}
+		w.Write(okBody())
+	})
+	opts := fastOptions(s.ts.URL)
+	opts.Retries = -1
+	opts.BreakerThreshold = 3
+	opts.BreakerCooldown = 80 * time.Millisecond
+	c := mustClient(t, opts)
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.Generate(ctx, testGenReq(tk, i)); err == nil {
+			t.Fatalf("call %d unexpectedly succeeded", i)
+		}
+	}
+	if st := c.ReadStats(); st.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", st.BreakerTrips)
+	}
+	wireBefore := len(s.requestBodies())
+	_, err := c.Generate(ctx, testGenReq(tk, 3))
+	if !errors.Is(err, ErrBreakerOpen) || !errors.Is(err, llm.ErrTransient) {
+		t.Fatalf("open-breaker error = %v, want ErrBreakerOpen and transient", err)
+	}
+	if got := len(s.requestBodies()) - wireBefore; got != 0 {
+		t.Fatalf("open breaker let %d requests to the wire", got)
+	}
+	if st := c.ReadStats(); st.BreakerOpens != 1 {
+		t.Fatalf("BreakerOpens = %d, want 1", st.BreakerOpens)
+	}
+
+	// Upstream recovers; after the cooldown the half-open probe succeeds
+	// and the circuit closes for everyone.
+	healthy.Store(true)
+	time.Sleep(100 * time.Millisecond)
+	if _, err := c.Generate(ctx, testGenReq(tk, 4)); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if _, err := c.Generate(ctx, testGenReq(tk, 5)); err != nil {
+		t.Fatalf("post-recovery call: %v", err)
+	}
+}
+
+// TestCancelMidRetryNeverRetries pins the safety rule: caller cancellation
+// during the backoff wait returns context.Canceled promptly and issues no
+// further wire requests — and no goroutines leak from the abandoned work.
+func TestCancelMidRetryNeverRetries(t *testing.T) {
+	tk := testTask(t)
+	s := newScripted(t, func(n int, w http.ResponseWriter) {
+		http.Error(w, `{"error":{"type":"internal","message":"down"}}`, http.StatusInternalServerError)
+	})
+	// A private transport so the leak check can retire this test's own
+	// keep-alive connections.
+	tr := &http.Transport{}
+	opts := fastOptions(s.ts.URL)
+	opts.Transport = tr
+	opts.Retries = 10
+	opts.BackoffBase = 200 * time.Millisecond
+	opts.BackoffCap = 200 * time.Millisecond
+	opts.BreakerThreshold = 1000
+	c := mustClient(t, opts)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Generate(ctx, testGenReq(tk, 0))
+		done <- err
+	}()
+	// Let the first attempt fail and the backoff start, then cancel.
+	deadline := time.After(2 * time.Second)
+	for len(s.requestBodies()) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("first attempt never reached the server")
+		default:
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled Generate = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled Generate did not return promptly")
+	}
+	wire := len(s.requestBodies())
+	time.Sleep(50 * time.Millisecond)
+	if got := len(s.requestBodies()); got != wire {
+		t.Fatalf("wire requests continued after cancel: %d -> %d", wire, got)
+	}
+
+	checkNoGoroutineLeak(t, before, func() {
+		tr.CloseIdleConnections()
+		s.ts.CloseClientConnections()
+	})
+}
+
+// TestStampedeLeaderCancelAdoption: when the single-flight leader's caller
+// cancels mid-request, a live waiter adopts leadership and completes —
+// cancellation of one caller never fails the others.
+func TestStampedeLeaderCancelAdoption(t *testing.T) {
+	tk := testTask(t)
+	release := make(chan struct{})
+	var stalled sync.Once
+	firstArrived := make(chan struct{})
+	s := newScripted(t, func(n int, w http.ResponseWriter) {
+		if n == 1 {
+			stalled.Do(func() { close(firstArrived) })
+			<-release // hold the leader's attempt until it is cancelled
+			http.Error(w, "late", http.StatusInternalServerError)
+			return
+		}
+		w.Write(okBody())
+	})
+	opts := fastOptions(s.ts.URL)
+	c := mustClient(t, opts)
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := c.Generate(leaderCtx, testGenReq(tk, 0))
+		leaderDone <- err
+	}()
+	<-firstArrived
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := c.Generate(context.Background(), testGenReq(tk, 0))
+		waiterDone <- err
+	}()
+	// Give the waiter time to join the in-flight call, then cancel the
+	// leader.
+	time.Sleep(20 * time.Millisecond)
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error = %v, want context.Canceled", err)
+	}
+	close(release)
+	select {
+	case err := <-waiterDone:
+		if err != nil {
+			t.Fatalf("waiter inherited the leader's fate: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never completed after leader cancellation")
+	}
+}
+
+// TestResponseCacheHit pins the prompt-hash cache: the same logical
+// request twice costs one wire request, and the counters say why.
+func TestResponseCacheHit(t *testing.T) {
+	tk := testTask(t)
+	s := newScripted(t, func(n int, w http.ResponseWriter) { w.Write(okBody()) })
+	c := mustClient(t, fastOptions(s.ts.URL))
+	ctx := context.Background()
+	r1, err := c.Generate(ctx, testGenReq(tk, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Generate(ctx, testGenReq(tk, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("cache returned a different completion: %+v vs %+v", r1, r2)
+	}
+	if got := len(s.requestBodies()); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+	st := c.ReadStats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("cache counters = %d hits / %d misses, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+}
+
+// TestForViewsShareResilienceState: For-derived bindings share one breaker
+// — failures under one (model, seed) protect every other binding.
+func TestForViewsShareResilienceState(t *testing.T) {
+	tk := testTask(t)
+	s := newScripted(t, func(n int, w http.ResponseWriter) {
+		http.Error(w, `{"error":{"type":"internal","message":"down"}}`, http.StatusInternalServerError)
+	})
+	opts := fastOptions(s.ts.URL)
+	opts.Retries = -1
+	opts.BreakerThreshold = 2
+	opts.BreakerCooldown = time.Minute
+	c := mustClient(t, opts)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Generate(ctx, testGenReq(tk, i)); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	v := c.For("qwq-32b", 99)
+	if v.ModelName() != "qwq-32b" {
+		t.Fatalf("ModelName = %q", v.ModelName())
+	}
+	_, err := v.Generate(ctx, testGenReq(tk, 0))
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("view error = %v, want shared breaker open", err)
+	}
+}
+
+func checkNoGoroutineLeak(t *testing.T, before int, retire func()) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if retire != nil {
+			retire()
+		}
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,93 @@
+package httpclient
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// limiter paces wire requests: a token bucket bounds sustained
+// requests/sec (with a small burst allowance) and a semaphore bounds the
+// number of requests simultaneously on the wire. Both waits are ctx-aware
+// so a cancelled caller never sits in line.
+type limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens added per second; <= 0 disables pacing
+	burst  float64
+	tokens float64
+	last   time.Time
+
+	conc chan struct{} // nil when max concurrency is unlimited
+
+	now func() time.Time // test hook
+}
+
+func newLimiter(rps float64, burst, maxConcurrent int) *limiter {
+	l := &limiter{rate: rps, now: time.Now}
+	if rps > 0 {
+		if burst < 1 {
+			burst = 1
+		}
+		l.burst = float64(burst)
+		l.tokens = l.burst
+		l.last = l.now()
+	}
+	if maxConcurrent > 0 {
+		l.conc = make(chan struct{}, maxConcurrent)
+	}
+	return l
+}
+
+// reserve blocks until one rate token is available, then takes it,
+// reporting whether it had to wait. The refill math runs under the lock
+// but the sleep does not, so waiters accumulate debt fairly rather than
+// serializing on the mutex.
+func (l *limiter) reserve(ctx context.Context) (waited bool, err error) {
+	if l.rate <= 0 {
+		return false, nil
+	}
+	for {
+		l.mu.Lock()
+		now := l.now()
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		l.last = now
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		if l.tokens >= 1 {
+			l.tokens--
+			l.mu.Unlock()
+			return waited, nil
+		}
+		wait := time.Duration((1 - l.tokens) / l.rate * float64(time.Second))
+		l.mu.Unlock()
+		waited = true
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return waited, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// acquire takes a concurrency slot; release returns it. acquire after a
+// successful reserve, so queued callers are paced before they contend.
+func (l *limiter) acquire(ctx context.Context) error {
+	if l.conc == nil {
+		return nil
+	}
+	select {
+	case l.conc <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *limiter) release() {
+	if l.conc != nil {
+		<-l.conc
+	}
+}

@@ -1,0 +1,303 @@
+package httpclient
+
+// Server is the reference completions endpoint: an OpenAI-style HTTP
+// surface over the deterministic SimClient, used as the record-mode
+// backend, as the target of the fault drills, and as a stand-in for a real
+// deployment in the daemon smoke. It is production code (vfocus -llm
+// record with no URL runs it embedded), so it listens on net.Listener
+// rather than depending on httptest.
+//
+// Fault scripting has two layers: faultinject points (PointLLMRequest /
+// PointLLMResponse, keyed by task ID) for panics and sleeps on the serving
+// goroutine, and a PushFault queue for protocol-level faults — forced
+// status codes with Retry-After, and bodies truncated mid-stream — that a
+// hook-style fn cannot express.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/serve/faultinject"
+)
+
+// CompletionsPath is the single wire route.
+const CompletionsPath = "/v1/chat/completions"
+
+// Fault is one scripted protocol fault, consumed FIFO by the next request.
+type Fault struct {
+	// Status forces this HTTP status (with a wire error body) instead of
+	// dispatching to the backing client. 0 dispatches normally.
+	Status int
+	// RetryAfter sets the Retry-After header (seconds) on a forced status.
+	RetryAfter string
+	// TruncateBody, when > 0, writes only the first TruncateBody bytes of
+	// the (otherwise successful) response body — a torn response.
+	TruncateBody int
+}
+
+// Server serves the completions endpoint over SimClients built per
+// (model, seed) from the wire op, so one server answers requests from any
+// run or job deterministically.
+type Server struct {
+	tasks []eval.Task
+
+	mu      sync.Mutex
+	clients map[simKey]llm.Client
+	faults  []Fault
+	wire    int64 // requests that reached the handler
+}
+
+type simKey struct {
+	model string
+	seed  int64
+}
+
+// NewServer builds a reference server over the given task set (nil means
+// the full eval suite).
+func NewServer(tasks []eval.Task) *Server {
+	if tasks == nil {
+		tasks = eval.Suite()
+	}
+	return &Server{tasks: tasks, clients: make(map[simKey]llm.Client)}
+}
+
+// PushFault queues a scripted fault; each request consumes at most one.
+func (s *Server) PushFault(f Fault) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = append(s.faults, f)
+}
+
+// WireRequests reports how many requests reached the handler — the
+// stampede drills pin this to 1.
+func (s *Server) WireRequests() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wire
+}
+
+func (s *Server) popFault() (Fault, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.faults) == 0 {
+		return Fault{}, false
+	}
+	f := s.faults[0]
+	s.faults = s.faults[1:]
+	return f, true
+}
+
+func (s *Server) clientFor(model string, seed int64) (llm.Client, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := simKey{model: model, seed: seed}
+	if c, ok := s.clients[k]; ok {
+		return c, nil
+	}
+	profile, err := llm.ProfileByName(model)
+	if err != nil {
+		return nil, err
+	}
+	c, err := llm.NewSimClient(profile, seed, s.tasks)
+	if err != nil {
+		return nil, err
+	}
+	s.clients[k] = c
+	return c, nil
+}
+
+// Handler returns the HTTP handler serving CompletionsPath.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(CompletionsPath, s.handleCompletions)
+	return mux
+}
+
+func (s *Server) handleCompletions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var wr wireRequest
+	if err := json.NewDecoder(r.Body).Decode(&wr); err != nil {
+		s.writeError(w, http.StatusBadRequest, wireErrInternal, err.Error(), "", 0)
+		return
+	}
+	s.mu.Lock()
+	s.wire++
+	s.mu.Unlock()
+
+	faultinject.Fire(faultinject.PointLLMRequest, wr.VFocus.TaskID)
+
+	fault, _ := s.popFault()
+	if fault.Status != 0 {
+		typ := wireErrInternal
+		if fault.Status == http.StatusTooManyRequests {
+			typ = wireErrRateLimited
+		}
+		s.writeError(w, fault.Status, typ, "scripted fault", fault.RetryAfter, fault.TruncateBody)
+		return
+	}
+
+	resp, status, typ, msg := s.dispatch(r.Context(), wr)
+	if status != http.StatusOK {
+		s.writeError(w, status, typ, msg, retryAfterFor(status), fault.TruncateBody)
+		return
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, wireErrInternal, err.Error(), "", 0)
+		return
+	}
+	faultinject.Fire(faultinject.PointLLMResponse, wr.VFocus.TaskID)
+	if fault.TruncateBody > 0 && fault.TruncateBody < len(body) {
+		body = body[:fault.TruncateBody]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// retryAfterFor advertises a pacing hint on simulated-transient 429s.
+func retryAfterFor(status int) string {
+	if status == http.StatusTooManyRequests {
+		return "0"
+	}
+	return ""
+}
+
+// dispatch routes the wire op to the backing SimClient and maps the result
+// to (response, status).
+func (s *Server) dispatch(ctx context.Context, wr wireRequest) (*wireResponse, int, string, string) {
+	client, err := s.clientFor(wr.Model, wr.VFocus.Seed)
+	if err != nil {
+		return nil, http.StatusBadRequest, wireErrUnknownModel, err.Error()
+	}
+	op := wr.VFocus
+	switch op.Op {
+	case opGenerate:
+		guidelines := ""
+		if len(wr.Messages) > 1 {
+			guidelines = wr.Messages[0].Content
+		}
+		spec := wr.Messages[len(wr.Messages)-1].Content
+		resp, err := client.Generate(ctx, llm.GenerateRequest{
+			TaskID:      op.TaskID,
+			Spec:        spec,
+			Guidelines:  guidelines,
+			SampleIndex: op.SampleIndex,
+			Attempt:     op.Attempt,
+		})
+		if err != nil {
+			return s.mapError(err)
+		}
+		return textResponse(resp), http.StatusOK, "", ""
+	case opRefine:
+		spec := wr.Messages[len(wr.Messages)-1].Content
+		resp, err := client.Refine(ctx, llm.RefineRequest{
+			TaskID:      op.TaskID,
+			Spec:        spec,
+			CandidateA:  op.CandidateA,
+			CandidateB:  op.CandidateB,
+			FocusHint:   op.FocusHint,
+			SampleIndex: op.SampleIndex,
+		})
+		if err != nil {
+			return s.mapError(err)
+		}
+		return textResponse(resp), http.StatusOK, "", ""
+	case opJudge:
+		c, err := decodeCase(op.Case)
+		if err != nil {
+			return nil, http.StatusBadRequest, wireErrInternal, err.Error()
+		}
+		spec := wr.Messages[len(wr.Messages)-1].Content
+		jr, err := client.JudgeOutput(ctx, llm.JudgeRequest{
+			TaskID:      op.TaskID,
+			Spec:        spec,
+			Case:        c,
+			SampleIndex: op.SampleIndex,
+		})
+		if err != nil {
+			return s.mapError(err)
+		}
+		return judgeResponse(jr), http.StatusOK, "", ""
+	default:
+		return nil, http.StatusBadRequest, wireErrInternal, fmt.Sprintf("unknown op %q", op.Op)
+	}
+}
+
+// mapError converts a backing-client error to wire (status, type).
+func (s *Server) mapError(err error) (*wireResponse, int, string, string) {
+	switch {
+	case errors.Is(err, llm.ErrUnknownTask):
+		return nil, http.StatusBadRequest, wireErrUnknownTask, err.Error()
+	case errors.Is(err, llm.ErrUnknownModel):
+		return nil, http.StatusBadRequest, wireErrUnknownModel, err.Error()
+	case errors.Is(err, llm.ErrTransient):
+		return nil, http.StatusTooManyRequests, wireErrRateLimited, err.Error()
+	default:
+		return nil, http.StatusInternalServerError, wireErrInternal, err.Error()
+	}
+}
+
+// textResponse wraps a Generate/Refine result as one completion choice.
+func textResponse(resp llm.Response) *wireResponse {
+	return &wireResponse{
+		Choices: []wireChoice{{
+			Message:      wireRespMessage{Content: resp.Code, Reasoning: resp.Reasoning},
+			FinishReason: "stop",
+		}},
+		Usage: wireUsage{ReasoningTokens: resp.ReasoningTokens},
+	}
+}
+
+// judgeResponse wraps a JudgeOutput result, carrying the predicted trace
+// in the structured judge field.
+func judgeResponse(jr llm.JudgeResponse) *wireResponse {
+	return &wireResponse{
+		Choices: []wireChoice{{
+			Message:      wireRespMessage{Judge: encodeTrace(jr.Predicted)},
+			FinishReason: "stop",
+		}},
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, typ, msg, retryAfter string, truncate int) {
+	body, _ := json.Marshal(&wireResponse{Error: &wireError{Type: typ, Message: msg}})
+	if retryAfter != "" {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if truncate > 0 && truncate < len(body) {
+		body = body[:truncate]
+	}
+	w.Write(body)
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves until the returned
+// stop function is called. It returns the bound base URL.
+func (s *Server) Start(addr string) (baseURL string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	stop = func() {
+		srv.Close()
+		<-done
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}

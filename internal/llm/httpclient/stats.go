@@ -1,0 +1,62 @@
+package httpclient
+
+import "sync/atomic"
+
+// Stats are the adapter's cumulative counters, safe for concurrent
+// readers. vfocusd surfaces them at /statsz.
+type Stats struct {
+	WireRequests  int64 // HTTP requests actually sent (or fixture lookups)
+	Retries       int64 // wire attempts beyond the first
+	Coalesced     int64 // callers that joined an in-flight identical request
+	CacheHits     int64 // served from the prompt-hash response cache
+	CacheMisses   int64
+	BreakerTrips  int64 // closed/half-open → open transitions
+	BreakerOpens  int64 // callers fast-failed by an open breaker
+	RateWaits     int64 // reserve calls that had to sleep for a token
+	FixtureHits   int64 // replay-mode fixture lookups that matched
+	FixtureMisses int64 // replay-mode lookups with no recorded fixture
+}
+
+type statCounters struct {
+	wireRequests  atomic.Int64
+	retries       atomic.Int64
+	coalesced     atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	breakerOpens  atomic.Int64
+	rateWaits     atomic.Int64
+	fixtureHits   atomic.Int64
+	fixtureMisses atomic.Int64
+}
+
+// ReadStats snapshots the client's counters.
+func (c *Client) ReadStats() Stats {
+	return Stats{
+		WireRequests:  c.stats.wireRequests.Load(),
+		Retries:       c.stats.retries.Load(),
+		Coalesced:     c.stats.coalesced.Load(),
+		CacheHits:     c.stats.cacheHits.Load(),
+		CacheMisses:   c.stats.cacheMisses.Load(),
+		BreakerTrips:  c.breaker.tripCount(),
+		BreakerOpens:  c.stats.breakerOpens.Load(),
+		RateWaits:     c.stats.rateWaits.Load(),
+		FixtureHits:   c.stats.fixtureHits.Load(),
+		FixtureMisses: c.stats.fixtureMisses.Load(),
+	}
+}
+
+// Map renders the snapshot as a JSON-friendly map for /statsz.
+func (s Stats) Map() map[string]int64 {
+	return map[string]int64{
+		"wire_requests":  s.WireRequests,
+		"retries":        s.Retries,
+		"coalesced":      s.Coalesced,
+		"cache_hits":     s.CacheHits,
+		"cache_misses":   s.CacheMisses,
+		"breaker_trips":  s.BreakerTrips,
+		"breaker_opens":  s.BreakerOpens,
+		"rate_waits":     s.RateWaits,
+		"fixture_hits":   s.FixtureHits,
+		"fixture_misses": s.FixtureMisses,
+	}
+}

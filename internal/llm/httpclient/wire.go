@@ -1,0 +1,346 @@
+package httpclient
+
+// The wire protocol is an OpenAI-style chat-completions endpoint: one POST
+// route, model + messages in the request, choices + usage in the response.
+// The pipeline's three structured operations (generate, refine, judge) ride
+// in a vendor-extension block ("vfocus") alongside the human-readable
+// messages, so the reference server can route them losslessly while a real
+// deployment is free to answer from the messages alone.
+//
+// Every request has a canonical encoding — json.Marshal of wireRequest,
+// whose field order is fixed by the struct — and its SHA-256 is the request
+// content hash used for single-flight coalescing, the response cache, and
+// fixture file names.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/llm"
+	"repro/internal/sim"
+	"repro/internal/testbench"
+)
+
+// Typed failures the adapter surfaces. All transient failures also answer
+// errors.Is(err, llm.ErrTransient) so the pipeline's existing retry
+// classification keeps working unchanged.
+var (
+	// ErrTornBody marks a response whose body was truncated mid-stream or
+	// otherwise failed structural validation: the client never exposes a
+	// half-parsed completion; it surfaces this error and retries.
+	ErrTornBody = errors.New("torn llm response body")
+	// ErrBreakerOpen is the fast-fail returned while the circuit breaker is
+	// open: no wire request is attempted until the cooldown's half-open
+	// probe succeeds.
+	ErrBreakerOpen = errors.New("llm circuit breaker open")
+	// ErrNoFixture is returned in replay mode for a request whose content
+	// hash has no recorded fixture. It is permanent: replay never falls
+	// back to the network.
+	ErrNoFixture = errors.New("no recorded llm fixture")
+	// ErrHTTPStatus wraps permanent (non-retryable) upstream HTTP failures.
+	ErrHTTPStatus = errors.New("llm http error")
+)
+
+// Wire op names.
+const (
+	opGenerate = "generate"
+	opRefine   = "refine"
+	opJudge    = "judge"
+)
+
+// wireMessage is one chat message.
+type wireMessage struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+// wireInput is one driven input of a judge-request test case, with the
+// value rendered as a Verilog binary literal ("4'b10x1").
+type wireInput struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// wireStep is one stimulus step of a judge-request test case. Inputs are
+// sorted by name — part of the canonical encoding.
+type wireStep struct {
+	Inputs []wireInput `json:"inputs"`
+}
+
+// wireCase carries a full test case for judge requests.
+type wireCase struct {
+	Steps []wireStep `json:"steps"`
+}
+
+// wireOp is the structured operation block.
+type wireOp struct {
+	Op          string    `json:"op"`
+	TaskID      string    `json:"task_id"`
+	Seed        int64     `json:"seed"`
+	SampleIndex int       `json:"sample_index"`
+	Attempt     int       `json:"attempt,omitempty"`
+	FocusHint   string    `json:"focus_hint,omitempty"`
+	CandidateA  string    `json:"candidate_a,omitempty"`
+	CandidateB  string    `json:"candidate_b,omitempty"`
+	Case        *wireCase `json:"case,omitempty"`
+}
+
+// wireRequest is the full request body.
+type wireRequest struct {
+	Model    string        `json:"model"`
+	Messages []wireMessage `json:"messages"`
+	VFocus   wireOp        `json:"vfocus"`
+}
+
+// wireTraceStep is one step of a judged output trace.
+type wireTraceStep struct {
+	Outputs []string `json:"outputs"`
+}
+
+// wireTrace is the judge operation's predicted output trace.
+type wireTrace struct {
+	Steps []wireTraceStep `json:"steps"`
+}
+
+// wireRespMessage is the assistant message of one choice.
+type wireRespMessage struct {
+	Content   string     `json:"content"`
+	Reasoning string     `json:"reasoning,omitempty"`
+	Judge     *wireTrace `json:"judge,omitempty"`
+}
+
+// wireChoice is one completion choice.
+type wireChoice struct {
+	Message      wireRespMessage `json:"message"`
+	FinishReason string          `json:"finish_reason"`
+}
+
+// wireUsage carries token accounting.
+type wireUsage struct {
+	ReasoningTokens int `json:"reasoning_tokens"`
+}
+
+// wireError is the structured error body of a non-2xx response.
+type wireError struct {
+	Type    string `json:"type"`
+	Message string `json:"message"`
+}
+
+// Wire error types, mapped back to the llm sentinels client-side.
+const (
+	wireErrUnknownTask  = "unknown_task"
+	wireErrUnknownModel = "unknown_model"
+	wireErrRateLimited  = "rate_limited"
+	wireErrInternal     = "internal"
+)
+
+// wireResponse is the full response body.
+type wireResponse struct {
+	Choices []wireChoice `json:"choices"`
+	Usage   wireUsage    `json:"usage"`
+	Error   *wireError   `json:"error,omitempty"`
+}
+
+// encodeCase renders a testbench case canonically (steps in order, inputs
+// sorted by name, values as binary literals).
+func encodeCase(c testbench.Case) *wireCase {
+	wc := &wireCase{Steps: make([]wireStep, len(c.Steps))}
+	for i, st := range c.Steps {
+		names := make([]string, 0, len(st.Inputs))
+		for name := range st.Inputs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		ws := wireStep{Inputs: make([]wireInput, 0, len(names))}
+		for _, name := range names {
+			ws.Inputs = append(ws.Inputs, wireInput{Name: name, Value: st.Inputs[name].String()})
+		}
+		wc.Steps[i] = ws
+	}
+	return wc
+}
+
+// decodeCase parses a wire case back into a testbench case.
+func decodeCase(wc *wireCase) (testbench.Case, error) {
+	var c testbench.Case
+	if wc == nil {
+		return c, fmt.Errorf("judge op missing case")
+	}
+	c.Steps = make([]testbench.Step, len(wc.Steps))
+	for i, ws := range wc.Steps {
+		ins := make(map[string]sim.Value, len(ws.Inputs))
+		for _, in := range ws.Inputs {
+			v, err := parseValueLiteral(in.Value)
+			if err != nil {
+				return c, fmt.Errorf("case step %d input %s: %w", i, in.Name, err)
+			}
+			ins[in.Name] = v
+		}
+		c.Steps[i] = testbench.Step{Inputs: ins}
+	}
+	return c, nil
+}
+
+// parseValueLiteral parses the binary-literal rendering of sim.Value
+// ("4'b10x1") back into a value.
+func parseValueLiteral(s string) (sim.Value, error) {
+	wstr, bits, ok := strings.Cut(s, "'b")
+	if !ok {
+		return sim.Value{}, fmt.Errorf("bad value literal %q", s)
+	}
+	width, err := strconv.Atoi(wstr)
+	if err != nil || width <= 0 || len(bits) != width {
+		return sim.Value{}, fmt.Errorf("bad value literal %q", s)
+	}
+	words := (width + 63) / 64
+	val := make([]uint64, words)
+	xz := make([]uint64, words)
+	for i := 0; i < width; i++ {
+		// bits[0] is the MSB (bit width-1).
+		bit := width - 1 - i
+		w, off := bit/64, uint(bit%64)
+		switch bits[i] {
+		case '0':
+		case '1':
+			val[w] |= 1 << off
+		case 'x':
+			xz[w] |= 1 << off
+		case 'z':
+			val[w] |= 1 << off
+			xz[w] |= 1 << off
+		default:
+			return sim.Value{}, fmt.Errorf("bad value literal %q", s)
+		}
+	}
+	return sim.NewFromPlanes(width, val, xz), nil
+}
+
+// encodeTrace renders a judged case trace for the wire.
+func encodeTrace(ct *testbench.CaseTrace) *wireTrace {
+	wt := &wireTrace{Steps: make([]wireTraceStep, len(ct.Steps))}
+	for i, st := range ct.Steps {
+		outs := make([]string, len(st.Outputs))
+		copy(outs, st.Outputs)
+		wt.Steps[i] = wireTraceStep{Outputs: outs}
+	}
+	return wt
+}
+
+// decodeTrace parses a wire trace into a case trace.
+func decodeTrace(wt *wireTrace) *testbench.CaseTrace {
+	ct := &testbench.CaseTrace{Steps: make([]testbench.StepRecord, len(wt.Steps))}
+	for i, st := range wt.Steps {
+		outs := make([]string, len(st.Outputs))
+		copy(outs, st.Outputs)
+		ct.Steps[i] = testbench.StepRecord{Outputs: outs}
+	}
+	return ct
+}
+
+// buildGenerate constructs the wire request of a Generate call.
+func buildGenerate(model string, seed int64, req llm.GenerateRequest) wireRequest {
+	msgs := make([]wireMessage, 0, 2)
+	if req.Guidelines != "" {
+		msgs = append(msgs, wireMessage{Role: "system", Content: req.Guidelines})
+	}
+	msgs = append(msgs, wireMessage{Role: "user", Content: req.Spec})
+	return wireRequest{
+		Model:    model,
+		Messages: msgs,
+		VFocus: wireOp{
+			Op:          opGenerate,
+			TaskID:      req.TaskID,
+			Seed:        seed,
+			SampleIndex: req.SampleIndex,
+			Attempt:     req.Attempt,
+		},
+	}
+}
+
+// buildRefine constructs the wire request of a Refine call.
+func buildRefine(model string, seed int64, req llm.RefineRequest) wireRequest {
+	return wireRequest{
+		Model:    model,
+		Messages: []wireMessage{{Role: "user", Content: req.Spec}},
+		VFocus: wireOp{
+			Op:          opRefine,
+			TaskID:      req.TaskID,
+			Seed:        seed,
+			SampleIndex: req.SampleIndex,
+			FocusHint:   req.FocusHint,
+			CandidateA:  req.CandidateA,
+			CandidateB:  req.CandidateB,
+		},
+	}
+}
+
+// buildJudge constructs the wire request of a JudgeOutput call.
+func buildJudge(model string, seed int64, req llm.JudgeRequest) wireRequest {
+	return wireRequest{
+		Model:    model,
+		Messages: []wireMessage{{Role: "user", Content: req.Spec}},
+		VFocus: wireOp{
+			Op:          opJudge,
+			TaskID:      req.TaskID,
+			Seed:        seed,
+			SampleIndex: req.SampleIndex,
+			Case:        encodeCase(req.Case),
+		},
+	}
+}
+
+// encodeRequest marshals the canonical request body and derives its content
+// hash. The encoding is deterministic: struct-driven field order, sorted
+// case inputs, no maps.
+func encodeRequest(wr wireRequest) (body []byte, hash string, err error) {
+	body, err = json.Marshal(wr)
+	if err != nil {
+		return nil, "", err
+	}
+	sum := sha256.Sum256(body)
+	return body, hex.EncodeToString(sum[:]), nil
+}
+
+// decodeResponse validates and parses a 200 response body. Any structural
+// damage — unparseable JSON, zero choices, a judge response without its
+// trace — is reported as ErrTornBody so the caller retries instead of
+// exposing a half-parsed completion.
+func decodeResponse(body []byte, op string) (*wireResponse, error) {
+	var resp wireResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTornBody, err)
+	}
+	if len(resp.Choices) == 0 {
+		return nil, fmt.Errorf("%w: no choices", ErrTornBody)
+	}
+	ch := resp.Choices[0]
+	if ch.FinishReason != "stop" {
+		return nil, fmt.Errorf("%w: finish_reason %q", ErrTornBody, ch.FinishReason)
+	}
+	if op == opJudge && ch.Message.Judge == nil {
+		return nil, fmt.Errorf("%w: judge response missing trace", ErrTornBody)
+	}
+	return &resp, nil
+}
+
+// decodeWireError maps a non-2xx body's structured error to the llm
+// sentinels. Unknown task/model are permanent; everything else is left to
+// status-code classification.
+func decodeWireError(status int, body []byte) error {
+	var resp wireResponse
+	if err := json.Unmarshal(body, &resp); err == nil && resp.Error != nil {
+		switch resp.Error.Type {
+		case wireErrUnknownTask:
+			return fmt.Errorf("%w: %s", llm.ErrUnknownTask, resp.Error.Message)
+		case wireErrUnknownModel:
+			return fmt.Errorf("%w: %s", llm.ErrUnknownModel, resp.Error.Message)
+		}
+	}
+	return nil
+}

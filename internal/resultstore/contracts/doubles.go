@@ -1,0 +1,73 @@
+package contracts
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/resultstore"
+)
+
+// ErrInjected is the failure every FailingStore operation returns while
+// failing is enabled.
+var ErrInjected = errors.New("contracts: injected store failure")
+
+// FailingStore wraps a Store with a switchable failure mode — the contract
+// double for drills that need a tier to be down (Layered write-through,
+// remote degradation) without a network in the loop.
+type FailingStore struct {
+	resultstore.Store
+	failing atomic.Bool
+
+	// Ops counts operations attempted while failing — proof the caller
+	// kept trying the tier rather than short-circuiting.
+	Ops atomic.Int64
+}
+
+// NewFailingStore wraps backing; the double starts healthy.
+func NewFailingStore(backing resultstore.Store) *FailingStore {
+	return &FailingStore{Store: backing}
+}
+
+// SetFailing switches the failure mode.
+func (f *FailingStore) SetFailing(v bool) { f.failing.Store(v) }
+
+func (f *FailingStore) fail() bool {
+	if !f.failing.Load() {
+		return false
+	}
+	f.Ops.Add(1)
+	return true
+}
+
+// Get implements Store.
+func (f *FailingStore) Get(ctx context.Context, k resultstore.Key) ([]byte, bool, error) {
+	if f.fail() {
+		return nil, false, ErrInjected
+	}
+	return f.Store.Get(ctx, k)
+}
+
+// Put implements Store.
+func (f *FailingStore) Put(ctx context.Context, k resultstore.Key, v []byte) error {
+	if f.fail() {
+		return ErrInjected
+	}
+	return f.Store.Put(ctx, k, v)
+}
+
+// Delete implements Store.
+func (f *FailingStore) Delete(ctx context.Context, k resultstore.Key) error {
+	if f.fail() {
+		return ErrInjected
+	}
+	return f.Store.Delete(ctx, k)
+}
+
+// Len implements Store.
+func (f *FailingStore) Len() (int, error) {
+	if f.fail() {
+		return 0, ErrInjected
+	}
+	return f.Store.Len()
+}

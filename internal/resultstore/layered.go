@@ -51,14 +51,26 @@ func (l *Layered) Get(ctx context.Context, k Key) ([]byte, bool, error) {
 	return nil, false, nil
 }
 
-// Put implements Store, writing through every tier. The first error is
-// returned after all tiers are attempted.
+// Put implements Store, writing through every tier. A failing tier never
+// starves the others — every tier is attempted regardless — and the write
+// succeeds as long as at least one tier accepted it (a down remote must
+// not make local write-through report failure; the entry is a pure
+// function of its key, so any surviving copy is complete). An error
+// surfaces only when every tier failed.
 func (l *Layered) Put(ctx context.Context, k Key, value []byte) error {
 	var firstErr error
+	stored := false
 	for _, t := range l.tiers {
-		if err := t.Put(ctx, k, value); err != nil && firstErr == nil {
-			firstErr = err
+		if err := t.Put(ctx, k, value); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			stored = true
 		}
+	}
+	if stored {
+		return nil
 	}
 	return firstErr
 }

@@ -1,0 +1,229 @@
+package resultstore_test
+
+// Resilience drills for the remote tier: per-attempt timeouts, idempotent
+// GET retries, the circuit breaker degrading a Layered store to fast
+// misses, and the Layered.Put write-through regression — failing tiers
+// injected through the contract doubles, no sleeps longer than the drills
+// need.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/resultstore"
+	"repro/internal/resultstore/contracts"
+)
+
+func rkey(i int) resultstore.Key {
+	return resultstore.Key{
+		DesignHash:   fmt.Sprintf("%064x", 0xabc00+i),
+		ScheduleHash: fmt.Sprintf("%064x", 0xdef00+i),
+	}
+}
+
+// fastRemoteOptions keeps the drills millisecond-scale.
+func fastRemoteOptions() resultstore.RemoteOptions {
+	return resultstore.RemoteOptions{
+		AttemptTimeout:   150 * time.Millisecond,
+		GetRetries:       2,
+		BackoffBase:      time.Millisecond,
+		BackoffCap:       4 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Minute,
+	}
+}
+
+// TestRemotePerAttemptTimeout: a hung server costs one AttemptTimeout per
+// attempt, not the old blanket 30s.
+func TestRemotePerAttemptTimeout(t *testing.T) {
+	resultstore.ResetRemoteStats()
+	hold := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-hold
+	}))
+	defer ts.Close()
+	// LIFO: the handler must be released before ts.Close waits on it.
+	defer close(hold)
+	opts := fastRemoteOptions()
+	opts.GetRetries = -1 // isolate the timeout from the retry loop
+	r := resultstore.NewRemoteOptions(ts.URL, nil, opts)
+	defer r.Close()
+
+	start := time.Now()
+	_, _, err := r.Get(context.Background(), rkey(1))
+	if err == nil {
+		t.Fatal("Get against a hung server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Get took %v; per-attempt timeout did not bound the stall", elapsed)
+	}
+}
+
+// TestRemoteGetRetriesTransient: a blip on an idempotent GET is absorbed
+// by the bounded jittered retry, and the counter records it.
+func TestRemoteGetRetriesTransient(t *testing.T) {
+	resultstore.ResetRemoteStats()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "blip", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("payload"))
+	}))
+	defer ts.Close()
+	r := resultstore.NewRemoteOptions(ts.URL, nil, fastRemoteOptions())
+	defer r.Close()
+
+	v, hit, err := r.Get(context.Background(), rkey(1))
+	if err != nil || !hit || string(v) != "payload" {
+		t.Fatalf("Get = (%q, %v, %v), want retried hit", v, hit, err)
+	}
+	if st := resultstore.ReadRemoteStats(); st.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", st.Retries)
+	}
+}
+
+// TestRemoteBreakerDegradesLayered: with the remote tier down, enough
+// lookups trip the breaker; after that a Layered(mem, remote) store serves
+// fast misses and keeps accepting writes — the down remote is invisible
+// apart from the counters.
+func TestRemoteBreakerDegradesLayered(t *testing.T) {
+	resultstore.ResetRemoteStats()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	r := resultstore.NewRemoteOptions(ts.URL, nil, fastRemoteOptions())
+	mem := resultstore.NewMemory(64)
+	layered := resultstore.NewLayered(mem, r)
+	defer layered.Close()
+	ctx := context.Background()
+
+	// Trip: threshold 3 with 2 retries per Get means one lookup is enough.
+	if _, hit, err := layered.Get(ctx, rkey(1)); err != nil || hit {
+		t.Fatalf("Get with down remote = (_, %v, %v), want clean miss", hit, err)
+	}
+	st := resultstore.ReadRemoteStats()
+	if st.BreakerTrips == 0 {
+		t.Fatalf("breaker never tripped: %+v", st)
+	}
+
+	// Open: lookups are fast misses (no wire), writes still succeed via
+	// the memory tier (the Layered.Put regression fix).
+	ts.Close() // connection-refused from here on; breaker shields us anyway
+	start := time.Now()
+	if _, hit, err := layered.Get(ctx, rkey(2)); err != nil || hit {
+		t.Fatalf("degraded Get = (_, %v, %v), want clean miss", hit, err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("degraded Get took %v, want fast-fail", elapsed)
+	}
+	if err := layered.Put(ctx, rkey(2), []byte("v")); err != nil {
+		t.Fatalf("Put with down remote tier = %v, want nil (memory tier accepted)", err)
+	}
+	if v, hit, err := layered.Get(ctx, rkey(2)); err != nil || !hit || string(v) != "v" {
+		t.Fatalf("Get after degraded Put = (%q, %v, %v)", v, hit, err)
+	}
+	if st := resultstore.ReadRemoteStats(); st.FastFails == 0 {
+		t.Fatalf("no fast-fails recorded: %+v", st)
+	}
+
+	// Direct remote access reports the typed unavailability.
+	if _, _, err := r.Get(ctx, rkey(3)); !errors.Is(err, resultstore.ErrRemoteUnavailable) {
+		t.Fatalf("open-breaker Get = %v, want ErrRemoteUnavailable", err)
+	}
+}
+
+// TestRemoteBreakerHalfOpenRecovers: after the cooldown one probe is
+// admitted; a healthy upstream closes the circuit.
+func TestRemoteBreakerHalfOpenRecovers(t *testing.T) {
+	resultstore.ResetRemoteStats()
+	var healthy atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+	opts := fastRemoteOptions()
+	opts.BreakerCooldown = 50 * time.Millisecond
+	r := resultstore.NewRemoteOptions(ts.URL, nil, opts)
+	defer r.Close()
+	ctx := context.Background()
+
+	if _, _, err := r.Get(ctx, rkey(1)); err == nil {
+		t.Fatal("expected failure while down")
+	}
+	if _, _, err := r.Get(ctx, rkey(1)); !errors.Is(err, resultstore.ErrRemoteUnavailable) {
+		t.Fatalf("Get while open = %v, want ErrRemoteUnavailable", err)
+	}
+	healthy.Store(true)
+	time.Sleep(70 * time.Millisecond)
+	if _, hit, err := r.Get(ctx, rkey(1)); err != nil || hit {
+		t.Fatalf("post-recovery Get = (_, %v, %v), want clean miss", hit, err)
+	}
+	// Closed again: subsequent calls flow.
+	if _, _, err := r.Get(ctx, rkey(2)); err != nil {
+		t.Fatalf("post-recovery Get 2 = %v", err)
+	}
+}
+
+// TestLayeredPutPartialSuccess is the write-through regression: a failing
+// far tier must neither stop nearer tiers from being written (all tiers
+// are attempted) nor turn the Put into a reported failure, and only an
+// all-tiers failure surfaces an error.
+func TestLayeredPutPartialSuccess(t *testing.T) {
+	ctx := context.Background()
+	near := resultstore.NewMemory(16)
+	farBacking := resultstore.NewMemory(16)
+	far := contracts.NewFailingStore(farBacking)
+	layered := resultstore.NewLayered(near, far)
+	defer layered.Close()
+
+	// Far tier down: Put succeeds, near tier has the value, and the far
+	// tier was still attempted (no short-circuit).
+	far.SetFailing(true)
+	if err := layered.Put(ctx, rkey(1), []byte("v1")); err != nil {
+		t.Fatalf("Put with failing far tier = %v, want nil", err)
+	}
+	if far.Ops.Load() == 0 {
+		t.Fatal("far tier was never attempted")
+	}
+	if v, hit, _ := near.Get(ctx, rkey(1)); !hit || string(v) != "v1" {
+		t.Fatalf("near tier missing write-through: (%q, %v)", v, hit)
+	}
+
+	// Far tier recovers: the next Put reaches both.
+	far.SetFailing(false)
+	if err := layered.Put(ctx, rkey(2), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, hit, _ := farBacking.Get(ctx, rkey(2)); !hit || string(v) != "v2" {
+		t.Fatalf("recovered far tier missing write: (%q, %v)", v, hit)
+	}
+
+	// Failing *near* tier: the far tier still takes the write.
+	nearFailing := contracts.NewFailingStore(resultstore.NewMemory(16))
+	nearFailing.SetFailing(true)
+	l2 := resultstore.NewLayered(nearFailing, farBacking)
+	if err := l2.Put(ctx, rkey(3), []byte("v3")); err != nil {
+		t.Fatalf("Put with failing near tier = %v, want nil", err)
+	}
+	if v, hit, _ := farBacking.Get(ctx, rkey(3)); !hit || string(v) != "v3" {
+		t.Fatalf("far tier missing write past failing near tier: (%q, %v)", v, hit)
+	}
+
+	// Every tier failing: the error finally surfaces.
+	allDown := resultstore.NewLayered(nearFailing)
+	if err := allDown.Put(ctx, rkey(4), []byte("v4")); !errors.Is(err, contracts.ErrInjected) {
+		t.Fatalf("Put with every tier failing = %v, want ErrInjected", err)
+	}
+}

@@ -44,6 +44,17 @@ const (
 	// the entry's design hash. Cancelling here models a job killed
 	// mid-publish; panicking models a crash with the temp file on disk.
 	PointStorePut Point = "resultstore.disk.put"
+	// PointLLMRequest fires in the reference LLM completions server after
+	// the request is decoded and before it is dispatched to the backing
+	// client, keyed by the request's task ID. Sleeping here models a slow
+	// upstream (per-attempt timeout drills); panicking models a connection
+	// torn before any response bytes.
+	PointLLMRequest Point = "llm.server.request"
+	// PointLLMResponse fires in the reference LLM completions server after
+	// the response body is marshaled and before it is written, keyed by the
+	// request's task ID. Panicking here models a connection torn between
+	// headers and body.
+	PointLLMResponse Point = "llm.server.response"
 )
 
 // armed flips on while at least one action is registered. It is the only

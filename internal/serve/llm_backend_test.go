@@ -1,0 +1,99 @@
+package serve
+
+// Daemon-level wiring drills for the resilient HTTP LLM backend: a
+// NewClient factory pointed at the embedded reference server must generate
+// candidate pools bit-identical to the in-process simulated client, and
+// /statsz must surface the client's resilience counters.
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/llm/httpclient"
+)
+
+// TestGeneratedPoolViaHTTPFactory points server-side candidate generation
+// at the HTTP client (record mode, embedded reference server) and checks
+// the ranked clusters match the simulated-client run of the same job.
+func TestGeneratedPoolViaHTTPFactory(t *testing.T) {
+	factory, stats, closeFn, err := httpclient.Factory(httpclient.Options{
+		Mode:           httpclient.ModeRecord,
+		FixtureDir:     t.TempDir(),
+		AttemptTimeout: 5 * time.Second,
+		BackoffBase:    time.Millisecond,
+		BackoffCap:     5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+
+	_, ts, client := newTestServer(t, Config{
+		Workers: 1, QueueCap: 2, RankWorkers: 2,
+		NewClient: factory,
+		LLMDesc:   "record (embedded)",
+		LLMStats:  func() map[string]int64 { return stats().Map() },
+	})
+	id, resp := submitJob(t, client, ts.URL, SubmitRequest{TaskID: gateTaskID, Samples: 8, Seed: 3})
+	if id == "" {
+		t.Fatalf("submit rejected: HTTP %d", resp.StatusCode)
+	}
+	evs := streamEvents(t, client, ts.URL, id)
+	if fin := terminal(evs); fin == nil || fin.Status != StatusCompleted {
+		t.Fatalf("terminal = %+v, want completed", terminal(evs))
+	}
+	httpClusters := clusterEvents(evs)
+	if len(httpClusters) == 0 {
+		t.Fatal("HTTP-backed pool produced no clusters")
+	}
+
+	// Referee: the same job on the default simulated client. The reference
+	// server wraps the same SimClient, so the generated pools — and hence
+	// the ranked clusters — must agree exactly.
+	_, ts2, client2 := newTestServer(t, Config{Workers: 1, QueueCap: 2, RankWorkers: 2})
+	id2, resp2 := submitJob(t, client2, ts2.URL, SubmitRequest{TaskID: gateTaskID, Samples: 8, Seed: 3})
+	if id2 == "" {
+		t.Fatalf("referee submit rejected: HTTP %d", resp2.StatusCode)
+	}
+	simClusters := clusterEvents(streamEvents(t, client2, ts2.URL, id2))
+	if len(simClusters) != len(httpClusters) {
+		t.Fatalf("cluster counts differ: http=%d sim=%d", len(httpClusters), len(simClusters))
+	}
+	for i := range simClusters {
+		if httpClusters[i].Fingerprint != simClusters[i].Fingerprint ||
+			httpClusters[i].Score != simClusters[i].Score {
+			t.Fatalf("cluster %d diverges: http=%+v sim=%+v", i, httpClusters[i], simClusters[i])
+		}
+	}
+
+	// /statsz carries the LLM block and the remote-store counters.
+	sresp, err := client.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("/statsz: HTTP %d", sresp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(sresp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if got := body["llm_backend"]; got != "record (embedded)" {
+		t.Fatalf("llm_backend = %v", got)
+	}
+	llmBlock, ok := body["llm"].(map[string]any)
+	if !ok {
+		t.Fatalf("missing llm block in /statsz: %v", body)
+	}
+	if wire, _ := llmBlock["wire_requests"].(float64); wire <= 0 {
+		t.Fatalf("llm wire_requests = %v, want > 0", llmBlock["wire_requests"])
+	}
+	for _, key := range []string{"remote_retries", "remote_breaker_trips", "remote_fast_fails"} {
+		if _, present := body[key]; !present {
+			t.Fatalf("/statsz missing %s: %v", key, body)
+		}
+	}
+}

@@ -53,6 +53,17 @@ type Config struct {
 	// with ("off" when none); surfaced by /statsz for operators and the
 	// warm-restart smoke.
 	StoreDesc string
+	// NewClient, when non-nil, replaces llm.NewSimClient as the source of
+	// candidate-pool generators — the hook that points server-side
+	// generation at a real HTTP backend or replayed fixtures
+	// (httpclient.Factory).
+	NewClient func(model string, seed int64, tasks []eval.Task) (llm.Client, error)
+	// LLMStats, when non-nil, is snapshotted into /statsz under "llm" —
+	// wire it to the HTTP client factory's stats (wire requests, retries,
+	// coalesced calls, breaker trips, …).
+	LLMStats func() map[string]int64
+	// LLMDesc names the LLM backend for /statsz ("sim" when empty).
+	LLMDesc string
 }
 
 // finishedCap bounds how many completed job records the server retains for
@@ -78,6 +89,14 @@ func (s *Server) storeDesc() string {
 		return "off"
 	}
 	return s.cfg.StoreDesc
+}
+
+// llmDesc names the configured LLM backend for /statsz.
+func (s *Server) llmDesc() string {
+	if s.cfg.LLMDesc == "" {
+		return "sim"
+	}
+	return s.cfg.LLMDesc
 }
 
 // New builds a Server over the benchmark suite.
@@ -246,15 +265,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		stats := testbench.ReadStoreStats()
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
-			"fp_sims":         stats.Sims,
-			"store_hits":      stats.Hits,
-			"store_misses":    stats.Misses,
-			"store_puts":      stats.Puts,
-			"store_put_fails": stats.PutFails,
-			"fp_memo_len":     testbench.FPMemoLen(),
-			"store":           s.storeDesc(),
-		})
+		body := map[string]any{
+			"fp_sims":              stats.Sims,
+			"store_hits":           stats.Hits,
+			"store_misses":         stats.Misses,
+			"store_puts":           stats.Puts,
+			"store_put_fails":      stats.PutFails,
+			"remote_retries":       stats.RemoteRetries,
+			"remote_breaker_trips": stats.RemoteBreakerTrips,
+			"remote_fast_fails":    stats.RemoteFastFails,
+			"fp_memo_len":          testbench.FPMemoLen(),
+			"store":                s.storeDesc(),
+			"llm_backend":          s.llmDesc(),
+		}
+		if s.cfg.LLMStats != nil {
+			body["llm"] = s.cfg.LLMStats()
+		}
+		json.NewEncoder(w).Encode(body)
 	})
 	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -498,7 +525,12 @@ func (s *Server) candidatePool(ctx context.Context, req SubmitRequest, task eval
 	if err != nil {
 		return nil, nil, err
 	}
-	client, err := llm.NewSimClient(profile, req.Seed, []eval.Task{task})
+	var client llm.Client
+	if s.cfg.NewClient != nil {
+		client, err = s.cfg.NewClient(profile.Name, req.Seed, []eval.Task{task})
+	} else {
+		client, err = llm.NewSimClient(profile, req.Seed, []eval.Task{task})
+	}
 	if err != nil {
 		return nil, nil, err
 	}

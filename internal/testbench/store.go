@@ -71,6 +71,12 @@ type StoreStats struct {
 	Misses   uint64 `json:"store_misses"`
 	Puts     uint64 `json:"store_puts"`
 	PutFails uint64 `json:"store_put_fails"`
+	// Remote-tier resilience counters, mirrored from the resultstore
+	// remote adapter: GET retries absorbed, breaker trips, and lookups
+	// fast-failed while the circuit was open.
+	RemoteRetries      uint64 `json:"remote_retries"`
+	RemoteBreakerTrips uint64 `json:"remote_breaker_trips"`
+	RemoteFastFails    uint64 `json:"remote_fast_fails"`
 }
 
 var (
@@ -83,12 +89,16 @@ var (
 
 // ReadStoreStats snapshots the counters.
 func ReadStoreStats() StoreStats {
+	remote := resultstore.ReadRemoteStats()
 	return StoreStats{
-		Sims:     statSims.Load(),
-		Hits:     statHits.Load(),
-		Misses:   statMisses.Load(),
-		Puts:     statPuts.Load(),
-		PutFails: statPutFails.Load(),
+		Sims:               statSims.Load(),
+		Hits:               statHits.Load(),
+		Misses:             statMisses.Load(),
+		Puts:               statPuts.Load(),
+		PutFails:           statPutFails.Load(),
+		RemoteRetries:      remote.Retries,
+		RemoteBreakerTrips: remote.BreakerTrips,
+		RemoteFastFails:    remote.FastFails,
 	}
 }
 

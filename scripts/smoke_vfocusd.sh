@@ -115,6 +115,12 @@ run_store_job smoke-store-cold
 COLD_SIMS=$(statsz fp_sims)
 COLD_PUTS=$(statsz store_puts)
 echo "cold daemon: fp_sims=$COLD_SIMS store_puts=$COLD_PUTS"
+# The shipped binary wires the LLM-backend and remote-tier counters into
+# /statsz (default backend: the hermetic simulated client).
+curl -fsS "$BASE/statsz" | grep -q '"llm_backend":"sim"' \
+    || { echo "FAIL: /statsz missing llm_backend"; exit 1; }
+curl -fsS "$BASE/statsz" | grep -q '"remote_retries"' \
+    || { echo "FAIL: /statsz missing remote-tier counters"; exit 1; }
 [ "$COLD_SIMS" -gt 0 ] || { echo "FAIL: cold daemon simulated nothing"; exit 1; }
 [ "$COLD_PUTS" -gt 0 ] || { echo "FAIL: cold daemon published nothing to the store"; exit 1; }
 kill -TERM "$PID"
